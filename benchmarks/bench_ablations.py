@@ -1,0 +1,25 @@
+"""Ablations A1-A3: search-space economics, remediation, blocklists."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_search_space(benchmark, context):
+    result = benchmark(ablations.run_search_ablation, context)
+    assert any(b.reduction_factor > 1e4 for b in result.bounds.values())
+    print("\n" + result.render())
+
+
+def test_ablation_remediation(benchmark, context):
+    result = benchmark.pedantic(
+        ablations.run_remediation_ablation, args=(context,), rounds=1, iterations=1
+    )
+    assert result.found_after == 0
+    print("\n" + result.render())
+
+
+def test_ablation_blocklist(benchmark, context):
+    result = benchmark.pedantic(
+        ablations.run_blocklist_ablation, args=(context,), rounds=1, iterations=1
+    )
+    assert result.outcomes["iid"].block_rate > result.outcomes["prefix"].block_rate
+    print("\n" + result.render())

@@ -1,0 +1,9 @@
+"""Figure 10: hourly EUI density per /48 of an AS8881 /46 pool."""
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, context):
+    result = benchmark.pedantic(fig10.run, args=(context,), rounds=1, iterations=1)
+    assert result.fraction_changes_in_window() > 0.8
+    print("\n" + result.render())

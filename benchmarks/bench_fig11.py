@@ -1,0 +1,9 @@
+"""Figure 11: one EUI-64 IID observed in many ASes (MAC reuse)."""
+
+from repro.experiments import fig11_12
+
+
+def test_fig11(benchmark, context):
+    result = benchmark(fig11_12.run_fig11, context)
+    assert result.exhibit_iid is not None
+    print("\n" + result.render())

@@ -1,0 +1,9 @@
+"""Figure 12: IIDs switching between German providers."""
+
+from repro.experiments import fig11_12
+
+
+def test_fig12(benchmark, context):
+    result = benchmark(fig11_12.run_fig12, context)
+    assert len(result.german_switches()) >= 1
+    print("\n" + result.render())

@@ -1,0 +1,19 @@
+"""Figure 13: daily tracking of the random and rotating cohorts."""
+
+from repro.experiments import tracking
+
+
+def test_fig13a(benchmark, context):
+    result = benchmark.pedantic(
+        tracking.run_fig13a, args=(context,), rounds=1, iterations=1
+    )
+    assert result.min_found_per_day() >= result.n_tracked - 2
+    print("\n" + result.render_fig13())
+
+
+def test_fig13b(benchmark, context):
+    result = benchmark.pedantic(
+        tracking.run_fig13b, args=(context,), rounds=1, iterations=1
+    )
+    assert result.min_found_per_day() >= result.n_tracked // 2
+    print("\n" + result.render_fig13())

@@ -1,0 +1,15 @@
+"""Figure 3: per-/48 allocation grids for the three exemplar providers."""
+
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark, context):
+    result = benchmark.pedantic(fig3.run, args=(context,), rounds=1, iterations=1)
+    assert result.inferred == result.expected
+    for asn, grid in result.grids.items():
+        print(
+            f"\n{result.names[asn]}: inferred /{result.inferred[asn]} "
+            f"(paper /{result.expected[asn]}), "
+            f"{len(grid.distinct_sources())} devices, "
+            f"{grid.responsive_fraction:.3f} of /64s responsive"
+        )

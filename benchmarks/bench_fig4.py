@@ -1,0 +1,9 @@
+"""Figure 4: per-AS manufacturer homogeneity CDF."""
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, context):
+    result = benchmark(fig4.run, context)
+    assert result.report.fraction_above(0.67) > 0.6
+    print("\n" + result.render())

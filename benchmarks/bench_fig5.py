@@ -1,0 +1,9 @@
+"""Figure 5: inferred allocation-size CDFs (per IID and per AS)."""
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, context):
+    result = benchmark(fig5.run, context)
+    assert result.fraction_of_ases_at(56) > 0.4
+    print("\n" + result.render())

@@ -1,0 +1,13 @@
+"""Figure 6: one provider, two allocation sizes (Versatel /56 and /64)."""
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, context):
+    result = benchmark.pedantic(fig6.run, args=(context,), rounds=1, iterations=1)
+    assert result.inferred == {56: 56, 64: 64}
+    for plen, grid in sorted(result.grids.items()):
+        print(
+            f"\nVersatel {grid.prefix}: inferred /{result.inferred[plen]} "
+            f"(truth /{plen}), {len(grid.distinct_sources())} devices"
+        )

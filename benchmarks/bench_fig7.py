@@ -1,0 +1,9 @@
+"""Figure 7: rotation pool sizes vs BGP prefix sizes."""
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, context):
+    result = benchmark(fig7.run, context)
+    assert 12 <= result.median_gap_bits() <= 26
+    print("\n" + result.render())

@@ -1,0 +1,9 @@
+"""Figure 8: distinct /64 prefixes per EUI-64 IID."""
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, context):
+    result = benchmark(fig8.run, context)
+    assert result.fraction_multi() > 0.6
+    print("\n" + result.render())

@@ -1,0 +1,9 @@
+"""Figure 9: AS8881 IID trajectories (daily increment modulo the /46)."""
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, context):
+    result = benchmark(fig9.run, context)
+    assert all(step == 256 for step in result.modal_increments().values())
+    print("\n" + result.render())

@@ -1,0 +1,25 @@
+"""Section 4 headline: the full discovery pipeline, end to end.
+
+This one deliberately re-runs the pipeline (rather than reusing the
+shared context's cached result) so the timing covers seed, expansion,
+density, and rotation detection together.
+"""
+
+from repro.core.pipeline import DiscoveryPipeline, PipelineConfig
+from repro.experiments import headline
+
+
+def test_discovery_pipeline(benchmark, context):
+    def run_pipeline():
+        pipeline = DiscoveryPipeline(
+            context.internet,
+            PipelineConfig(
+                seed=context.scale.seed, coverage_48s=context.scale.coverage_48s
+            ),
+        )
+        return pipeline.run()
+
+    result = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+    summary = result.summary()
+    assert summary["rotating_48s"] > 50
+    print("\n" + headline.run(context).render())

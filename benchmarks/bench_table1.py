@@ -1,0 +1,9 @@
+"""Table 1: rotating-/48 attribution by ASN and country."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, context):
+    result = benchmark(table1.run, context)
+    assert result.top_asns()[0][0] == 8881
+    print("\n" + result.render())

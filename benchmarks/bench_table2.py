@@ -1,0 +1,11 @@
+"""Table 2: the week-long tracking case study over the rotating cohort."""
+
+from repro.experiments import tracking
+
+
+def test_table2(benchmark, context):
+    result = benchmark.pedantic(
+        tracking.run_table2, args=(context,), rounds=1, iterations=1
+    )
+    assert result.n_tracked >= 8
+    print("\n" + result.render_table2())

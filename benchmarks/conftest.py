@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+All benchmarks run against one memoized small-scale experiment context:
+the first benchmark in a session pays for the simulated Internet, the
+discovery pipeline, the campaign, and the inferences; the rest reuse
+them.  Each benchmark prints the paper-shaped artifact it regenerates,
+so ``pytest benchmarks/ --benchmark-only -s`` doubles as a results
+report.
+"""
+
+import pytest
+
+from repro.experiments.context import get_context
+from repro.experiments.scale import SMALL
+
+
+@pytest.fixture(scope="session")
+def context():
+    ctx = get_context(SMALL)
+    # Materialize the shared stages once, outside any timer.
+    ctx.internet
+    ctx.pipeline_result
+    ctx.campaign_result
+    ctx.allocation_inferences
+    ctx.pool_inferences
+    ctx.as_profiles
+    return ctx

@@ -1,0 +1,57 @@
+"""Defensive flip-side (Section 9): abuse blocking under prefix rotation.
+
+The paper closes by noting that IPv4-style address blocklists rot when
+client prefixes rotate daily -- and that the same probing technique that
+threatens privacy could re-anchor a blocklist to the *device* instead of
+the address.  This example quantifies both claims:
+
+* a /64 blocklist learned on day 1 stops almost nothing two rotations
+  later,
+* an AS-wide block works but takes the whole provider down with it, and
+* a CPE-identity (EUI-64) blocklist keeps working across rotations with
+  negligible collateral -- at the cost of active probing per flow.
+
+Run: ``python examples/defensive_blocklist.py``
+"""
+
+from repro.core.blocklist import AbuseScenario, BlocklistEvaluator, BlockPolicy
+from repro.core.correlator import synthesize_flows
+from repro.experiments.context import get_context
+from repro.experiments.scale import SMALL
+
+
+def main() -> int:
+    context = get_context(SMALL)
+    internet = context.internet
+    start = context.campaign_config.start_day
+
+    train_days = [start + 1]
+    eval_days = [start + 4, start + 5]
+    flows = synthesize_flows(
+        internet, asn=8881, n_households=24, flows_per_day=3,
+        days=train_days + eval_days, seed=42,
+    )
+    day_of = lambda flow: int(flow.t_seconds // 86400.0)
+    scenario = AbuseScenario(
+        training=[f for f in flows if day_of(f) in train_days],
+        evaluation=[f for f in flows if day_of(f) in eval_days],
+        abusive_households={0, 1, 2, 3, 4, 5},
+    )
+    print(f"{len(scenario.training)} training flows (abuse labelled), "
+          f"{len(scenario.evaluation)} evaluation flows three rotations later\n")
+
+    evaluator = BlocklistEvaluator(internet, block_plen=64, seed=42)
+    print(f"{'policy':<8} {'abuse blocked':>14} {'innocent blocked':>17} {'probes':>8}")
+    for policy in BlockPolicy:
+        outcome = evaluator.evaluate(scenario, policy)
+        print(f"{policy.value:<8} {outcome.block_rate:>14.2f} "
+              f"{outcome.collateral_rate:>17.2f} {outcome.probes_sent:>8}")
+
+    print("\nPrefix blocklists decay with every rotation; device-identity "
+          "blocking survives it -- the paper's tracking primitive cuts "
+          "both ways.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

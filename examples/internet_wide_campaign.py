@@ -1,0 +1,34 @@
+"""The Sections 4-5 measurement study: discovery plus a daily campaign.
+
+Reproduces the paper's Internet-wide characterization on the simulated
+Internet: the seed/expand/density/rotation pipeline, the daily probing
+campaign, and the headline analyses (Table 1, homogeneity, allocation
+sizes, rotation pools, per-IID prefix counts, pathologies).
+
+Run: ``python examples/internet_wide_campaign.py [small|default]``
+"""
+
+import sys
+
+from repro.experiments import fig4, fig5, fig7, fig8, fig11_12, headline, table1
+from repro.experiments.context import get_context
+from repro.experiments.scale import DEFAULT, SMALL
+
+
+def main(argv: list[str]) -> int:
+    scale = DEFAULT if (len(argv) > 1 and argv[1] == "default") else SMALL
+    context = get_context(scale)
+
+    print(headline.run(context).render())
+    print("\n" + table1.run(context).render())
+    print("\n" + fig4.run(context).render())
+    print("\n" + fig5.run(context).render())
+    print("\n" + fig7.run(context).render())
+    print("\n" + fig8.run(context).render())
+    print("\n" + fig11_12.run_fig11(context).render())
+    print("\n" + fig11_12.run_fig12(context).render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

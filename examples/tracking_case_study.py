@@ -1,0 +1,46 @@
+"""The Section 6 case study: track ten households across prefix rotations.
+
+Reproduces the paper's end-to-end attack on the full scaled scenario:
+
+1. discover rotating providers (Section 4 pipeline),
+2. run a multi-day campaign to learn per-AS allocation and pool sizes,
+3. pick ten EUI-64 IIDs (one per country, pathologies excluded), and
+4. hunt each daily for a week inside the inferred search bounds.
+
+Run: ``python examples/tracking_case_study.py [small|default]``
+(small takes ~2 minutes; default is the full scaled reproduction).
+"""
+
+import sys
+
+from repro.experiments import tracking
+from repro.experiments.context import get_context
+from repro.experiments.scale import DEFAULT, SMALL
+
+
+def main(argv: list[str]) -> int:
+    scale = DEFAULT if (len(argv) > 1 and argv[1] == "default") else SMALL
+    print(f"scale: {scale.name} (campaign {scale.campaign_days} days, "
+          f"tracking {scale.tracking_days} days)")
+
+    context = get_context(scale)
+    print(f"discovered {len(context.pipeline_result.rotating_48s)} rotating "
+          f"/48s across {len(context.as_profiles)} ASes; "
+          f"campaign saw {len(context.campaign_store.eui64_iids())} EUI-64 IIDs")
+
+    random_cohort = tracking.run_fig13a(context)
+    rotating_cohort = tracking.run_fig13b(context)
+
+    print("\n" + random_cohort.render_fig13())
+    print("\n" + rotating_cohort.render_fig13())
+    print("\n" + rotating_cohort.render_table2())
+
+    found = rotating_cohort.report.found_per_day()
+    print(f"\nrotating cohort: found {min(found.values())}-"
+          f"{max(found.values())} of {rotating_cohort.n_tracked} IIDs daily "
+          f"(paper: 6-8 of 10) -- EUI-64 CPE defeats prefix rotation.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but not the ``wheel`` package, so
+PEP 660 editable installs (which shell out to ``bdist_wheel``) fail.  This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` take
+the classic ``setup.py develop`` path instead.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

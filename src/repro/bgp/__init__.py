@@ -1,0 +1,15 @@
+"""BGP substrate: longest-prefix matching and a Routeviews-style RIB.
+
+The paper maps every observed response address to its covering
+BGP-advertised prefix and origin AS using Routeviews data (Section 5.3,
+Figure 7, Table 2).  This subpackage provides the same capability over the
+simulated providers' advertisements: a binary radix trie with
+longest-prefix match, a routing information base built on it, and an AS
+registry carrying operator names and country codes.
+"""
+
+from repro.bgp.asinfo import AsRegistry
+from repro.bgp.table import Route, RoutingTable
+from repro.bgp.trie import PrefixTrie
+
+__all__ = ["AsRegistry", "PrefixTrie", "Route", "RoutingTable"]

@@ -1,0 +1,61 @@
+"""AS registry: ASN -> operator name and country.
+
+Backs the per-country aggregations of Table 1 and the CC column of
+Table 2.  Seeded from the bundled records for the ASes the paper names;
+scenario builders register their synthesized tail ASes at build time.
+"""
+
+from __future__ import annotations
+
+from repro.data.asinfo_db import AS_RECORDS, AsRecord
+
+UNKNOWN_NAME = "<unregistered>"
+UNKNOWN_COUNTRY = "??"
+
+
+class AsRegistry:
+    """Registry of AS identities (name, country) keyed by ASN."""
+
+    def __init__(self, records: tuple[AsRecord, ...] | list[AsRecord] = AS_RECORDS) -> None:
+        self._records: dict[int, AsRecord] = {r.asn: r for r in records}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._records
+
+    def register(self, asn: int, name: str, country: str) -> None:
+        """Add or replace the record for *asn*."""
+        if asn <= 0:
+            raise ValueError(f"bad ASN: {asn}")
+        if len(country) != 2:
+            raise ValueError(f"country must be ISO alpha-2, got {country!r}")
+        self._records[asn] = AsRecord(asn, name, country.upper())
+
+    def get(self, asn: int) -> AsRecord | None:
+        return self._records.get(asn)
+
+    def name_of(self, asn: int) -> str:
+        record = self._records.get(asn)
+        return record.name if record else UNKNOWN_NAME
+
+    def country_of(self, asn: int) -> str:
+        record = self._records.get(asn)
+        return record.country if record else UNKNOWN_COUNTRY
+
+    def asns(self) -> tuple[int, ...]:
+        return tuple(sorted(self._records))
+
+    def asns_in_country(self, country: str) -> tuple[int, ...]:
+        cc = country.upper()
+        return tuple(sorted(a for a, r in self._records.items() if r.country == cc))
+
+    def countries(self) -> tuple[str, ...]:
+        return tuple(sorted({r.country for r in self._records.values()}))
+
+    def describe(self, asn: int) -> str:
+        record = self._records.get(asn)
+        if record is None:
+            return f"AS{asn} ({UNKNOWN_NAME})"
+        return f"AS{asn} ({record.name}, {record.country})"

@@ -1,0 +1,75 @@
+"""Routing information base: the reproduction's Routeviews stand-in.
+
+Section 5.3 of the paper maps each observed EUI-64 response address to its
+encompassing BGP-advertised prefix (Figure 7 compares those prefix sizes
+to inferred rotation pool sizes).  :class:`RoutingTable` offers exactly
+that query surface, populated from the simulated providers'
+advertisements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.bgp.trie import PrefixTrie
+from repro.net.addr import Prefix, format_addr
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """One BGP advertisement: a prefix originated by an AS."""
+
+    prefix: Prefix
+    origin_asn: int
+
+    def __str__(self) -> str:
+        return f"{self.prefix} <- AS{self.origin_asn}"
+
+
+class RoutingTable:
+    """A prefix -> origin-AS table with longest-match semantics."""
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie[Route] = PrefixTrie()
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def advertise(self, prefix: Prefix, origin_asn: int) -> None:
+        """Install an advertisement, replacing any same-prefix route."""
+        self._trie.insert(prefix, Route(prefix, origin_asn))
+
+    def withdraw(self, prefix: Prefix) -> bool:
+        """Remove the route for exactly *prefix*.  True if it existed."""
+        return self._trie.remove(prefix)
+
+    def lookup(self, addr: int) -> Route | None:
+        """Longest-match route covering *addr*, or None if unrouted."""
+        match = self._trie.longest_match(addr)
+        return match[1] if match else None
+
+    def origin_of(self, addr: int) -> int | None:
+        """Origin ASN for *addr*, or None if unrouted."""
+        route = self.lookup(addr)
+        return route.origin_asn if route else None
+
+    def bgp_prefix_of(self, addr: int) -> Prefix | None:
+        """The encompassing advertised prefix for *addr* (Figure 7's x-axis)."""
+        route = self.lookup(addr)
+        return route.prefix if route else None
+
+    def routes(self) -> Iterator[Route]:
+        """All installed routes in prefix bit order."""
+        for _prefix, route in self._trie.items():
+            yield route
+
+    def routes_of_asn(self, asn: int) -> list[Route]:
+        """All routes originated by *asn*."""
+        return [route for route in self.routes() if route.origin_asn == asn]
+
+    def describe_lookup(self, addr: int) -> str:
+        route = self.lookup(addr)
+        if route is None:
+            return f"{format_addr(addr)}: unrouted"
+        return f"{format_addr(addr)}: {route}"

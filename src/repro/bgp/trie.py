@@ -1,0 +1,138 @@
+"""Binary radix trie over IPv6 prefixes with longest-prefix match.
+
+One bit per level, values stored at the node where a prefix terminates.
+Lookups walk at most 128 levels, remembering the deepest value seen -- the
+classic routing-table structure.  Generic in its value type so both the
+RIB (values: routes) and the simulator (values: providers/pools) share it.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from repro.net.addr import ADDR_BITS, Prefix
+
+V = TypeVar("V")
+
+_TOP_BIT = 1 << (ADDR_BITS - 1)
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[_Node[V] | None] = [None, None]
+        self.value: V | None = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Map from IPv6 prefixes to values with longest-prefix-match lookup."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value stored at *prefix*."""
+        node = self._root
+        bits = prefix.network
+        for level in range(prefix.plen):
+            bit = 1 if bits & (_TOP_BIT >> level) else 0
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def exact(self, prefix: Prefix) -> V | None:
+        """Value stored at exactly *prefix*, or None."""
+        node = self._root
+        bits = prefix.network
+        for level in range(prefix.plen):
+            bit = 1 if bits & (_TOP_BIT >> level) else 0
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node.value if node.has_value else None
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove the value at exactly *prefix*.  Returns True if present.
+
+        Nodes are not physically pruned; for our workloads (build once,
+        query many) the memory overhead of dead branches is irrelevant.
+        """
+        node = self._root
+        bits = prefix.network
+        for level in range(prefix.plen):
+            bit = 1 if bits & (_TOP_BIT >> level) else 0
+            child = node.children[bit]
+            if child is None:
+                return False
+            node = child
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        return True
+
+    def longest_match(self, addr: int) -> tuple[Prefix, V] | None:
+        """The most-specific inserted prefix covering *addr*, with its value."""
+        node = self._root
+        best: tuple[int, V] | None = None
+        if node.has_value:
+            best = (0, node.value)  # a default route (::/0)
+        for level in range(ADDR_BITS):
+            bit = 1 if addr & (_TOP_BIT >> level) else 0
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (level + 1, node.value)
+        if best is None:
+            return None
+        plen, value = best
+        return Prefix.containing(addr, plen), value
+
+    def lookup(self, addr: int) -> V | None:
+        """Value of the most-specific prefix covering *addr*, or None."""
+        match = self.longest_match(addr)
+        return match[1] if match else None
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """Yield all (prefix, value) pairs in lexicographic bit order."""
+
+        def walk(node: _Node[V], depth: int, bits: int) -> Iterator[tuple[Prefix, V]]:
+            if node.has_value:
+                network = bits << (ADDR_BITS - depth) if depth else 0
+                yield Prefix(network, depth), node.value
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    yield from walk(child, depth + 1, (bits << 1) | bit)
+
+        yield from walk(self._root, 0, 0)
+
+    def covering(self, addr: int) -> Iterator[tuple[Prefix, V]]:
+        """Yield every inserted prefix covering *addr*, least specific first."""
+        node = self._root
+        if node.has_value:
+            yield Prefix(0, 0), node.value
+        for level in range(ADDR_BITS):
+            bit = 1 if addr & (_TOP_BIT >> level) else 0
+            child = node.children[bit]
+            if child is None:
+                return
+            node = child
+            if node.has_value:
+                yield Prefix.containing(addr, level + 1), node.value

@@ -1,0 +1,62 @@
+"""The paper's contribution: inference, discovery, and tracking.
+
+Everything in this subpackage consumes only what a real off-path attacker
+observes -- ``<target, ICMPv6 response source, time>`` records -- and never
+touches simulator ground truth.  The modules map one-to-one onto the
+paper's methodology:
+
+========================  =====================================================
+``records``               observation records and the campaign store
+``allocation``            Algorithm 1 -- customer allocation size inference
+``rotation_pool``         Algorithm 2 -- rotation pool size inference
+``density``               Section 4.2 -- EUI-64 density classification
+``rotation_detect``       Section 4.3 -- two-snapshot rotation detection
+``pipeline``              Section 4 -- seed / expand / density / detect
+``campaign``              Section 5 -- the daily measurement campaign
+``homogeneity``           Section 5.1 -- per-AS manufacturer homogeneity
+``grids``                 Figures 3 & 6 -- per-/48 allocation grids
+``timeseries``            Figures 9-12 -- trajectories and densities
+``pathology``             Section 5.5 -- MAC reuse, provider switches
+``search_space``          Figure 2 -- search-space and probe-cost model
+``tracker``               Section 6 -- tracking IIDs across rotations
+``correlator``            Section 6 -- re-identifying client traffic
+``predictor``             Section 5.4 -- next-prefix prediction (extension)
+``blocklist``             Section 9 -- rotation-aware blocking (extension)
+========================  =====================================================
+"""
+
+from repro.core.allocation import AllocationInference, infer_allocation_plen
+from repro.core.campaign import Campaign, CampaignResult
+from repro.core.density import DensityClass, DensityReport, classify_density
+from repro.core.homogeneity import HomogeneityReport, homogeneity_by_asn
+from repro.core.pipeline import DiscoveryPipeline, PipelineResult
+from repro.core.records import ObservationStore, ProbeObservation
+from repro.core.rotation_detect import RotationDetection, detect_rotating_prefixes
+from repro.core.rotation_pool import RotationPoolInference, infer_rotation_pool_plen
+from repro.core.search_space import SearchSpaceBound, probes_to_sweep, sweep_seconds
+from repro.core.tracker import DeviceTracker, TrackingReport
+
+__all__ = [
+    "AllocationInference",
+    "Campaign",
+    "CampaignResult",
+    "DensityClass",
+    "DensityReport",
+    "DeviceTracker",
+    "DiscoveryPipeline",
+    "HomogeneityReport",
+    "ObservationStore",
+    "PipelineResult",
+    "ProbeObservation",
+    "RotationDetection",
+    "RotationPoolInference",
+    "SearchSpaceBound",
+    "TrackingReport",
+    "classify_density",
+    "detect_rotating_prefixes",
+    "homogeneity_by_asn",
+    "infer_allocation_plen",
+    "infer_rotation_pool_plen",
+    "probes_to_sweep",
+    "sweep_seconds",
+]

@@ -1,0 +1,120 @@
+"""Algorithm 1: inferring customer prefix allocation sizes.
+
+The observation exploited: probes to *any* /64 inside one customer's
+delegated prefix draw an error from the *same* CPE WAN address.  So the
+span of target addresses that elicited a given EUI-64 response bounds the
+delegation: with targets in every /64 of a /56 delegation, the extreme
+targets' /64 numbers differ by 255 and ``log2(max - min)`` rounds to 8
+host bits, i.e. a /56.
+
+Per the paper, the per-AS estimate is the **median** of the per-EUI-64
+sizes, which is robust to devices observed in only part of their
+delegation and to prefix-rotation noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.records import ObservationStore, ProbeObservation
+from repro.net.addr import IID_BITS
+from repro.util import median
+
+MIN_PLEN = 48  # RFC 6177's largest recommended end-site allocation
+MAX_PLEN = 64  # the smallest SLAAC-capable subnet
+
+
+def allocation_bits(target_net64s: list[int]) -> float:
+    """Host-bit estimate from the /64 numbers of one IID's targets.
+
+    ``log2(max - min)`` per Algorithm 1; a single observation (or all
+    targets in one /64) yields 0 bits, i.e. a /64 allocation.
+    """
+    if not target_net64s:
+        raise ValueError("no targets for this IID")
+    spread = max(target_net64s) - min(target_net64s)
+    if spread <= 0:
+        return 0.0
+    return math.log2(spread)
+
+
+def plen_from_bits(bits: float) -> int:
+    """Convert a host-bit estimate to a prefix length, clamped sanely."""
+    plen = IID_BITS - round(bits)
+    return max(MIN_PLEN, min(MAX_PLEN, plen))
+
+
+def infer_allocation_plen(targets_by_iid: dict[int, list[int]]) -> int:
+    """Algorithm 1 verbatim: median per-EUI size -> one AS-level plen.
+
+    *targets_by_iid* maps each EUI-64 IID to the target addresses that
+    elicited it within one snapshot (one day -- delegations must not have
+    rotated mid-measurement).
+    """
+    if not targets_by_iid:
+        raise ValueError("no EUI-64 observations to infer from")
+    sizes = [
+        allocation_bits([t >> IID_BITS for t in targets])
+        for targets in targets_by_iid.values()
+        if targets
+    ]
+    if not sizes:
+        raise ValueError("no usable target lists")
+    return plen_from_bits(median(sizes))
+
+
+@dataclass
+class AllocationInference:
+    """Full per-AS allocation inference with per-IID detail retained."""
+
+    asn: int
+    per_iid_plen: dict[int, int] = field(default_factory=dict)
+    inferred_plen: int = MAX_PLEN
+
+    @classmethod
+    def from_observations(
+        cls, asn: int, observations: list[ProbeObservation], day: int | None = None
+    ) -> AllocationInference:
+        """Run Algorithm 1 over one AS's observations.
+
+        When *day* is given, only that day's observations are used --
+        matching the paper's use of a single probing day for Figure 5a.
+        """
+        targets_by_iid: dict[int, list[int]] = {}
+        for observation in observations:
+            if not observation.is_eui64:
+                continue
+            if day is not None and observation.day != day:
+                continue
+            targets_by_iid.setdefault(observation.source_iid, []).append(
+                observation.target
+            )
+        if not targets_by_iid:
+            raise ValueError(f"AS{asn}: no EUI-64 observations")
+
+        inference = cls(asn=asn)
+        sizes = []
+        for iid, targets in targets_by_iid.items():
+            bits = allocation_bits([t >> IID_BITS for t in targets])
+            sizes.append(bits)
+            inference.per_iid_plen[iid] = plen_from_bits(bits)
+        inference.inferred_plen = plen_from_bits(median(sizes))
+        return inference
+
+    @classmethod
+    def from_store(
+        cls, asn: int, store: ObservationStore, origin_of, day: int | None = None
+    ) -> AllocationInference:
+        """Convenience: group *store* by AS via *origin_of*, then infer."""
+        groups = store.group_eui64_by_asn(origin_of)
+        if asn not in groups:
+            raise ValueError(f"AS{asn}: no EUI-64 observations in store")
+        return cls.from_observations(asn, groups[asn], day=day)
+
+    def plen_histogram(self) -> dict[int, int]:
+        """IID counts per inferred plen (Figure 5a's raw data)."""
+        histogram: dict[int, int] = {}
+        for plen in self.per_iid_plen.values():
+            histogram[plen] = histogram.get(plen, 0) + 1
+        return histogram

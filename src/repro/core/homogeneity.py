@@ -1,0 +1,103 @@
+"""Section 5.1: per-AS CPE manufacturer homogeneity.
+
+Reversing the EUI-64 transform on every discovered IID yields the CPE's
+MAC, whose OUI names the manufacturer.  An AS's *homogeneity* is the
+fraction of its unique EUI-64 IIDs belonging to its most common vendor.
+The paper finds extreme concentration (NetCologne 99.98% AVM, Viettel
+99.6% ZTE) and, across 87 ASes with >= 100 IIDs, more than half above
+0.9 -- the CDF of Figure 4.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.records import ObservationStore
+from repro.net.eui64 import eui64_iid_to_mac
+from repro.net.oui import OuiRegistry
+
+MIN_IIDS_FOR_INCLUSION = 100  # the paper's Figure 4 cut-off
+
+
+@dataclass
+class AsHomogeneity:
+    """Vendor mix of one AS."""
+
+    asn: int
+    vendor_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def total_iids(self) -> int:
+        return sum(self.vendor_counts.values())
+
+    @property
+    def dominant_vendor(self) -> str:
+        if not self.vendor_counts:
+            raise ValueError(f"AS{self.asn}: no vendors observed")
+        return self.vendor_counts.most_common(1)[0][0]
+
+    @property
+    def homogeneity(self) -> float:
+        """max(unique IIDs per vendor) / total unique IIDs."""
+        total = self.total_iids
+        if total == 0:
+            raise ValueError(f"AS{self.asn}: no IIDs observed")
+        return self.vendor_counts.most_common(1)[0][1] / total
+
+
+@dataclass
+class HomogeneityReport:
+    """Homogeneity across all ASes in a campaign."""
+
+    per_asn: dict[int, AsHomogeneity] = field(default_factory=dict)
+    min_iids: int = MIN_IIDS_FOR_INCLUSION
+
+    def included(self) -> list[AsHomogeneity]:
+        """ASes meeting the minimum-IID bar, Figure 4's population."""
+        return [
+            h for h in self.per_asn.values() if h.total_iids >= self.min_iids
+        ]
+
+    def homogeneity_values(self) -> list[float]:
+        """Sorted homogeneity indices for the CDF."""
+        return sorted(h.homogeneity for h in self.included())
+
+    def fraction_above(self, threshold: float) -> float:
+        values = self.homogeneity_values()
+        if not values:
+            raise ValueError("no ASes meet the inclusion bar")
+        return sum(1 for v in values if v > threshold) / len(values)
+
+    def distinct_vendors(self) -> set[str]:
+        vendors: set[str] = set()
+        for h in self.per_asn.values():
+            vendors.update(h.vendor_counts)
+        return vendors
+
+
+def homogeneity_by_asn(
+    store: ObservationStore,
+    origin_of,
+    registry: OuiRegistry | None = None,
+    min_iids: int = MIN_IIDS_FOR_INCLUSION,
+) -> HomogeneityReport:
+    """Compute per-AS homogeneity from campaign observations.
+
+    Each unique EUI-64 IID counts once per AS it was observed in (an IID
+    moving between ASes -- Section 5.5 -- contributes to both).
+    """
+    registry = registry or OuiRegistry.bundled()
+    iids_per_asn: dict[int, set[int]] = defaultdict(set)
+    for observation in store.eui64_only():
+        asn = origin_of(observation.source) or 0
+        iids_per_asn[asn].add(observation.source_iid)
+
+    report = HomogeneityReport(min_iids=min_iids)
+    for asn, iids in iids_per_asn.items():
+        entry = AsHomogeneity(asn=asn)
+        for iid in iids:
+            vendor = registry.vendor_of_mac(eui64_iid_to_mac(iid))
+            entry.vendor_counts[vendor] += 1
+        report.per_asn[asn] = entry
+    return report

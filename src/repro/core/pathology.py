@@ -1,0 +1,126 @@
+"""Section 5.5: pathologies -- multi-AS IIDs, MAC reuse, provider switches.
+
+Three anomaly classes fall out of the per-IID, per-AS observation
+matrix:
+
+* **multi-AS IIDs**: the same EUI-64 IID answering from several ASes at
+  all (10k of the paper's 9M IIDs),
+* **MAC reuse**: an IID observed in two or more ASes *concurrently*
+  (overlapping observation days) -- physically impossible for one
+  device, so the manufacturer shipped duplicate MACs (Figure 11; also
+  the all-zero default MAC seen in 12 ASes), and
+* **provider switches**: an IID whose observations in one AS cease and
+  then begin in another with no overlap -- a customer changing ISPs
+  (Figure 12).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.records import ObservationStore
+
+
+@dataclass
+class IidAsPresence:
+    """Which days an IID was observed in each AS."""
+
+    iid: int
+    days_by_asn: dict[int, set[int]] = field(default_factory=dict)
+
+    @property
+    def asns(self) -> set[int]:
+        return set(self.days_by_asn)
+
+    def overlapping_asns(self) -> set[frozenset[int]]:
+        """AS pairs whose observation-day ranges overlap (MAC reuse)."""
+        pairs: set[frozenset[int]] = set()
+        asns = sorted(self.days_by_asn)
+        for i, a in enumerate(asns):
+            range_a = (min(self.days_by_asn[a]), max(self.days_by_asn[a]))
+            for b in asns[i + 1:]:
+                range_b = (min(self.days_by_asn[b]), max(self.days_by_asn[b]))
+                if range_a[0] <= range_b[1] and range_b[0] <= range_a[1]:
+                    pairs.add(frozenset((a, b)))
+        return pairs
+
+
+@dataclass(frozen=True, slots=True)
+class ProviderSwitch:
+    """An IID that left one AS and appeared in another (Figure 12)."""
+
+    iid: int
+    from_asn: int
+    to_asn: int
+    last_day_old: int
+    first_day_new: int
+
+
+@dataclass
+class PathologyReport:
+    """All Section 5.5 findings for one campaign."""
+
+    multi_as_iids: dict[int, IidAsPresence] = field(default_factory=dict)
+    mac_reuse_iids: set[int] = field(default_factory=set)
+    switches: list[ProviderSwitch] = field(default_factory=list)
+
+    @property
+    def n_multi_as(self) -> int:
+        return len(self.multi_as_iids)
+
+    def max_as_spread(self) -> int:
+        """Most ASes any one IID was seen in (the paper's 12-AS zero MAC)."""
+        if not self.multi_as_iids:
+            return 0
+        return max(len(p.asns) for p in self.multi_as_iids.values())
+
+
+def analyze_pathologies(store: ObservationStore, origin_of) -> PathologyReport:
+    """Classify every multi-AS EUI-64 IID as MAC reuse or a switch.
+
+    An IID in several ASes with overlapping day ranges is MAC reuse; one
+    whose per-AS day ranges are disjoint and sequential is a provider
+    switch.  (A single device cannot be both, but an IID reused on many
+    devices can legitimately produce several reuse pairs.)
+    """
+    presence: dict[int, IidAsPresence] = {}
+    for observation in store.eui64_only():
+        asn = origin_of(observation.source) or 0
+        entry = presence.get(observation.source_iid)
+        if entry is None:
+            entry = IidAsPresence(iid=observation.source_iid)
+            presence[observation.source_iid] = entry
+        entry.days_by_asn.setdefault(asn, set()).add(observation.day)
+
+    report = PathologyReport()
+    for iid, entry in presence.items():
+        if len(entry.asns) < 2:
+            continue
+        report.multi_as_iids[iid] = entry
+        if entry.overlapping_asns():
+            report.mac_reuse_iids.add(iid)
+        report.switches.extend(_find_switches(entry))
+    return report
+
+
+def _find_switches(entry: IidAsPresence) -> list[ProviderSwitch]:
+    """Disjoint, ordered AS tenancies within one IID's history."""
+    switches = []
+    spans = sorted(
+        ((min(days), max(days), asn) for asn, days in entry.days_by_asn.items()),
+    )
+    for (first_lo, first_hi, asn_a), (second_lo, _second_hi, asn_b) in zip(
+        spans, spans[1:]
+    ):
+        if first_hi < second_lo:  # strictly sequential: a switch
+            switches.append(
+                ProviderSwitch(
+                    iid=entry.iid,
+                    from_asn=asn_a,
+                    to_asn=asn_b,
+                    last_day_old=first_hi,
+                    first_day_new=second_lo,
+                )
+            )
+    return switches

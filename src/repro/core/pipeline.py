@@ -1,0 +1,251 @@
+"""Section 4: the end-to-end discovery pipeline.
+
+Four stages, each feeding the next exactly as in the paper:
+
+1. **Seed** -- a yarrp traceroute campaign (run a simulated year earlier,
+   standing in for CAIDA's 2019 routed-/48 dataset) finds /48s whose last
+   responsive hop carries a *unique* EUI-64 IID, and the /32s containing
+   them.
+2. **Expansion & validation** (Section 4.1) -- one zmap probe per /48
+   across each seeded /32 re-validates the stale seed and discovers
+   sibling /48s that also expose EUI-64 CPE.
+3. **Density inference** (Section 4.2) -- one probe per /56 of every
+   candidate /48; /48s with density < 0.01 (<= 2 unique EUI responders)
+   are dropped as single-device delegations.
+4. **Rotation detection** (Section 4.3) -- identical target lists probed
+   twice, 24 hours apart; /48s with changed <target, EUI response>
+   pairs are flagged as rotation candidates.
+
+Scaling: the paper sweeps every /48 of every routed /32 (61M probes for
+expansion alone).  The simulator carves provider pools from the leading
+/44s of each /32, so covering the first ``coverage_48s`` /48s of each
+/32 exercises the full discovery logic at tractable cost; the bound is a
+config knob, not a hidden assumption.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.density import DensityClass, DensityReport, classify_density
+from repro.core.records import ObservationStore
+from repro.core.rotation_detect import (
+    RotationDetection,
+    detect_rotating_prefixes,
+    rotating_asns,
+)
+from repro.net.addr import Prefix, iid_of
+from repro.net.eui64 import is_eui64_iid
+from repro.scan.targets import one_target_per_subnet
+from repro.scan.yarrp import Yarrp
+from repro.scan.zmap import ScanConfig, Zmap6
+from repro.simnet.clock import seconds
+from repro.simnet.internet import SimInternet
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs for the discovery pipeline."""
+
+    seed: int = 0
+    rate_pps: float = 10_000.0
+    seed_campaign_hours: float = -365.0 * 24.0
+    coverage_48s: int = 256  # leading /48s probed per /32
+    probe_plen: int = 56  # density / rotation-detection granularity
+    density_threshold: float = 0.01
+    expansion_hour: float = 12.0
+    density_hour: float = 15.0
+    snapshot_a_hour: float = 18.0
+    snapshot_b_hour: float = 42.0  # 24 hours after snapshot A
+    # The paper sends exactly one probe per /48 in the seed and expansion
+    # stages (the CAIDA seed additionally aggregates months of
+    # traceroutes).  Our scaled /48s hold tens of customers instead of
+    # tens of thousands, so a single random probe misses occupied /48s
+    # far more often than in production; a small per-/48 batch
+    # compensates for the density gap without changing the methodology.
+    seed_probes_per_48: int = 4
+    expansion_probes_per_48: int = 6
+
+    def __post_init__(self) -> None:
+        if self.coverage_48s <= 0:
+            raise ValueError("coverage_48s must be positive")
+        if self.seed_probes_per_48 <= 0 or self.expansion_probes_per_48 <= 0:
+            raise ValueError("per-/48 probe counts must be positive")
+        if abs((self.snapshot_b_hour - self.snapshot_a_hour) - 24.0) > 1e-9:
+            raise ValueError("rotation snapshots must be 24 hours apart")
+
+
+@dataclass
+class PipelineResult:
+    """Everything the four stages produced."""
+
+    seed_48s: set[Prefix] = field(default_factory=set)
+    seed_32s: set[Prefix] = field(default_factory=set)
+    expanded_48s: set[Prefix] = field(default_factory=set)
+    density_reports: dict[Prefix, DensityReport] = field(default_factory=dict)
+    high_density_48s: set[Prefix] = field(default_factory=set)
+    low_density_48s: set[Prefix] = field(default_factory=set)
+    unresponsive_48s: set[Prefix] = field(default_factory=set)
+    detection: RotationDetection = field(default_factory=RotationDetection)
+    store: ObservationStore = field(default_factory=ObservationStore)
+    probes_sent: int = 0
+
+    @property
+    def rotating_48s(self) -> set[Prefix]:
+        return self.detection.rotating_prefixes
+
+    def rotating_by_asn(self, origin_of) -> dict[int, int]:
+        """Rotating /48 counts per origin AS (Table 1, left)."""
+        return rotating_asns(self.detection, origin_of)
+
+    def rotating_by_country(self, origin_of, country_of) -> dict[str, int]:
+        """Rotating /48 counts per country (Table 1, right)."""
+        counts: dict[str, int] = {}
+        for asn, n in self.rotating_by_asn(origin_of).items():
+            country = country_of(asn)
+            counts[country] = counts.get(country, 0) + n
+        return counts
+
+    def summary(self) -> dict[str, int]:
+        """The Section 4 headline counters."""
+        return {
+            "seed_48s": len(self.seed_48s),
+            "seed_32s": len(self.seed_32s),
+            "expanded_48s": len(self.expanded_48s),
+            "high_density_48s": len(self.high_density_48s),
+            "low_density_48s": len(self.low_density_48s),
+            "unresponsive_48s": len(self.unresponsive_48s),
+            "rotating_48s": len(self.rotating_48s),
+            "total_addresses": len(self.store.unique_sources()),
+            "eui64_addresses": len(self.store.unique_eui64_sources()),
+            "unique_eui64_iids": len(self.store.eui64_iids()),
+            "probes_sent": self.probes_sent,
+        }
+
+
+class DiscoveryPipeline:
+    """Runs the four Section 4 stages against a simulated Internet."""
+
+    def __init__(self, internet: SimInternet, config: PipelineConfig | None = None):
+        self.internet = internet
+        self.config = config or PipelineConfig()
+
+    # -- stage 1: seed -------------------------------------------------------
+
+    def _routed_32s(self) -> list[Prefix]:
+        return sorted(
+            (route.prefix for route in self.internet.rib.routes() if route.prefix.plen <= 32),
+            key=lambda p: p.network,
+        )
+
+    def run_seed_stage(self, result: PipelineResult) -> None:
+        """Stale traceroute seed: /48s with a unique EUI-64 last hop."""
+        config = self.config
+        rng = random.Random(config.seed ^ 0x5EED)
+        targets = []
+        for bgp in self._routed_32s():
+            count = min(config.coverage_48s, bgp.num_subnets(48))
+            for i in range(count):
+                subnet = bgp.subnet(i, 48)
+                # One probe into the /48's first /64 -- providers that
+                # assign delegations sequentially are dense at the bottom
+                # -- plus uniform random probes across the /48.
+                targets.append(subnet.subnet(0, 64).random_addr(rng))
+                for _ in range(config.seed_probes_per_48):
+                    targets.append(subnet.random_addr(rng))
+
+        yarrp = Yarrp(self.internet, rate_pps=config.rate_pps, seed=config.seed)
+        records = yarrp.eui64_last_hops(
+            targets, start_seconds=seconds(config.seed_campaign_hours)
+        )
+        result.probes_sent += len(targets)
+
+        by_iid: dict[int, set[Prefix]] = {}
+        for record in records:
+            hop = record.last_responsive_hop
+            prefix48 = Prefix.containing(record.target, 48)
+            by_iid.setdefault(iid_of(hop), set()).add(prefix48)
+        for iid, prefixes in by_iid.items():
+            if len(prefixes) == 1:  # the paper's uniqueness requirement
+                prefix48 = next(iter(prefixes))
+                result.seed_48s.add(prefix48)
+                result.seed_32s.add(Prefix.containing(prefix48.network, 32))
+
+    # -- stage 2: expansion (Section 4.1) -----------------------------------
+
+    def run_expansion_stage(self, result: PipelineResult) -> None:
+        config = self.config
+        rng = random.Random(config.seed ^ 0xE9A)
+        targets = []
+        for bgp32 in sorted(result.seed_32s, key=lambda p: p.network):
+            count = min(config.coverage_48s, bgp32.num_subnets(48))
+            for i in range(count):
+                subnet = bgp32.subnet(i, 48)
+                targets.append(subnet.subnet(0, 64).random_addr(rng))
+                for _ in range(config.expansion_probes_per_48):
+                    targets.append(subnet.random_addr(rng))
+
+        scanner = Zmap6(
+            self.internet, ScanConfig(rate_pps=config.rate_pps, seed=config.seed)
+        )
+        scan = scanner.scan(targets, start_seconds=seconds(config.expansion_hour))
+        result.probes_sent += scan.probes_sent
+        result.store.add_responses(scan.responses, day=0)
+        for response in scan.responses:
+            if is_eui64_iid(iid_of(response.source)):
+                result.expanded_48s.add(Prefix.containing(response.target, 48))
+
+    # -- stage 3: density (Section 4.2) --------------------------------------
+
+    def run_density_stage(self, result: PipelineResult) -> None:
+        config = self.config
+        rng = random.Random(config.seed ^ 0xDE45)
+        scanner = Zmap6(
+            self.internet, ScanConfig(rate_pps=config.rate_pps, seed=config.seed)
+        )
+        start = seconds(config.density_hour)
+        for prefix48 in sorted(result.expanded_48s, key=lambda p: p.network):
+            targets = one_target_per_subnet(prefix48, config.probe_plen, rng)
+            scan = scanner.scan(targets, start_seconds=start)
+            start += scan.duration_seconds
+            result.probes_sent += scan.probes_sent
+            result.store.add_responses(scan.responses, day=0)
+            report = classify_density(
+                prefix48, scan.probes_sent, scan.responses, config.density_threshold
+            )
+            result.density_reports[prefix48] = report
+            if report.classification is DensityClass.HIGH:
+                result.high_density_48s.add(prefix48)
+            elif report.classification is DensityClass.LOW:
+                result.low_density_48s.add(prefix48)
+            else:
+                result.unresponsive_48s.add(prefix48)
+
+    # -- stage 4: rotation detection (Section 4.3) ---------------------------
+
+    def run_rotation_stage(self, result: PipelineResult) -> None:
+        config = self.config
+        rng = random.Random(config.seed ^ 0x404)
+        targets = []
+        for prefix48 in sorted(result.high_density_48s, key=lambda p: p.network):
+            targets.extend(one_target_per_subnet(prefix48, config.probe_plen, rng))
+
+        scanner = Zmap6(
+            self.internet, ScanConfig(rate_pps=config.rate_pps, seed=config.seed)
+        )
+        snap_a = scanner.scan(targets, start_seconds=seconds(config.snapshot_a_hour))
+        snap_b = scanner.scan(targets, start_seconds=seconds(config.snapshot_b_hour))
+        result.probes_sent += snap_a.probes_sent + snap_b.probes_sent
+        result.store.add_responses(snap_a.responses, day=0)
+        result.store.add_responses(snap_b.responses, day=1)
+        result.detection = detect_rotating_prefixes(snap_a, snap_b)
+
+    def run(self) -> PipelineResult:
+        """All four stages, in order."""
+        result = PipelineResult()
+        self.run_seed_stage(result)
+        self.run_expansion_stage(result)
+        self.run_density_stage(result)
+        self.run_rotation_stage(result)
+        return result

@@ -1,0 +1,93 @@
+"""Section 5.4 extension: predicting a rotator's next prefix.
+
+Figure 9's observation -- AS8881 delegations increment by a constant
+step daily and wrap modulo the rotation pool -- "helps scope an
+attacker's prediction of what prefix an IID will have in the future".
+This module turns that remark into an algorithm: detect a constant
+increment from an observed trajectory, then predict future /64s
+modulo the inferred pool.  A correct prediction collapses tracking cost
+from a pool sweep to a single probe.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.timeseries import TrajectoryPoint
+from repro.net.addr import IID_BITS, Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class IncrementModel:
+    """A fitted next-prefix model for one IID."""
+
+    step_net64: int  # /64-number increment per day
+    pool: Prefix  # wrap-around modulus
+    last_day: int
+    last_net64: int
+    confidence: float  # fraction of day-gaps consistent with the step
+
+    def predict_net64(self, day: int) -> int:
+        """Predicted /64 number on *day* (wraps modulo the pool)."""
+        if day < self.last_day:
+            raise ValueError("prediction must be in the future")
+        pool64_base = self.pool.network >> IID_BITS
+        pool64_size = 1 << (IID_BITS - self.pool.plen)
+        offset = (self.last_net64 - pool64_base) + self.step_net64 * (day - self.last_day)
+        return pool64_base + offset % pool64_size
+
+    def predict_address(self, day: int, iid: int) -> int:
+        return (self.predict_net64(day) << IID_BITS) | iid
+
+
+def fit_increment_model(
+    points: list[TrajectoryPoint], pool: Prefix, min_points: int = 3
+) -> IncrementModel | None:
+    """Fit a constant-increment model, or None if the IID doesn't follow one.
+
+    Uses the modal per-day delta across consecutive observations; deltas
+    are computed modulo the pool so a wrap (the big negative jump in
+    Figure 9) still reads as the same step.  Returns None when fewer
+    than *min_points* observations or when no single step explains at
+    least half the gaps.
+    """
+    if min_points < 2:
+        raise ValueError("min_points must be at least 2")
+    if len(points) < min_points:
+        return None
+    pool64_size = 1 << (IID_BITS - pool.plen)
+    deltas: list[int] = []
+    for prev, nxt in zip(points, points[1:]):
+        gap = nxt.day - prev.day
+        if gap <= 0:
+            continue
+        raw = (nxt.net64 - prev.net64) % pool64_size
+        if raw % gap:
+            continue  # not consistent with a constant daily step
+        deltas.append(raw // gap)
+    if not deltas:
+        return None
+    step, count = Counter(deltas).most_common(1)[0]
+    confidence = count / len(deltas)
+    if confidence < 0.5:
+        return None
+    last = points[-1]
+    return IncrementModel(
+        step_net64=step,
+        pool=pool,
+        last_day=last.day,
+        last_net64=last.net64,
+        confidence=confidence,
+    )
+
+
+def prediction_hit_rate(
+    model: IncrementModel, actual: list[TrajectoryPoint]
+) -> float:
+    """Fraction of future observations the model predicted exactly."""
+    future = [p for p in actual if p.day > model.last_day]
+    if not future:
+        raise ValueError("no future observations to score against")
+    hits = sum(1 for p in future if model.predict_net64(p.day) == p.net64)
+    return hits / len(future)

@@ -1,0 +1,148 @@
+"""Observation records: the attacker's complete view of the world.
+
+A :class:`ProbeObservation` is one responsive probe -- what zmap logs.
+The :class:`ObservationStore` accumulates them across scans and days and
+builds the indices every analysis in the paper needs: per-IID histories,
+per-day snapshots, and per-IID target maps (for Algorithm 1).
+
+Only EUI-64 handling is special: stores classify each response source
+once on insert, so analyses can iterate EUI-only views cheaply.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.net.addr import IID_BITS, Prefix, iid_of
+from repro.net.eui64 import is_eui64_iid
+from repro.net.icmpv6 import ProbeResponse
+from repro.simnet.clock import day_of, hours
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeObservation:
+    """One responsive probe: the unit of all downstream inference."""
+
+    day: int
+    t_seconds: float
+    target: int
+    source: int
+
+    @property
+    def source_iid(self) -> int:
+        return iid_of(self.source)
+
+    @property
+    def source_net64(self) -> int:
+        return self.source >> IID_BITS
+
+    @property
+    def target_net64(self) -> int:
+        return self.target >> IID_BITS
+
+    @property
+    def is_eui64(self) -> bool:
+        return is_eui64_iid(iid_of(self.source))
+
+    @classmethod
+    def from_response(cls, response: ProbeResponse, day: int | None = None) -> ProbeObservation:
+        return cls(
+            day=day if day is not None else day_of(hours(response.time)),
+            t_seconds=response.time,
+            target=response.target,
+            source=response.source,
+        )
+
+
+class ObservationStore:
+    """Accumulates observations and serves the paper's standard queries."""
+
+    def __init__(self) -> None:
+        self._observations: list[ProbeObservation] = []
+        self._by_iid: dict[int, list[ProbeObservation]] = defaultdict(list)
+        self._eui_iids: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __iter__(self) -> Iterator[ProbeObservation]:
+        return iter(self._observations)
+
+    def add(self, observation: ProbeObservation) -> None:
+        self._observations.append(observation)
+        self._by_iid[observation.source_iid].append(observation)
+        if observation.is_eui64:
+            self._eui_iids.add(observation.source_iid)
+
+    def add_responses(
+        self, responses: Iterable[ProbeResponse], day: int | None = None
+    ) -> int:
+        """Ingest a scan's responses; returns how many were added."""
+        count = 0
+        for response in responses:
+            self.add(ProbeObservation.from_response(response, day))
+            count += 1
+        return count
+
+    # -- summary counters (the Section 4/5 headline numbers) ---------------
+
+    def unique_sources(self) -> set[int]:
+        """Distinct responding addresses ("134M unique IPv6 addresses")."""
+        return {o.source for o in self._observations}
+
+    def unique_eui64_sources(self) -> set[int]:
+        """Distinct EUI-64 responding addresses ("110M unique EUI-64")."""
+        return {o.source for o in self._observations if o.is_eui64}
+
+    def eui64_iids(self) -> set[int]:
+        """Distinct EUI-64 IIDs ("9M distinct IIDs")."""
+        return set(self._eui_iids)
+
+    # -- per-IID histories ---------------------------------------------------
+
+    def observations_of_iid(self, iid: int) -> list[ProbeObservation]:
+        return list(self._by_iid.get(iid, ()))
+
+    def net64s_of_iid(self, iid: int) -> set[int]:
+        """Distinct /64s an IID was seen in (Figure 8's quantity)."""
+        return {o.source_net64 for o in self._by_iid.get(iid, ())}
+
+    def days_of_iid(self, iid: int) -> set[int]:
+        return {o.day for o in self._by_iid.get(iid, ())}
+
+    def eui64_histories(self) -> Iterator[tuple[int, list[ProbeObservation]]]:
+        """(iid, observations) for every EUI-64 IID."""
+        for iid in self._eui_iids:
+            yield iid, self._by_iid[iid]
+
+    # -- filtered views ------------------------------------------------------
+
+    def on_day(self, day: int) -> list[ProbeObservation]:
+        return [o for o in self._observations if o.day == day]
+
+    def eui64_only(self) -> list[ProbeObservation]:
+        return [o for o in self._observations if o.is_eui64]
+
+    def in_prefix(self, prefix: Prefix) -> list[ProbeObservation]:
+        """Observations whose *response source* falls inside *prefix*."""
+        return [o for o in self._observations if o.source in prefix]
+
+    def targets_of_iid_on_day(self, iid: int, day: int) -> list[int]:
+        """Targets that elicited *iid* on *day* (Algorithm 1's input)."""
+        return [o.target for o in self._by_iid.get(iid, ()) if o.day == day]
+
+    def group_eui64_by_asn(self, origin_of) -> dict[int, list[ProbeObservation]]:
+        """EUI-64 observations grouped by origin AS of the response.
+
+        *origin_of* is typically ``RoutingTable.origin_of``; unrouted
+        responses group under ASN 0.
+        """
+        groups: dict[int, list[ProbeObservation]] = defaultdict(list)
+        for observation in self._observations:
+            if not observation.is_eui64:
+                continue
+            asn = origin_of(observation.source) or 0
+            groups[asn].append(observation)
+        return dict(groups)

@@ -1,0 +1,111 @@
+"""Figures 8-10: per-IID trajectories and pool density over time.
+
+Three views over campaign observations:
+
+* the number of distinct /64s each EUI-64 IID appeared in (Figure 8's
+  CDF -- ~70% above one /64 means most devices demonstrably rotate),
+* an IID's day-by-day /64 (or /48) trajectory (Figure 9's staircase:
+  AS8881 delegations increment daily and wrap modulo the /46 pool), and
+* the fraction of a /48's probed blocks answering with EUI-64 addresses,
+  per observation hour (Figure 10's early-morning density migration).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.records import ObservationStore
+from repro.net.addr import Prefix
+from repro.simnet.clock import hours
+
+
+def distinct_net64_counts(store: ObservationStore) -> dict[int, int]:
+    """IID -> number of distinct /64s observed (Figure 8's raw data)."""
+    return {iid: len(store.net64s_of_iid(iid)) for iid in store.eui64_iids()}
+
+
+def fraction_multi_prefix(store: ObservationStore) -> float:
+    """Fraction of EUI-64 IIDs seen in more than one /64 (paper: ~70%)."""
+    counts = distinct_net64_counts(store)
+    if not counts:
+        raise ValueError("no EUI-64 IIDs in store")
+    return sum(1 for c in counts.values() if c > 1) / len(counts)
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryPoint:
+    """One day's observed position of an IID."""
+
+    day: int
+    net64: int
+
+
+def iid_trajectory(store: ObservationStore, iid: int) -> list[TrajectoryPoint]:
+    """Day-ordered positions of one IID (Figure 9's lines).
+
+    When an IID is observed several times in one day the first
+    observation wins; campaign scans probe each location once per day,
+    so duplicates only arise from overlapping experiments.
+    """
+    by_day: dict[int, int] = {}
+    for observation in store.observations_of_iid(iid):
+        by_day.setdefault(observation.day, observation.source_net64)
+    return [TrajectoryPoint(day, net64) for day, net64 in sorted(by_day.items())]
+
+
+def trajectory_increments(points: list[TrajectoryPoint]) -> list[int]:
+    """Per-day /64-number deltas along a trajectory (wrap excluded).
+
+    For an AS8881-style rotator this is a constant positive step; the
+    single large negative delta at the pool boundary is the modulo wrap.
+    """
+    deltas = []
+    for prev, nxt in zip(points, points[1:]):
+        day_gap = nxt.day - prev.day
+        if day_gap <= 0:
+            continue
+        deltas.append((nxt.net64 - prev.net64) // day_gap)
+    return deltas
+
+
+@dataclass
+class DensitySeries:
+    """Per-/48 EUI-occupancy fractions over observation times (Figure 10)."""
+
+    prefix48: Prefix
+    # observation hour -> fraction of probed blocks with an EUI-64 answer
+    points: dict[float, float] = field(default_factory=dict)
+
+    def sorted_points(self) -> list[tuple[float, float]]:
+        return sorted(self.points.items())
+
+
+def density_over_time(
+    store: ObservationStore,
+    prefixes48: list[Prefix],
+    blocks_per_48: int,
+    bucket_hours: float = 1.0,
+) -> dict[Prefix, DensitySeries]:
+    """EUI density of each /48 per time bucket.
+
+    *blocks_per_48* is how many targets each /48 received per sweep (256
+    when probing per /56); the density at a bucket is distinct EUI-64
+    sources observed / blocks probed, comparable to Figure 10's
+    "fraction of /64s occupied".
+    """
+    if blocks_per_48 <= 0:
+        raise ValueError("blocks_per_48 must be positive")
+    series = {p: DensitySeries(prefix48=p) for p in prefixes48}
+    sources_at: dict[tuple[Prefix, float], set[int]] = defaultdict(set)
+
+    for observation in store.eui64_only():
+        bucket = round(hours(observation.t_seconds) / bucket_hours) * bucket_hours
+        for prefix in prefixes48:
+            if observation.source in prefix:
+                sources_at[(prefix, bucket)].add(observation.source)
+                break
+
+    for (prefix, bucket), sources in sources_at.items():
+        series[prefix].points[bucket] = len(sources) / blocks_per_48
+    return series

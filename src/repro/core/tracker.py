@@ -1,0 +1,223 @@
+"""Section 6: tracking individual EUI-64 IIDs across prefix rotations.
+
+The tracker is the attack the whole paper builds toward.  Given a hunted
+IID, its last known address, and the per-AS inferences (allocation size,
+rotation pool size), each day it:
+
+1. bounds the search space to the inferred rotation pool containing the
+   last known address (Figure 2),
+2. sends one probe per inferred allocation unit, in seeded-random order,
+   stopping as soon as a response carries the hunted IID, and
+3. if the pool scan misses, optionally *widens* the space (the paper's
+   fallback when pool-size inference underestimates) and tries once
+   more.
+
+Probe accounting matches Table 2: per-day probes sent until discovery
+(or the full sweep count on a miss), plus how many distinct /64s the IID
+was found in and on how many days.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.addr import IID_BITS, Prefix
+from repro.scan.targets import one_target_per_subnet
+from repro.scan.zmap import ScanConfig, Zmap6
+from repro.simnet.clock import HOURS_PER_DAY, seconds
+from repro.simnet.internet import SimInternet
+from repro.util import mean, stddev
+
+
+@dataclass(frozen=True, slots=True)
+class AsProfile:
+    """The attacker's per-AS knowledge from Sections 3.2.1-3.2.2."""
+
+    asn: int
+    allocation_plen: int
+    pool_plen: int
+
+    def __post_init__(self) -> None:
+        if not self.pool_plen <= self.allocation_plen <= IID_BITS:
+            raise ValueError(
+                f"profile must satisfy pool <= allocation <= 64, got "
+                f"/{self.pool_plen} /{self.allocation_plen}"
+            )
+
+
+@dataclass(frozen=True)
+class TrackerConfig:
+    seed: int = 0
+    rate_pps: float = 10_000.0
+    scan_hour: float = 13.0
+    widen_bits: int = 2  # pool expansion on a miss; 0 disables
+    max_widenings: int = 1
+
+    def __post_init__(self) -> None:
+        if self.widen_bits < 0 or self.max_widenings < 0:
+            raise ValueError("widen_bits and max_widenings must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class DayOutcome:
+    """One day's attempt against one IID."""
+
+    day: int
+    found: bool
+    probes_sent: int
+    source: int | None
+    changed_prefix: bool  # relative to the previous *found* position
+
+
+@dataclass
+class IidTrack:
+    """A full tracking record for one hunted IID."""
+
+    iid: int
+    initial_address: int
+    outcomes: list[DayOutcome] = field(default_factory=list)
+
+    @property
+    def days_found(self) -> int:
+        return sum(1 for o in self.outcomes if o.found)
+
+    @property
+    def distinct_net64s(self) -> int:
+        found = {o.source >> IID_BITS for o in self.outcomes if o.found}
+        found.add(self.initial_address >> IID_BITS)
+        return len(found)
+
+    @property
+    def probe_counts(self) -> list[int]:
+        return [o.probes_sent for o in self.outcomes]
+
+    @property
+    def mean_probes(self) -> float:
+        return mean(self.probe_counts)
+
+    @property
+    def stddev_probes(self) -> float:
+        return stddev(self.probe_counts)
+
+    @property
+    def ever_rotated(self) -> bool:
+        return any(o.changed_prefix for o in self.outcomes if o.found)
+
+
+@dataclass
+class TrackingReport:
+    """All tracked IIDs plus the Figure 13 daily aggregates."""
+
+    tracks: dict[int, IidTrack] = field(default_factory=dict)
+
+    def found_per_day(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for track in self.tracks.values():
+            for outcome in track.outcomes:
+                if outcome.found:
+                    counts[outcome.day] = counts.get(outcome.day, 0) + 1
+        return counts
+
+    def changed_prefix_per_day(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for track in self.tracks.values():
+            for outcome in track.outcomes:
+                if outcome.found and outcome.changed_prefix:
+                    counts[outcome.day] = counts.get(outcome.day, 0) + 1
+        return counts
+
+    def same_prefix_per_day(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for track in self.tracks.values():
+            for outcome in track.outcomes:
+                if outcome.found and not outcome.changed_prefix:
+                    counts[outcome.day] = counts.get(outcome.day, 0) + 1
+        return counts
+
+
+class DeviceTracker:
+    """Tracks hunted IIDs day by day using inferred search-space bounds."""
+
+    def __init__(
+        self,
+        internet: SimInternet,
+        profiles: dict[int, AsProfile],
+        config: TrackerConfig | None = None,
+    ) -> None:
+        self.internet = internet
+        self.profiles = dict(profiles)
+        self.config = config or TrackerConfig()
+
+    def _profile_for(self, address: int) -> AsProfile:
+        asn = self.internet.rib.origin_of(address)
+        if asn is None or asn not in self.profiles:
+            raise ValueError(f"no AS profile covering {address:#x}")
+        return self.profiles[asn]
+
+    def _attempt(
+        self, iid: int, anchor: int, pool_plen: int, allocation_plen: int,
+        day: int, salt: int,
+    ) -> tuple[int, int | None]:
+        """One sweep of the pool containing *anchor*; (probes, source)."""
+        pool = Prefix.containing(anchor, pool_plen)
+        rng = random.Random(self.config.seed ^ iid ^ (day << 20) ^ salt)
+        targets = one_target_per_subnet(pool, allocation_plen, rng)
+        scanner = Zmap6(
+            self.internet,
+            ScanConfig(rate_pps=self.config.rate_pps, seed=self.config.seed ^ day),
+        )
+        start = seconds(day * HOURS_PER_DAY + self.config.scan_hour)
+        response, sent = scanner.scan_until(targets, iid, start_seconds=start)
+        return sent, response.source if response else None
+
+    def track(
+        self, iid: int, initial_address: int, days: list[int]
+    ) -> IidTrack:
+        """Hunt *iid* on each listed day, starting from *initial_address*."""
+        track = IidTrack(iid=iid, initial_address=initial_address)
+        last_known = initial_address
+        for day in days:
+            profile = self._profile_for(last_known)
+            probes, source = self._attempt(
+                iid, last_known, profile.pool_plen, profile.allocation_plen, day, 0
+            )
+            widenings = 0
+            pool_plen = profile.pool_plen
+            while (
+                source is None
+                and widenings < self.config.max_widenings
+                and self.config.widen_bits > 0
+                and pool_plen > self.config.widen_bits
+            ):
+                widenings += 1
+                pool_plen -= self.config.widen_bits
+                extra, source = self._attempt(
+                    iid, last_known, pool_plen, profile.allocation_plen, day, widenings
+                )
+                probes += extra
+            found = source is not None
+            changed = bool(
+                found and (source >> IID_BITS) != (last_known >> IID_BITS)
+            )
+            track.outcomes.append(
+                DayOutcome(
+                    day=day,
+                    found=found,
+                    probes_sent=probes,
+                    source=source,
+                    changed_prefix=changed,
+                )
+            )
+            if found:
+                last_known = source
+        return track
+
+    def track_many(
+        self, targets: dict[int, int], days: list[int]
+    ) -> TrackingReport:
+        """Track several IIDs (iid -> initial address) over the same days."""
+        report = TrackingReport()
+        for iid, initial in targets.items():
+            report.tracks[iid] = self.track(iid, initial, days)
+        return report

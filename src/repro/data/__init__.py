@@ -1,0 +1,11 @@
+"""Built-in datasets: vendor OUI assignments and AS metadata.
+
+These stand in for the external data sources the paper consults (the IEEE
+OUI registry and Routeviews/registry AS information), packaged so the
+library works fully offline.
+"""
+
+from repro.data.asinfo_db import AS_RECORDS, AsRecord
+from repro.data.oui_db import VENDOR_OUIS, vendor_oui_table
+
+__all__ = ["AS_RECORDS", "AsRecord", "VENDOR_OUIS", "vendor_oui_table"]

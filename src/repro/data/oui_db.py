@@ -1,0 +1,158 @@
+"""Vendor OUI database: a representative offline subset of the IEEE registry.
+
+The paper resolves manufacturer identity of discovered CPE by mapping the
+OUI (high 24 bits) of the MAC embedded in each EUI-64 address through the
+public IEEE registry.  We bundle a curated subset covering the CPE vendors
+the paper names (AVM, ZTE, Lancom, Zyxel) plus the major residential-CPE
+manufacturers needed to synthesize realistic per-AS vendor mixes.
+
+OUI values follow the real IEEE assignments where well known (e.g.
+``38:10:d5`` is AVM -- the example MAC in the paper's Figure 1 -- and
+``00:a0:57`` is Lancom Systems); the set is representative, not the full
+~50k-entry registry.
+"""
+
+from __future__ import annotations
+
+# vendor name -> tuple of OUI strings ("aa:bb:cc")
+VENDOR_OUIS: dict[str, tuple[str, ...]] = {
+    "AVM": (
+        "38:10:d5",
+        "c8:0e:14",
+        "3c:a6:2f",
+        "7c:ff:4d",
+        "2c:91:ab",
+        "44:4e:6d",
+        "e0:28:6d",
+        "bc:05:43",
+        "9c:c7:a6",
+        "5c:49:79",
+    ),
+    "ZTE": (
+        "34:4b:50",
+        "98:f5:37",
+        "f8:a3:4f",
+        "d0:60:8c",
+        "28:ff:3e",
+        "00:19:c6",
+        "00:26:ed",
+        "4c:ac:0a",
+    ),
+    "Huawei": (
+        "00:e0:fc",
+        "28:6e:d4",
+        "48:46:fb",
+        "8c:34:fd",
+        "ac:e2:15",
+        "e8:cd:2d",
+        "d4:6e:5c",
+    ),
+    "Sagemcom": (
+        "68:a3:78",
+        "7c:03:4c",
+        "34:27:92",
+        "50:7e:5d",
+        "e8:be:81",
+        "40:5a:9b",
+    ),
+    "Arris": (
+        "14:ab:f0",
+        "90:c7:92",
+        "44:e1:37",
+        "00:1d:cd",
+        "a4:7a:a4",
+    ),
+    "Technicolor": (
+        "54:67:51",
+        "88:f7:c7",
+        "a0:b5:49",
+        "fc:52:8d",
+    ),
+    "TP-Link": (
+        "50:c7:bf",
+        "14:cc:20",
+        "ec:08:6b",
+        "60:32:b1",
+    ),
+    "Zyxel": (
+        "00:a0:c5",
+        "b0:b2:dc",
+        "5c:f4:ab",
+        "cc:5d:4e",
+    ),
+    "Lancom Systems": (
+        "00:a0:57",
+    ),
+    "Nokia": (
+        "d0:9d:ab",
+        "30:19:66",
+        "84:61:a0",
+    ),
+    "Sercomm": (
+        "c4:71:54",
+        "00:1e:a6",
+        "d4:21:22",
+    ),
+    "MitraStar": (
+        "cc:d4:a1",
+        "8c:59:73",
+    ),
+    "Askey": (
+        "3c:9a:77",
+        "e8:d1:1b",
+    ),
+    "Compal Broadband": (
+        "58:23:8c",
+        "94:62:69",
+    ),
+    "Calix": (
+        "00:25:4e",
+        "cc:be:59",
+    ),
+    "D-Link": (
+        "28:10:7b",
+        "00:05:5d",
+        "c4:a8:1d",
+    ),
+    "Netgear": (
+        "a0:40:a0",
+        "20:e5:2a",
+        "cc:40:d0",
+    ),
+    "FiberHome": (
+        "48:5d:36",
+        "30:f3:35",
+    ),
+    "Mikrotik": (
+        "4c:5e:0c",
+        "e4:8d:8c",
+    ),
+    "Ubee Interactive": (
+        "64:7c:34",
+    ),
+    "Hitron": (
+        "68:8f:2e",
+    ),
+    "Vantiva": (
+        "10:cc:1b",
+    ),
+    # 00:00:00 is officially Xerox but is widely (ab)used as a default MAC
+    # on interfaces without a burned-in address -- see the paper's
+    # Section 5.5 pathology (one all-zero MAC observed in 12 ASes).
+    "Xerox (default-MAC)": (
+        "00:00:00",
+    ),
+}
+
+
+def vendor_oui_table() -> dict[int, str]:
+    """Flatten :data:`VENDOR_OUIS` into an ``{oui_int: vendor}`` mapping."""
+    table: dict[int, str] = {}
+    for vendor, ouis in VENDOR_OUIS.items():
+        for text in ouis:
+            parts = text.split(":")
+            value = (int(parts[0], 16) << 16) | (int(parts[1], 16) << 8) | int(parts[2], 16)
+            if value in table:
+                raise ValueError(f"duplicate OUI {text} ({table[value]} / {vendor})")
+            table[value] = vendor
+    return table

@@ -1,0 +1,190 @@
+"""Ablations: design-choice experiments beyond the paper's figures.
+
+* **search-space reduction** (A1): the probe-cost model of Figure 2
+  evaluated across the scenario's real (BGP, pool, allocation) triples,
+  plus the empirical tracker cost, quantifying how much each inference
+  contributes.
+* **vendor remediation** (A2): Section 8's fix -- flip one vendor's CPE
+  to privacy addressing mid-study and measure how tracking collapses.
+* **rotation-aware blocking** (A3): Section 9's discussion -- compare
+  prefix-, IID-, and AS-based blocklists under daily rotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.blocklist import (
+    AbuseScenario,
+    BlocklistEvaluator,
+    BlocklistOutcome,
+    BlockPolicy,
+)
+from repro.core.correlator import synthesize_flows
+from repro.core.search_space import SearchSpaceBound
+from repro.core.tracker import DeviceTracker, TrackerConfig
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tracking import select_cohort
+from repro.net.eui64 import eui64_iid_to_mac
+from repro.net.oui import OuiRegistry
+from repro.simnet.builder import build_paper_internet
+from repro.simnet.events import apply_vendor_remediation
+from repro.viz.ascii import render_table
+
+
+# -- A1: search-space reduction ------------------------------------------------
+
+@dataclass
+class SearchAblationResult:
+    bounds: dict[int, SearchSpaceBound] = field(default_factory=dict)  # per ASN
+
+    def render(self) -> str:
+        rows = [
+            [
+                f"AS{asn}",
+                f"/{b.bgp_plen}",
+                f"/{b.pool_plen}",
+                f"/{b.allocation_plen}",
+                f"{b.naive_probes:.2e}",
+                b.reduced_probes,
+                f"{b.reduction_factor:.1e}",
+                f"{b.seconds_at():.2f}s",
+            ]
+            for asn, b in sorted(self.bounds.items())
+        ]
+        return render_table(
+            ["ASN", "BGP", "pool", "alloc", "naive probes", "informed probes",
+             "reduction", "time @10kpps"],
+            rows,
+            title="Ablation A1: search-space reduction per AS (Figure 2 economics)",
+        )
+
+
+def run_search_ablation(context: ExperimentContext) -> SearchAblationResult:
+    result = SearchAblationResult()
+    for asn, profile in context.as_profiles.items():
+        provider = context.internet.provider_of_asn(asn)
+        if provider is None or not provider.bgp_prefixes:
+            continue
+        bgp_plen = provider.bgp_prefixes[0].plen
+        pool_plen = max(profile.pool_plen, bgp_plen)
+        result.bounds[asn] = SearchSpaceBound(
+            bgp_plen=bgp_plen,
+            pool_plen=pool_plen,
+            allocation_plen=max(profile.allocation_plen, pool_plen),
+        )
+    return result
+
+
+# -- A2: vendor remediation ------------------------------------------------------
+
+@dataclass
+class RemediationResult:
+    vendor: str = "AVM"
+    remediated_devices: int = 0
+    switch_day: int = 0
+    found_before: int = 0
+    found_after: int = 0
+    tracked: int = 0
+
+    def render(self) -> str:
+        return render_table(
+            ["metric", "value"],
+            [
+                ["vendor remediated", self.vendor],
+                ["devices switched to privacy IIDs", self.remediated_devices],
+                ["firmware day", self.switch_day],
+                ["cohort size (all this vendor)", self.tracked],
+                ["IID-days found before firmware", self.found_before],
+                ["IID-days found after firmware", self.found_after],
+            ],
+            title="Ablation A2: Section 8 remediation ends EUI-64 tracking",
+        )
+
+
+def run_remediation_ablation(context: ExperimentContext) -> RemediationResult:
+    """A fresh internet (same seed) with the vendor fix applied mid-track."""
+    internet = build_paper_internet(
+        seed=context.scale.seed, n_tail_ases=context.scale.n_tail_ases
+    )
+    registry = OuiRegistry.bundled()
+    vendor = "AVM"
+
+    first_day = context.campaign_config.start_day + context.scale.campaign_days
+    days = list(range(first_day, first_day + context.scale.tracking_days))
+    switch_day = days[len(days) // 2]
+    remediated = apply_vendor_remediation(
+        internet, vendor, at_hours=switch_day * 24.0, oui_registry=registry
+    )
+
+    cohort = {
+        iid: addr
+        for iid, addr in select_cohort(context, rotating_only=False).items()
+        if registry.vendor_of_mac(eui64_iid_to_mac(iid)) == vendor
+    }
+    tracker = DeviceTracker(
+        internet, context.as_profiles, TrackerConfig(seed=context.scale.seed)
+    )
+    report = tracker.track_many(cohort, days)
+
+    result = RemediationResult(
+        vendor=vendor,
+        remediated_devices=remediated,
+        switch_day=switch_day,
+        tracked=len(cohort),
+    )
+    for track in report.tracks.values():
+        for outcome in track.outcomes:
+            if outcome.found and outcome.day < switch_day:
+                result.found_before += 1
+            elif outcome.found:
+                result.found_after += 1
+    return result
+
+
+# -- A3: blocklists under rotation ------------------------------------------------
+
+@dataclass
+class BlocklistAblationResult:
+    outcomes: dict[str, BlocklistOutcome] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = [
+            [
+                name,
+                f"{outcome.block_rate:.2f}",
+                f"{outcome.collateral_rate:.2f}",
+                outcome.probes_sent,
+            ]
+            for name, outcome in self.outcomes.items()
+        ]
+        return render_table(
+            ["policy", "abuse blocked", "innocent blocked", "probes"],
+            rows,
+            title="Ablation A3: blocklist policies under daily prefix rotation",
+        )
+
+
+def run_blocklist_ablation(
+    context: ExperimentContext, asn: int = 8881, n_households: int = 24
+) -> BlocklistAblationResult:
+    start = context.campaign_config.start_day
+    train_days = [start + 1]
+    eval_days = [start + 4, start + 5]
+    flows = synthesize_flows(
+        context.internet, asn, n_households, 3,
+        train_days + eval_days, seed=context.scale.seed ^ 0xB10C,
+    )
+    day_of = lambda flow: int(flow.t_seconds // 86400.0)
+    scenario = AbuseScenario(
+        training=[f for f in flows if day_of(f) in train_days],
+        evaluation=[f for f in flows if day_of(f) in eval_days],
+        abusive_households=set(range(n_households // 4)),
+    )
+    evaluator = BlocklistEvaluator(
+        context.internet, block_plen=64, seed=context.scale.seed
+    )
+    result = BlocklistAblationResult()
+    for policy in BlockPolicy:
+        result.outcomes[policy.value] = evaluator.evaluate(scenario, policy)
+    return result

@@ -1,0 +1,88 @@
+"""Figure 10: hourly EUI-64 address density per /48 of a Versatel /46.
+
+The paper probes one AS8881 /46 hourly for a week and watches delegation
+density per constituent /48: reassignment happens in the early-morning
+window, one /48 holding most addresses, one nearly none, and the other
+two trading density in opposite directions.  We run the hourly campaign
+over the same pool structure and report per-/48 density series plus the
+hour-of-day histogram of observed density changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.timeseries import DensitySeries, density_over_time
+from repro.experiments.context import ExperimentContext
+from repro.net.addr import Prefix
+from repro.viz.ascii import render_series
+
+VERSATEL_ASN = 8881
+
+
+@dataclass
+class Fig10Result:
+    pool_prefix: Prefix | None = None
+    series: dict[Prefix, DensitySeries] = field(default_factory=dict)
+    rotation_window: tuple[float, float] = (0.0, 6.0)
+
+    def change_hours(self) -> list[float]:
+        """Hours-of-day at which any /48's density changed >= 10% of the
+        pool's peak (reassignment activity)."""
+        peak = max(
+            (value for s in self.series.values() for _, value in s.points.items()),
+            default=0.0,
+        )
+        if peak <= 0:
+            return []
+        hours = []
+        for s in self.series.values():
+            points = s.sorted_points()
+            for (t0, v0), (t1, v1) in zip(points, points[1:]):
+                if abs(v1 - v0) >= 0.1 * peak:
+                    hours.append(t1 % 24.0)
+        return hours
+
+    def fraction_changes_in_window(self) -> float:
+        hours = self.change_hours()
+        if not hours:
+            raise ValueError("no density changes observed")
+        lo, hi = self.rotation_window
+        return sum(1 for h in hours if lo <= h <= hi) / len(hours)
+
+    def render(self) -> str:
+        series = {
+            str(prefix): [(t, v) for t, v in s.sorted_points()]
+            for prefix, s in self.series.items()
+        }
+        return render_series(
+            series,
+            title=f"Figure 10: hourly EUI density per /48 of {self.pool_prefix}",
+            x_label="hour",
+            y_label="fraction of blocks occupied",
+        )
+
+
+def run(context: ExperimentContext) -> Fig10Result:
+    provider = context.internet.provider_of_asn(VERSATEL_ASN)
+    if provider is None:
+        raise ValueError("paper scenario lacks AS8881")
+    pool = provider.pools[0]
+    prefixes48 = list(pool.prefix.subnets(48))
+    config = CampaignConfig(
+        days=context.scale.fig10_days,
+        start_day=context.campaign_config.start_day,
+        seed=context.scale.seed ^ 0xF16,
+    )
+    campaign = Campaign(context.internet, prefixes48, config)
+    hourly = campaign.run_hourly(days=context.scale.fig10_days)
+
+    blocks_per_48 = 1 << (config.probe_plen - 48)
+    window = (pool.policy.rotation_hour,
+              pool.policy.rotation_hour + pool.policy.window_hours)
+    return Fig10Result(
+        pool_prefix=pool.prefix,
+        series=density_over_time(hourly.store, prefixes48, blocks_per_48),
+        rotation_window=window,
+    )

@@ -1,0 +1,92 @@
+"""Figures 11 & 12: pathology exhibits -- MAC reuse and provider switches.
+
+Figure 11: one EUI-64 IID observed (near-)daily in several ASes across
+continents -- vendor MAC reuse, which degrades the IID as a tracking
+identifier.  Figure 12: two IIDs migrating between the German providers
+AS8881 and AS3320, never seen in the old network after the move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pathology import (
+    PathologyReport,
+    ProviderSwitch,
+    analyze_pathologies,
+)
+from repro.experiments.context import ExperimentContext
+from repro.viz.ascii import render_table
+
+GERMAN_PAIR = frozenset({8881, 3320})
+
+
+@dataclass
+class Fig11Result:
+    report: PathologyReport = field(default_factory=PathologyReport)
+    exhibit_iid: int | None = None
+    exhibit_days_by_asn: dict[int, set[int]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = [
+            [f"AS{asn}", len(days), min(days), max(days)]
+            for asn, days in sorted(self.exhibit_days_by_asn.items())
+        ]
+        return render_table(
+            ["ASN", "# days seen", "first day", "last day"],
+            rows,
+            title=(
+                f"Figure 11: IID {self.exhibit_iid:#018x} observed in "
+                f"{len(self.exhibit_days_by_asn)} ASes (MAC reuse)"
+                if self.exhibit_iid is not None
+                else "Figure 11: no multi-AS IID found"
+            ),
+        )
+
+
+@dataclass
+class Fig12Result:
+    switches: list[ProviderSwitch] = field(default_factory=list)
+
+    def german_switches(self) -> list[ProviderSwitch]:
+        return [
+            s for s in self.switches
+            if {s.from_asn, s.to_asn} == GERMAN_PAIR
+        ]
+
+    def render(self) -> str:
+        rows = [
+            [f"{s.iid:#018x}", f"AS{s.from_asn}", f"AS{s.to_asn}",
+             s.last_day_old, s.first_day_new]
+            for s in self.switches
+        ]
+        return render_table(
+            ["IID", "from", "to", "last day (old)", "first day (new)"],
+            rows,
+            title="Figure 12: provider switches (IID leaves one AS for another)",
+        )
+
+
+def run_fig11(context: ExperimentContext) -> Fig11Result:
+    report = analyze_pathologies(context.campaign_store, context.origin_of)
+    result = Fig11Result(report=report)
+    # The exhibit: the reused (non-zero) MAC with the widest AS spread.
+    best_spread = 0
+    for iid in report.mac_reuse_iids:
+        presence = report.multi_as_iids[iid]
+        if iid == 0x0200_00FF_FE00_0000:  # the all-zero MAC's EUI-64 form
+            continue
+        if len(presence.asns) > best_spread:
+            best_spread = len(presence.asns)
+            result.exhibit_iid = iid
+            result.exhibit_days_by_asn = dict(presence.days_by_asn)
+    if result.exhibit_iid is None and report.mac_reuse_iids:
+        iid = next(iter(report.mac_reuse_iids))
+        result.exhibit_iid = iid
+        result.exhibit_days_by_asn = dict(report.multi_as_iids[iid].days_by_asn)
+    return result
+
+
+def run_fig12(context: ExperimentContext) -> Fig12Result:
+    report = analyze_pathologies(context.campaign_store, context.origin_of)
+    return Fig12Result(switches=list(report.switches))

@@ -1,0 +1,58 @@
+"""Figure 3: allocation grids for the three exemplar providers.
+
+Entel (BO) /56 delegations, BH Telecom (BA) /60, Starcat (JP) /64 --
+one probe per /64 of one /48 per provider, rendering the color-band
+structure the paper plots and recovering the delegation size from the
+band widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.grids import AllocationGrid, scan_allocation_grid
+from repro.experiments.context import ExperimentContext
+from repro.net.addr import Prefix
+from repro.simnet.clock import seconds
+
+EXEMPLARS: tuple[tuple[int, str, int], ...] = (
+    (6568, "Entel (Bolivia)", 56),
+    (9146, "BH Telecom (Bosnia)", 60),
+    (7682, "Starcat (Japan)", 64),
+)
+
+
+@dataclass
+class Fig3Result:
+    grids: dict[int, AllocationGrid] = field(default_factory=dict)
+    inferred: dict[int, int] = field(default_factory=dict)
+    expected: dict[int, int] = field(default_factory=dict)
+    names: dict[int, str] = field(default_factory=dict)
+
+    def render(self) -> str:
+        blocks = []
+        for asn, grid in self.grids.items():
+            blocks.append(
+                f"-- {self.names[asn]} (AS{asn}): inferred /"
+                f"{self.inferred[asn]}, paper /{self.expected[asn]} --"
+            )
+            blocks.append(grid.render_ascii(downsample=8))
+        return "\n".join(blocks)
+
+
+def run(context: ExperimentContext) -> Fig3Result:
+    result = Fig3Result()
+    t_probe = seconds(context.campaign_config.start_day * 24.0 + 10.0)
+    for asn, name, expected_plen in EXEMPLARS:
+        provider = context.internet.provider_of_asn(asn)
+        if provider is None:
+            continue
+        prefix48 = Prefix(provider.pools[0].prefix.network, 48)
+        grid = scan_allocation_grid(
+            context.internet, prefix48, t_seconds=t_probe, seed=context.scale.seed
+        )
+        result.grids[asn] = grid
+        result.names[asn] = name
+        result.expected[asn] = expected_plen
+        result.inferred[asn] = grid.infer_allocation_plen()
+    return result

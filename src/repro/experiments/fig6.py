@@ -1,0 +1,56 @@
+"""Figure 6: one provider (Versatel, AS8881) with two allocation sizes.
+
+The paper shows two /48s of 2001:16b8::/32, one carved into /56
+delegations and one into /64s.  We grid-scan one /48 from each of
+Versatel's /56-delegation and /64-delegation pools and confirm the
+band-width analysis tells them apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.grids import AllocationGrid, scan_allocation_grid
+from repro.experiments.context import ExperimentContext
+from repro.net.addr import Prefix
+from repro.simnet.clock import seconds
+
+VERSATEL_ASN = 8881
+
+
+@dataclass
+class Fig6Result:
+    grids: dict[int, AllocationGrid] = field(default_factory=dict)  # plen -> grid
+    inferred: dict[int, int] = field(default_factory=dict)  # expected -> inferred
+
+    def render(self) -> str:
+        blocks = []
+        for expected, grid in sorted(self.grids.items()):
+            blocks.append(
+                f"-- Versatel {grid.prefix}: inferred /"
+                f"{self.inferred[expected]}, ground truth /{expected} --"
+            )
+            blocks.append(grid.render_ascii(downsample=8))
+        return "\n".join(blocks)
+
+
+def run(context: ExperimentContext) -> Fig6Result:
+    provider = context.internet.provider_of_asn(VERSATEL_ASN)
+    if provider is None:
+        raise ValueError("paper scenario lacks AS8881")
+    result = Fig6Result()
+    t_probe = seconds(context.campaign_config.start_day * 24.0 + 10.0)
+    for delegation_plen in (56, 64):
+        pool = next(
+            (p for p in provider.pools if p.delegation_plen == delegation_plen), None
+        )
+        if pool is None:
+            continue
+        prefix48 = Prefix(pool.prefix.network, 48)
+        grid = scan_allocation_grid(
+            context.internet, prefix48,
+            t_seconds=t_probe, seed=context.scale.seed ^ delegation_plen,
+        )
+        result.grids[delegation_plen] = grid
+        result.inferred[delegation_plen] = grid.infer_allocation_plen()
+    return result

@@ -1,0 +1,69 @@
+"""Figure 7: inferred rotation pool sizes vs BGP-advertised prefix sizes.
+
+Paper shape: more than half the 101 ASes infer a /64 pool (= do not
+measurably rotate); rotating ASes' pools sit mostly between /44 and
+/56; the gap between the BGP-prefix CDF and the pool CDF is roughly 16
+bits -- an IID travels within ~1/2^16 of the space it could.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.context import ExperimentContext
+from repro.util import median
+from repro.viz.ascii import render_cdf, render_table
+
+
+@dataclass
+class Fig7Result:
+    pool_plens: dict[int, int] = field(default_factory=dict)  # asn -> inferred pool
+    bgp_plens: dict[int, int] = field(default_factory=dict)  # asn -> advertised plen
+
+    def fraction_non_rotating(self) -> float:
+        values = list(self.pool_plens.values())
+        if not values:
+            raise ValueError("no pool inferences")
+        return sum(1 for plen in values if plen == 64) / len(values)
+
+    def median_gap_bits(self) -> float:
+        """Median per-AS gap between pool plen and BGP plen."""
+        gaps = [
+            self.pool_plens[asn] - self.bgp_plens[asn]
+            for asn in self.pool_plens
+            if asn in self.bgp_plens
+        ]
+        if not gaps:
+            raise ValueError("no overlapping ASes")
+        return median(gaps)
+
+    def render(self) -> str:
+        stats = render_table(
+            ["metric", "value"],
+            [
+                ["ASes", len(self.pool_plens)],
+                ["fraction inferring /64 (non-rotating)",
+                 f"{self.fraction_non_rotating():.2f}"],
+                ["median pool-vs-BGP gap (bits)", f"{self.median_gap_bits():.0f}"],
+            ],
+            title="Figure 7: rotation pool vs BGP prefix sizes",
+        )
+        plot = render_cdf(
+            {
+                "BGP prefix": [float(v) for v in self.bgp_plens.values()],
+                "rotation pool": [float(v) for v in self.pool_plens.values()],
+            },
+            title="CDF of prefix sizes by AS",
+            x_label="prefix length",
+        )
+        return f"{stats}\n{plot}"
+
+
+def run(context: ExperimentContext) -> Fig7Result:
+    result = Fig7Result()
+    for asn, inference in context.pool_inferences.items():
+        result.pool_plens[asn] = inference.inferred_plen
+        provider = context.internet.provider_of_asn(asn)
+        if provider and provider.bgp_prefixes:
+            result.bgp_plens[asn] = provider.bgp_prefixes[0].plen
+    return result

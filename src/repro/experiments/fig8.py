@@ -1,0 +1,54 @@
+"""Figure 8: number of distinct /64 prefixes per EUI-64 IID.
+
+Paper shape: ~25% of IIDs seen in exactly one /64; >70% in more than
+one (they demonstrably rotate); a tiny tail spans enormous prefix
+counts (one IID in ~30k /64s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.timeseries import distinct_net64_counts
+from repro.experiments.context import ExperimentContext
+from repro.viz.ascii import render_cdf, render_table
+from repro.viz.cdf import fraction_at_or_below
+
+
+@dataclass
+class Fig8Result:
+    counts: dict[int, int] = field(default_factory=dict)  # iid -> distinct /64s
+
+    @property
+    def values(self) -> list[int]:
+        return list(self.counts.values())
+
+    def fraction_multi(self) -> float:
+        values = self.values
+        if not values:
+            raise ValueError("no IIDs observed")
+        return sum(1 for v in values if v > 1) / len(values)
+
+    def render(self) -> str:
+        values = self.values
+        stats = render_table(
+            ["metric", "value"],
+            [
+                ["EUI-64 IIDs", len(values)],
+                ["fraction in exactly one /64",
+                 f"{fraction_at_or_below(values, 1):.2f}"],
+                ["fraction in > 1 /64 (rotated)", f"{self.fraction_multi():.2f}"],
+                ["max /64s for one IID", max(values)],
+            ],
+            title="Figure 8: distinct /64 prefixes per EUI-64 IID",
+        )
+        plot = render_cdf(
+            {"distinct /64s": [float(v) for v in values]},
+            title="CDF of distinct /64 count per IID",
+            x_label="number of distinct /64 prefixes",
+        )
+        return f"{stats}\n{plot}"
+
+
+def run(context: ExperimentContext) -> Fig8Result:
+    return Fig8Result(counts=distinct_net64_counts(context.campaign_store))

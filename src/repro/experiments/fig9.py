@@ -1,0 +1,83 @@
+"""Figure 9: three AS8881 IIDs' assigned prefixes over time.
+
+The paper's staircase: each Versatel IID's delegation increments daily
+and wraps modulo the /46 rotation pool, crossing /48 boundaries on the
+way.  We select three IIDs from the campaign corpus observed inside one
+Versatel /46 on many days and plot their /64-number trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.timeseries import (
+    TrajectoryPoint,
+    iid_trajectory,
+    trajectory_increments,
+)
+from repro.experiments.context import ExperimentContext
+from repro.net.addr import Prefix
+from repro.viz.ascii import render_series
+
+VERSATEL_ASN = 8881
+N_TRACKED = 3
+
+
+@dataclass
+class Fig9Result:
+    pool_prefix: Prefix | None = None
+    trajectories: dict[int, list[TrajectoryPoint]] = field(default_factory=dict)
+
+    def modal_increments(self) -> dict[int, int]:
+        """Most common per-day /64-number step per IID (should be 256 =
+        one /56 delegation per day)."""
+        out = {}
+        for iid, points in self.trajectories.items():
+            increments = trajectory_increments(points)
+            positive = [d for d in increments if d > 0]
+            out[iid] = max(set(positive), key=positive.count) if positive else 0
+        return out
+
+    def wrapped(self) -> set[int]:
+        """IIDs whose trajectory wrapped modulo the pool (a negative step)."""
+        return {
+            iid
+            for iid, points in self.trajectories.items()
+            if any(d < 0 for d in trajectory_increments(points))
+        }
+
+    def render(self) -> str:
+        base = self.pool_prefix.network >> 64 if self.pool_prefix else 0
+        series = {
+            f"IID #{index + 1}": [
+                (float(p.day), float(p.net64 - base)) for p in points
+            ]
+            for index, (iid, points) in enumerate(sorted(self.trajectories.items()))
+        }
+        return render_series(
+            series,
+            title=f"Figure 9: /64 offsets within {self.pool_prefix} over time",
+            x_label="day",
+            y_label="/64 offset in pool",
+        )
+
+
+def run(context: ExperimentContext) -> Fig9Result:
+    provider = context.internet.provider_of_asn(VERSATEL_ASN)
+    if provider is None:
+        raise ValueError("paper scenario lacks AS8881")
+    pool = provider.pools[0]
+    result = Fig9Result(pool_prefix=pool.prefix)
+
+    store = context.campaign_store
+    candidates = []
+    for iid in store.eui64_iids():
+        observations = store.observations_of_iid(iid)
+        if all(o.source in pool.prefix for o in observations):
+            days = {o.day for o in observations}
+            if len(days) >= min(4, context.scale.campaign_days):
+                candidates.append((len(days), iid))
+    candidates.sort(reverse=True)
+    for _, iid in candidates[:N_TRACKED]:
+        result.trajectories[iid] = iid_trajectory(store, iid)
+    return result

@@ -1,0 +1,67 @@
+"""Run every experiment and collect rendered artifacts.
+
+``python -m repro.experiments.runner [small|default]`` prints each
+table and figure in paper order; library callers get the rendered texts
+back as an ordered mapping.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable
+
+from repro.experiments import ablations, fig3, fig4, fig5, fig6, fig7, fig8, fig9
+from repro.experiments import fig10, fig11_12, headline, table1, tracking
+from repro.experiments.context import ExperimentContext, get_context
+from repro.experiments.scale import DEFAULT, SMALL, Scale
+
+ARTIFACTS: tuple[tuple[str, Callable[[ExperimentContext], object]], ...] = (
+    ("table1", table1.run),
+    ("table2", tracking.run_table2),
+    ("fig3", fig3.run),
+    ("fig4", fig4.run),
+    ("fig5", fig5.run),
+    ("fig6", fig6.run),
+    ("fig7", fig7.run),
+    ("fig8", fig8.run),
+    ("fig9", fig9.run),
+    ("fig10", fig10.run),
+    ("fig11", fig11_12.run_fig11),
+    ("fig12", fig11_12.run_fig12),
+    ("fig13a", tracking.run_fig13a),
+    ("fig13b", tracking.run_fig13b),
+    ("headline", headline.run),
+    ("ablation_search", ablations.run_search_ablation),
+    ("ablation_remediation", ablations.run_remediation_ablation),
+    ("ablation_blocklist", ablations.run_blocklist_ablation),
+)
+
+
+def run_all(scale: Scale = DEFAULT) -> dict[str, str]:
+    """Execute every artifact at *scale*; returns name -> rendered text."""
+    context = get_context(scale)
+    rendered: dict[str, str] = {}
+    for name, runner in ARTIFACTS:
+        result = runner(context)
+        render = getattr(result, "render", None)
+        if render is None:
+            render = getattr(result, "render_fig13", None)
+        if name == "table2":
+            rendered[name] = result.render_table2()
+        elif name.startswith("fig13"):
+            rendered[name] = result.render_fig13()
+        else:
+            rendered[name] = render()
+    return rendered
+
+
+def main(argv: list[str]) -> int:
+    scale = SMALL if (len(argv) > 1 and argv[1] == "small") else DEFAULT
+    for name, text in run_all(scale).items():
+        print(f"\n{'=' * 72}\n{name} (scale: {scale.name})\n{'=' * 72}")
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

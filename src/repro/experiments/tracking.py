@@ -1,0 +1,167 @@
+"""Section 6 experiments: Table 2 and Figure 13 -- the tracking case study.
+
+Two ten-IID cohorts, mirroring the paper's selection rules:
+
+* **random cohort** (Figure 13a): EUI-64 IIDs drawn at random from the
+  campaign corpus, at most one per AS and one per country, excluding
+  IIDs seen in multiple ASes (the Section 5.5 pathologies);
+* **rotating cohort** (Figure 13b, Table 2): same rules, restricted to
+  IIDs that changed /64 during the campaign.
+
+Each cohort is hunted daily after the campaign ends, using the
+attacker's inferred per-AS allocation and pool sizes to bound the
+search.  Paper shape: 9-10/10 of the random cohort found daily; 6-8/10
+of the rotating cohort, with every rotating IID changing prefix by day
+four; per-IID probe costs range from hundreds to ~10^5, orders of
+magnitude below exhaustive search.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.pathology import analyze_pathologies
+from repro.core.tracker import DeviceTracker, TrackerConfig, TrackingReport
+from repro.experiments.context import ExperimentContext
+from repro.viz.ascii import render_table
+
+COHORT_SIZE = 10
+
+
+@dataclass
+class TrackingResult:
+    cohort_name: str = ""
+    report: TrackingReport = field(default_factory=TrackingReport)
+    days: list[int] = field(default_factory=list)
+    meta: dict[int, tuple[int, str, int]] = field(default_factory=dict)
+    # iid -> (asn, country, bgp_plen)
+
+    @property
+    def n_tracked(self) -> int:
+        return len(self.report.tracks)
+
+    def min_found_per_day(self) -> int:
+        per_day = self.report.found_per_day()
+        return min((per_day.get(d, 0) for d in self.days), default=0)
+
+    def max_found_per_day(self) -> int:
+        per_day = self.report.found_per_day()
+        return max((per_day.get(d, 0) for d in self.days), default=0)
+
+    def render_fig13(self) -> str:
+        found = self.report.found_per_day()
+        changed = self.report.changed_prefix_per_day()
+        same = self.report.same_prefix_per_day()
+        rows = [
+            [day, found.get(day, 0), changed.get(day, 0), same.get(day, 0)]
+            for day in self.days
+        ]
+        return render_table(
+            ["day", "# IID found", "# in different /64", "# in same /64"],
+            rows,
+            title=f"Figure 13 ({self.cohort_name}): daily tracking results "
+                  f"({self.n_tracked} IIDs)",
+        )
+
+    def render_table2(self) -> str:
+        rows = []
+        for index, (iid, track) in enumerate(sorted(self.report.tracks.items()), 1):
+            asn, country, bgp_plen = self.meta.get(iid, (0, "??", 0))
+            rows.append(
+                [
+                    f"#{index}",
+                    f"{track.mean_probes:,.1f} / {track.stddev_probes:,.1f}",
+                    f"/{bgp_plen}",
+                    asn,
+                    country,
+                    track.days_found,
+                    track.distinct_net64s,
+                ]
+            )
+        return render_table(
+            ["IID", "Mean Probes / StdDev", "BGP Prefix", "ASN", "CC",
+             "# Days", "# /64 Prefixes"],
+            rows,
+            title="Table 2: prefix-changing EUI-64 IIDs tracked after the campaign",
+        )
+
+
+def _eligible_iids(context: ExperimentContext, rotating_only: bool) -> list[int]:
+    store = context.campaign_store
+    pathology = analyze_pathologies(store, context.origin_of)
+    excluded = set(pathology.multi_as_iids)
+    eligible = []
+    for iid in store.eui64_iids():
+        if iid in excluded:
+            continue
+        if rotating_only and len(store.net64s_of_iid(iid)) < 2:
+            continue
+        eligible.append(iid)
+    return sorted(eligible)
+
+
+def select_cohort(
+    context: ExperimentContext, rotating_only: bool, seed_salt: int = 0
+) -> dict[int, int]:
+    """Pick up to ten IIDs (one per AS, one per country) with their last
+    known campaign addresses."""
+    store = context.campaign_store
+    rng = random.Random(context.scale.seed ^ 0xC040 ^ seed_salt)
+    eligible = _eligible_iids(context, rotating_only)
+    rng.shuffle(eligible)
+
+    chosen: dict[int, int] = {}
+    used_asns: set[int] = set()
+    used_countries: set[str] = set()
+    for iid in eligible:
+        observations = store.observations_of_iid(iid)
+        last = max(observations, key=lambda o: o.t_seconds)
+        asn = context.origin_of(last.source)
+        if asn is None or asn in used_asns or asn not in context.as_profiles:
+            continue
+        country = context.country_of(asn)
+        if country in used_countries:
+            continue
+        chosen[iid] = last.source
+        used_asns.add(asn)
+        used_countries.add(country)
+        if len(chosen) == COHORT_SIZE:
+            break
+    return chosen
+
+
+def run_cohort(
+    context: ExperimentContext, rotating_only: bool, cohort_name: str
+) -> TrackingResult:
+    targets = select_cohort(context, rotating_only)
+    first_day = context.campaign_config.start_day + context.scale.campaign_days
+    days = list(range(first_day, first_day + context.scale.tracking_days))
+
+    tracker = DeviceTracker(
+        context.internet,
+        context.as_profiles,
+        TrackerConfig(seed=context.scale.seed ^ 0x77AC),
+    )
+    report = tracker.track_many(targets, days)
+
+    result = TrackingResult(cohort_name=cohort_name, report=report, days=days)
+    for iid, initial in targets.items():
+        asn = context.origin_of(initial) or 0
+        bgp = context.internet.rib.bgp_prefix_of(initial)
+        result.meta[iid] = (
+            asn, context.country_of(asn), bgp.plen if bgp else 0
+        )
+    return result
+
+
+def run_fig13a(context: ExperimentContext) -> TrackingResult:
+    return run_cohort(context, rotating_only=False, cohort_name="random cohort")
+
+
+def run_fig13b(context: ExperimentContext) -> TrackingResult:
+    return run_cohort(context, rotating_only=True, cohort_name="rotating cohort")
+
+
+def run_table2(context: ExperimentContext) -> TrackingResult:
+    return run_fig13b(context)

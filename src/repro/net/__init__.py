@@ -1,0 +1,70 @@
+"""IPv6 fundamentals: addresses, prefixes, MACs, EUI-64, IIDs, ICMPv6.
+
+This subpackage is the lowest substrate layer. Everything here is pure
+computation over integers -- no simulation state, no I/O -- so the rest of
+the library (simulator, scanners, inference pipeline) can share one fast,
+well-tested representation of the IPv6 address space.
+"""
+
+from repro.net.addr import (
+    ADDR_BITS,
+    ADDR_MAX,
+    IID_BITS,
+    IID_MASK,
+    Prefix,
+    format_addr,
+    high64,
+    iid_of,
+    parse_addr,
+    with_iid,
+)
+from repro.net.eui64 import (
+    eui64_iid_to_mac,
+    is_eui64_iid,
+    mac_to_eui64_iid,
+)
+from repro.net.iid import IidKind, classify_iid
+from repro.net.icmpv6 import (
+    IcmpCode,
+    IcmpType,
+    Icmpv6Message,
+    ProbeResponse,
+)
+from repro.net.mac import (
+    MAC_MAX,
+    format_mac,
+    is_locally_administered,
+    is_multicast_mac,
+    oui_of,
+    parse_mac,
+)
+from repro.net.oui import OuiRegistry
+
+__all__ = [
+    "ADDR_BITS",
+    "ADDR_MAX",
+    "IID_BITS",
+    "IID_MASK",
+    "IcmpCode",
+    "IcmpType",
+    "Icmpv6Message",
+    "IidKind",
+    "MAC_MAX",
+    "OuiRegistry",
+    "Prefix",
+    "ProbeResponse",
+    "classify_iid",
+    "eui64_iid_to_mac",
+    "format_addr",
+    "format_mac",
+    "high64",
+    "iid_of",
+    "is_eui64_iid",
+    "is_locally_administered",
+    "is_multicast_mac",
+    "mac_to_eui64_iid",
+    "oui_of",
+    "parse_addr",
+    "parse_mac",
+    "with_iid",
+]

@@ -1,0 +1,215 @@
+"""Integer-based IPv6 address arithmetic and the :class:`Prefix` value type.
+
+Addresses are plain Python ints in ``[0, 2**128)``.  All hot paths in the
+scanner and simulator operate on these ints directly; text formats appear
+only at the presentation edge.  This module intentionally avoids the stdlib
+``ipaddress`` types: they allocate an object per address, which is far too
+slow for simulated scans that touch millions of targets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+ADDR_BITS = 128
+ADDR_MAX = (1 << ADDR_BITS) - 1
+
+IID_BITS = 64
+IID_MASK = (1 << IID_BITS) - 1
+
+
+def iid_of(addr: int) -> int:
+    """Return the low 64 bits (the interface identifier) of *addr*."""
+    return addr & IID_MASK
+
+
+def high64(addr: int) -> int:
+    """Return the high 64 bits (the /64 network) of *addr*.
+
+    This is the ``addr >> 64`` quantity used by Algorithms 1 and 2 in the
+    paper to measure how far a periphery address travels.
+    """
+    return addr >> IID_BITS
+
+
+def with_iid(net64: int, iid: int) -> int:
+    """Combine a /64 network number and an IID into a full address."""
+    if not 0 <= net64 <= IID_MASK:
+        raise ValueError(f"net64 out of range: {net64:#x}")
+    if not 0 <= iid <= IID_MASK:
+        raise ValueError(f"iid out of range: {iid:#x}")
+    return (net64 << IID_BITS) | iid
+
+
+def _check_addr(addr: int) -> None:
+    if not 0 <= addr <= ADDR_MAX:
+        raise ValueError(f"address out of range: {addr:#x}")
+
+
+def format_addr(addr: int) -> str:
+    """Format *addr* as canonical compressed lower-case IPv6 text.
+
+    Implements RFC 5952 zero compression: the longest run of zero groups
+    (length >= 2, leftmost on ties) collapses to ``::``.
+    """
+    _check_addr(addr)
+    groups = [(addr >> (112 - 16 * i)) & 0xFFFF for i in range(8)]
+
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for i, g in enumerate(groups):
+        if g == 0:
+            if run_start < 0:
+                run_start, run_len = i, 1
+            else:
+                run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_start, run_len = -1, 0
+
+    if best_len < 2:
+        return ":".join(f"{g:x}" for g in groups)
+
+    head = ":".join(f"{g:x}" for g in groups[:best_start])
+    tail = ":".join(f"{g:x}" for g in groups[best_start + best_len:])
+    return f"{head}::{tail}"
+
+
+def parse_addr(text: str) -> int:
+    """Parse IPv6 text (with optional ``::`` compression) to an int."""
+    text = text.strip()
+    if text.count("::") > 1:
+        raise ValueError(f"multiple '::' in {text!r}")
+
+    def parse_groups(part: str) -> list[int]:
+        if not part:
+            return []
+        groups = []
+        for piece in part.split(":"):
+            if not piece:
+                raise ValueError(f"empty group in {text!r}")
+            value = int(piece, 16)
+            if not 0 <= value <= 0xFFFF:
+                raise ValueError(f"group out of range in {text!r}")
+            groups.append(value)
+        return groups
+
+    if "::" in text:
+        left, right = text.split("::")
+        head, tail = parse_groups(left), parse_groups(right)
+        fill = 8 - len(head) - len(tail)
+        if fill < 1:
+            raise ValueError(f"'::' expands to nothing in {text!r}")
+        groups = head + [0] * fill + tail
+    else:
+        groups = parse_groups(text)
+
+    if len(groups) != 8:
+        raise ValueError(f"expected 8 groups in {text!r}, got {len(groups)}")
+
+    addr = 0
+    for g in groups:
+        addr = (addr << 16) | g
+    return addr
+
+
+@dataclass(frozen=True, slots=True)
+class Prefix:
+    """An IPv6 prefix: a network int plus prefix length.
+
+    The network is canonicalized (host bits cleared) at construction, so two
+    prefixes covering the same block always compare equal and hash together.
+    """
+
+    network: int
+    plen: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.plen <= ADDR_BITS:
+            raise ValueError(f"plen out of range: {self.plen}")
+        _check_addr(self.network)
+        canonical = self.network & self.mask
+        if canonical != self.network:
+            object.__setattr__(self, "network", canonical)
+
+    @classmethod
+    def parse(cls, text: str) -> Prefix:
+        """Parse ``"2001:db8::/32"`` notation."""
+        addr_text, _, plen_text = text.partition("/")
+        if not plen_text:
+            raise ValueError(f"missing '/len' in {text!r}")
+        return cls(parse_addr(addr_text), int(plen_text))
+
+    @classmethod
+    def containing(cls, addr: int, plen: int) -> Prefix:
+        """Return the length-*plen* prefix that contains *addr*."""
+        return cls(addr, plen)
+
+    @property
+    def mask(self) -> int:
+        return (ADDR_MAX << (ADDR_BITS - self.plen)) & ADDR_MAX
+
+    @property
+    def host_bits(self) -> int:
+        return ADDR_BITS - self.plen
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << self.host_bits
+
+    @property
+    def first(self) -> int:
+        return self.network
+
+    @property
+    def last(self) -> int:
+        return self.network | (self.num_addresses - 1)
+
+    def __contains__(self, addr: int) -> bool:
+        return self.network <= addr <= self.last
+
+    def contains_prefix(self, other: Prefix) -> bool:
+        """True if *other* is equal to or nested inside this prefix."""
+        return other.plen >= self.plen and other.network in self
+
+    def num_subnets(self, plen: int) -> int:
+        """Number of length-*plen* subnets inside this prefix."""
+        if plen < self.plen:
+            raise ValueError(f"/{plen} is larger than /{self.plen}")
+        return 1 << (plen - self.plen)
+
+    def subnet(self, index: int, plen: int) -> Prefix:
+        """Return the *index*-th length-*plen* subnet of this prefix."""
+        count = self.num_subnets(plen)
+        if not 0 <= index < count:
+            raise IndexError(f"subnet index {index} out of {count}")
+        return Prefix(self.network | (index << (ADDR_BITS - plen)), plen)
+
+    def subnet_index(self, addr: int, plen: int) -> int:
+        """Return which length-*plen* subnet of this prefix contains *addr*."""
+        if addr not in self:
+            raise ValueError(f"{format_addr(addr)} not in {self}")
+        return (addr - self.network) >> (ADDR_BITS - plen)
+
+    def subnets(self, plen: int):
+        """Yield every length-*plen* subnet, in address order."""
+        step = 1 << (ADDR_BITS - plen)
+        base = self.network
+        for i in range(self.num_subnets(plen)):
+            yield Prefix(base + i * step, plen)
+
+    def random_addr(self, rng: random.Random) -> int:
+        """A uniformly random address inside the prefix."""
+        return self.network | rng.getrandbits(self.host_bits)
+
+    def random_subnet(self, plen: int, rng: random.Random) -> Prefix:
+        """A uniformly random length-*plen* subnet of this prefix."""
+        return self.subnet(rng.randrange(self.num_subnets(plen)), plen)
+
+    def __str__(self) -> str:
+        return f"{format_addr(self.network)}/{self.plen}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"

@@ -1,0 +1,72 @@
+"""Interface-identifier taxonomy.
+
+The inference pipeline only needs the EUI-64 / non-EUI-64 split, but
+classifying the remaining IID styles (RFC 7707 catalogues them) is useful
+for characterizing simulated corpora and for the pathology analyses, so we
+implement the full taxonomy here.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.net.eui64 import is_eui64_iid
+
+_IID_MAX = (1 << 64) - 1
+
+
+class IidKind(enum.Enum):
+    """Recognized interface-identifier generation styles."""
+
+    EUI64 = "eui64"  # embedded MAC with ff:fe marker
+    LOW = "low"  # ::1, ::2 ... manually numbered infrastructure
+    EMBEDDED_IPV4 = "embedded-ipv4"  # e.g. ::192.0.2.1 in the low 32 bits
+    EMBEDDED_PORT = "embedded-port"  # low groups spell a service port
+    RANDOM = "random"  # privacy extensions / DHCPv6 random
+
+
+_COMMON_PORTS = frozenset({21, 22, 25, 53, 80, 110, 123, 143, 443, 587, 993})
+
+# Dotted-quad style IIDs put one decimal octet per 16-bit group, so each
+# group must read as 0-255 when printed in hex.
+_DEC_OCTET_MAX = 0x255
+
+
+def _looks_like_embedded_ipv4(iid: int) -> bool:
+    """True for IIDs like ``::c000:0201`` (hex) or ``::192:0:2:1`` (dotted)."""
+    if iid == 0:
+        return False
+    groups = [(iid >> (48 - 16 * i)) & 0xFFFF for i in range(4)]
+    # Hex-embedded v4: high 32 bits zero, low 32 bits nonzero in both halves.
+    if groups[0] == 0 and groups[1] == 0 and groups[2] != 0 and groups[3] != 0:
+        return True
+    # Decimal-readable quad: every group prints as a 0-255 decimal value.
+    if all(g <= _DEC_OCTET_MAX and _hex_reads_decimal(g) for g in groups):
+        return any(g > 0xFF for g in groups)
+    return False
+
+
+def _hex_reads_decimal(group: int) -> bool:
+    """True if *group*'s hex digits are all decimal digits (0-9)."""
+    text = f"{group:x}"
+    return all(c in "0123456789" for c in text)
+
+
+def classify_iid(iid: int) -> IidKind:
+    """Classify an IID into one of the :class:`IidKind` styles.
+
+    Order matters: the EUI-64 marker wins over everything, then small
+    manually assigned values, then recognizable embeddings; anything left
+    is treated as random (the privacy-extension default).
+    """
+    if not 0 <= iid <= _IID_MAX:
+        raise ValueError(f"IID out of range: {iid:#x}")
+    if is_eui64_iid(iid):
+        return IidKind.EUI64
+    if iid <= 0xFFFF:
+        if iid in _COMMON_PORTS:
+            return IidKind.EMBEDDED_PORT
+        return IidKind.LOW
+    if _looks_like_embedded_ipv4(iid):
+        return IidKind.EMBEDDED_IPV4
+    return IidKind.RANDOM

@@ -1,0 +1,110 @@
+"""48-bit MAC address helpers.
+
+MACs, like IPv6 addresses, are plain ints.  The bits that matter here:
+
+* the *U/L* (universal/local) bit -- bit 1 of the first octet -- which
+  EUI-64 conversion flips, and
+* the *I/G* (individual/group) bit -- bit 0 of the first octet -- set on
+  multicast addresses, which never appear as real interface MACs.
+
+The high 24 bits are the IEEE OUI identifying the manufacturer; recovering
+it from an EUI-64 address is the basis of the paper's homogeneity analysis
+(Section 5.1).
+"""
+
+from __future__ import annotations
+
+MAC_BITS = 48
+MAC_MAX = (1 << MAC_BITS) - 1
+
+OUI_BITS = 24
+OUI_MASK = 0xFFFFFF
+
+_LOCAL_BIT = 1 << 41  # U/L bit: second-lowest bit of the first octet
+_MULTICAST_BIT = 1 << 40  # I/G bit: lowest bit of the first octet
+
+
+def _check_mac(mac: int) -> None:
+    if not 0 <= mac <= MAC_MAX:
+        raise ValueError(f"MAC out of range: {mac:#x}")
+
+
+def format_mac(mac: int, sep: str = ":") -> str:
+    """Format a MAC int as ``aa:bb:cc:dd:ee:ff``."""
+    _check_mac(mac)
+    octets = [(mac >> (40 - 8 * i)) & 0xFF for i in range(6)]
+    return sep.join(f"{o:02x}" for o in octets)
+
+
+def parse_mac(text: str) -> int:
+    """Parse ``aa:bb:cc:dd:ee:ff`` or ``aa-bb-...`` or bare hex to an int."""
+    cleaned = text.strip().replace("-", ":").lower()
+    if ":" in cleaned:
+        parts = cleaned.split(":")
+        if len(parts) != 6:
+            raise ValueError(f"expected 6 octets in {text!r}")
+        mac = 0
+        for part in parts:
+            value = int(part, 16)
+            if not 0 <= value <= 0xFF:
+                raise ValueError(f"octet out of range in {text!r}")
+            mac = (mac << 8) | value
+        return mac
+    mac = int(cleaned, 16)
+    _check_mac(mac)
+    return mac
+
+
+def oui_of(mac: int) -> int:
+    """Return the 24-bit OUI (manufacturer prefix) of *mac*."""
+    _check_mac(mac)
+    return mac >> OUI_BITS
+
+
+def format_oui(oui: int, sep: str = ":") -> str:
+    """Format a 24-bit OUI as ``aa:bb:cc``."""
+    if not 0 <= oui <= OUI_MASK:
+        raise ValueError(f"OUI out of range: {oui:#x}")
+    octets = [(oui >> (16 - 8 * i)) & 0xFF for i in range(3)]
+    return sep.join(f"{o:02x}" for o in octets)
+
+
+def parse_oui(text: str) -> int:
+    """Parse ``aa:bb:cc`` / ``aa-bb-cc`` / bare hex to a 24-bit OUI int."""
+    cleaned = text.strip().replace("-", ":").lower()
+    if ":" in cleaned:
+        parts = cleaned.split(":")
+        if len(parts) != 3:
+            raise ValueError(f"expected 3 octets in {text!r}")
+        oui = 0
+        for part in parts:
+            value = int(part, 16)
+            if not 0 <= value <= 0xFF:
+                raise ValueError(f"octet out of range in {text!r}")
+            oui = (oui << 8) | value
+        return oui
+    oui = int(cleaned, 16)
+    if not 0 <= oui <= OUI_MASK:
+        raise ValueError(f"OUI out of range: {text!r}")
+    return oui
+
+
+def is_locally_administered(mac: int) -> bool:
+    """True if the U/L bit marks this MAC as locally administered."""
+    _check_mac(mac)
+    return bool(mac & _LOCAL_BIT)
+
+
+def is_multicast_mac(mac: int) -> bool:
+    """True if the I/G bit marks this MAC as a group (multicast) address."""
+    _check_mac(mac)
+    return bool(mac & _MULTICAST_BIT)
+
+
+def mac_from_oui(oui: int, serial: int) -> int:
+    """Build a MAC from a 24-bit OUI and a 24-bit per-device serial."""
+    if not 0 <= oui <= OUI_MASK:
+        raise ValueError(f"OUI out of range: {oui:#x}")
+    if not 0 <= serial <= OUI_MASK:
+        raise ValueError(f"serial out of range: {serial:#x}")
+    return (oui << OUI_BITS) | serial

@@ -1,0 +1,61 @@
+"""OUI registry: manufacturer lookup for MACs recovered from EUI-64 IIDs.
+
+This is the reproduction's stand-in for the public IEEE OUI registry the
+paper consults in Section 5.1.  It is deliberately tiny API surface: map a
+MAC (or OUI) to a vendor name, or report it unknown -- exactly what the
+homogeneity analysis needs.
+"""
+
+from __future__ import annotations
+
+from repro.data.oui_db import vendor_oui_table
+from repro.net.mac import OUI_MASK, format_oui, oui_of
+
+UNKNOWN_VENDOR = "<unknown>"
+
+
+class OuiRegistry:
+    """Maps 24-bit OUIs to manufacturer names.
+
+    By default the registry loads the bundled vendor database; tests and
+    scenarios can construct one from an explicit table instead.
+    """
+
+    def __init__(self, table: dict[int, str] | None = None) -> None:
+        self._table = dict(table) if table is not None else vendor_oui_table()
+
+    @classmethod
+    def bundled(cls) -> OuiRegistry:
+        """The registry backed by the built-in vendor database."""
+        return cls()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, oui: int) -> bool:
+        return oui in self._table
+
+    def register(self, oui: int, vendor: str) -> None:
+        """Add or overwrite an OUI assignment."""
+        if not 0 <= oui <= OUI_MASK:
+            raise ValueError(f"OUI out of range: {oui:#x}")
+        self._table[oui] = vendor
+
+    def vendor_of_oui(self, oui: int) -> str:
+        """Vendor name for *oui*, or :data:`UNKNOWN_VENDOR`."""
+        return self._table.get(oui, UNKNOWN_VENDOR)
+
+    def vendor_of_mac(self, mac: int) -> str:
+        """Vendor name for the OUI of *mac*, or :data:`UNKNOWN_VENDOR`."""
+        return self._table.get(oui_of(mac), UNKNOWN_VENDOR)
+
+    def ouis_of_vendor(self, vendor: str) -> tuple[int, ...]:
+        """All registered OUIs belonging to *vendor* (sorted)."""
+        return tuple(sorted(o for o, v in self._table.items() if v == vendor))
+
+    def vendors(self) -> tuple[str, ...]:
+        """All distinct vendor names (sorted)."""
+        return tuple(sorted(set(self._table.values())))
+
+    def describe(self, oui: int) -> str:
+        return f"{format_oui(oui)} -> {self.vendor_of_oui(oui)}"

@@ -1,0 +1,198 @@
+"""Seeded bijections over ``[0, n)`` for probe ordering and rotation.
+
+Two constructions:
+
+* :class:`MultiplicativeCycle` -- how real zmap randomizes target order:
+  iterate the multiplicative group of integers modulo a prime ``p > n``
+  using a primitive root, skipping values outside the domain.  Stateless
+  per element, fully determined by (n, seed), so re-running a scan with
+  the same seed replays the identical order -- the property the paper's
+  daily campaign relies on ("same zmap random seed", Section 5).
+
+* :class:`FeistelPermutation` -- a small keyed Feistel network with
+  cycle-walking, giving O(1) forward *and inverse* evaluation.  The
+  simulator's shuffle-rotation policy uses the inverse to resolve
+  "which customer occupies slot s in epoch e" without materializing
+  per-epoch tables.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+
+def _miller_rabin(n: int) -> bool:
+    """Deterministic Miller-Rabin for n < 3.3e24 (fixed witness set)."""
+    if n < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for p in small_primes:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in small_primes:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than *n*."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not _miller_rabin(candidate):
+        candidate += 2
+    return candidate
+
+
+def _prime_factors(n: int) -> list[int]:
+    """Distinct prime factors of *n* by trial division (n fits our domains)."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def _find_primitive_root(p: int, rng: random.Random) -> int:
+    """A random primitive root modulo prime *p*."""
+    if p == 2:
+        return 1
+    order_factors = _prime_factors(p - 1)
+    while True:
+        g = rng.randrange(2, p)
+        if all(pow(g, (p - 1) // q, p) != 1 for q in order_factors):
+            return g
+
+
+class MultiplicativeCycle:
+    """zmap-style random-order iteration of ``[0, n)``.
+
+    Walks the cycle ``x -> x * g mod p`` where ``p`` is the smallest prime
+    greater than ``n`` and ``g`` a seed-chosen primitive root.  Group
+    elements are ``1..p-1``; we map element ``x`` to value ``x - 1`` and
+    skip anything >= n.  Every value in ``[0, n)`` appears exactly once
+    per cycle.
+    """
+
+    def __init__(self, n: int, seed: int) -> None:
+        if n <= 0:
+            raise ValueError(f"domain must be positive, got {n}")
+        self.n = n
+        self.seed = seed
+        rng = random.Random(seed)
+        self._p = next_prime(n)
+        self._g = _find_primitive_root(self._p, rng)
+        self._start = rng.randrange(1, self._p)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[int]:
+        x = self._start
+        for _ in range(self._p - 1):
+            value = x - 1
+            if value < self.n:
+                yield value
+            x = x * self._g % self._p
+
+    def first(self, k: int) -> list[int]:
+        """The first *k* values of the cycle (for tests and sampling)."""
+        out = []
+        for value in self:
+            out.append(value)
+            if len(out) == k:
+                break
+        return out
+
+
+def _mix(value: int, key: int, rnd: int) -> int:
+    """Cheap integer hash for Feistel round functions (splitmix64 core)."""
+    x = (value ^ (key + 0x9E3779B97F4A7C15 * (rnd + 1))) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class FeistelPermutation:
+    """Keyed bijection over ``[0, n)`` with O(1) forward and inverse.
+
+    A balanced Feistel network over the smallest even bit-width covering
+    ``n``, with cycle-walking to stay inside the domain.  Walking
+    terminates because the network is a bijection on the covering power
+    of two: repeatedly applying it from a point inside ``[0, n)`` must
+    re-enter ``[0, n)`` within (cover - n) steps.
+    """
+
+    ROUNDS = 4
+
+    def __init__(self, n: int, key: int) -> None:
+        if n <= 0:
+            raise ValueError(f"domain must be positive, got {n}")
+        self.n = n
+        self.key = key
+        bits = max(2, (n - 1).bit_length())
+        if bits % 2:
+            bits += 1
+        self._half_bits = bits // 2
+        self._half_mask = (1 << self._half_bits) - 1
+        self._cover = 1 << bits
+
+    def _round(self, half: int, rnd: int) -> int:
+        return _mix(half, self.key, rnd) & self._half_mask
+
+    def _encrypt_once(self, value: int) -> int:
+        left = value >> self._half_bits
+        right = value & self._half_mask
+        for rnd in range(self.ROUNDS):
+            left, right = right, left ^ self._round(right, rnd)
+        return (left << self._half_bits) | right
+
+    def _decrypt_once(self, value: int) -> int:
+        left = value >> self._half_bits
+        right = value & self._half_mask
+        for rnd in reversed(range(self.ROUNDS)):
+            left, right = right ^ self._round(left, rnd), left
+        return (left << self._half_bits) | right
+
+    def forward(self, value: int) -> int:
+        """Image of *value* under the permutation."""
+        if not 0 <= value < self.n:
+            raise ValueError(f"value {value} outside [0, {self.n})")
+        x = self._encrypt_once(value)
+        while x >= self.n:
+            x = self._encrypt_once(x)
+        return x
+
+    def inverse(self, value: int) -> int:
+        """Preimage of *value* under the permutation."""
+        if not 0 <= value < self.n:
+            raise ValueError(f"value {value} outside [0, {self.n})")
+        x = self._decrypt_once(value)
+        while x >= self.n:
+            x = self._decrypt_once(x)
+        return x
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self.n):
+            yield self.forward(i)

@@ -1,0 +1,55 @@
+"""Simulated IPv6 Internet: the reproduction's measurement substrate.
+
+The paper measures the production Internet; this subpackage provides a
+synthetic Internet with the same *observable surface*: providers advertise
+BGP prefixes, carve them into rotation pools, delegate customer prefixes
+of provider-specific sizes, and rotate those delegations on schedules.
+Behind each delegation sits a CPE device with a vendor MAC that answers
+probes to nonexistent internal hosts with ICMPv6 errors from its WAN
+address -- exactly the behaviour the paper's attacker exploits.
+
+Ground truth (which device owns which delegation when) stays inside the
+simulator; the inference pipeline sees only probe responses.
+"""
+
+from repro.simnet.builder import (
+    InternetSpec,
+    PoolSpec,
+    ProviderSpec,
+    build_internet,
+    build_paper_internet,
+)
+from repro.simnet.clock import HOURS_PER_DAY, day_of, hour_of_day, hours, seconds
+from repro.simnet.device import AddressingMode, CpeDevice, ResponsePolicy
+from repro.simnet.internet import SimInternet
+from repro.simnet.pool import RotationPool
+from repro.simnet.provider import Provider
+from repro.simnet.rotation import (
+    IncrementRotation,
+    NoRotation,
+    RotationPolicy,
+    ShuffleRotation,
+)
+
+__all__ = [
+    "AddressingMode",
+    "CpeDevice",
+    "HOURS_PER_DAY",
+    "IncrementRotation",
+    "InternetSpec",
+    "NoRotation",
+    "PoolSpec",
+    "Provider",
+    "ProviderSpec",
+    "ResponsePolicy",
+    "RotationPolicy",
+    "RotationPool",
+    "ShuffleRotation",
+    "SimInternet",
+    "build_internet",
+    "build_paper_internet",
+    "day_of",
+    "hour_of_day",
+    "hours",
+    "seconds",
+]

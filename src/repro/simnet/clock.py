@@ -1,0 +1,40 @@
+"""Simulation time conventions.
+
+The scanner layer speaks **seconds** (packet rates are per second); the
+provider layer speaks **hours** (rotation intervals, daily campaigns).
+All conversions go through this module so the two never drift.  Day 0
+begins at t=0; negative times are valid (the seed traceroute campaign
+runs a simulated year before the main campaign).
+"""
+
+from __future__ import annotations
+
+import math
+
+SECONDS_PER_HOUR = 3600.0
+HOURS_PER_DAY = 24.0
+
+
+def hours(t_seconds: float) -> float:
+    """Convert seconds to hours."""
+    return t_seconds / SECONDS_PER_HOUR
+
+
+def seconds(t_hours: float) -> float:
+    """Convert hours to seconds."""
+    return t_hours * SECONDS_PER_HOUR
+
+
+def day_of(t_hours: float) -> int:
+    """The (possibly negative) day index containing *t_hours*."""
+    return math.floor(t_hours / HOURS_PER_DAY)
+
+
+def hour_of_day(t_hours: float) -> float:
+    """Hours since the containing day's midnight, in [0, 24)."""
+    return t_hours - day_of(t_hours) * HOURS_PER_DAY
+
+
+def day_start(day: int) -> float:
+    """The hour at which *day* begins."""
+    return day * HOURS_PER_DAY

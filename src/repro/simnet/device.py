@@ -1,0 +1,151 @@
+"""CPE device model: the legacy boxes that leak their MAC addresses.
+
+Each simulated customer premises router has a hardware MAC, a WAN
+addressing mode, an ICMPv6 response policy, a service-lifetime window,
+and a daily online probability.  The privacy-relevant behaviour:
+
+* ``EUI64`` devices derive their WAN IID from the MAC -- static across
+  prefix rotations.  These are the paper's trackable population.
+* ``PRIVACY`` devices pick a fresh random IID whenever their delegated
+  prefix changes (RFC 4941 behaviour done right).
+* ``STATIC`` devices use a small manually configured IID (``::1`` style),
+  modelling statically numbered infrastructure.
+
+A device may carry a ``privacy_switch_hours`` timestamp: a firmware update
+that flips it from EUI-64 to privacy addressing, modelling the vendor
+remediation of Section 8.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.net.eui64 import is_eui64_iid, mac_to_eui64_iid
+from repro.net.icmpv6 import IcmpCode, IcmpType
+from repro.scan.rate import IcmpRateLimiter
+from repro.simnet.clock import day_of
+from repro.util import mix64, unit_float
+
+
+class AddressingMode(enum.Enum):
+    """How the CPE numbers its WAN interface."""
+
+    EUI64 = "eui64"
+    PRIVACY = "privacy"
+    STATIC = "static"
+
+
+@dataclass(frozen=True, slots=True)
+class ResponsePolicy:
+    """What the device sends back for probes to nonexistent internal hosts.
+
+    ``responds=False`` models silent drops (the black pixels inside
+    otherwise-responsive delegations in Figure 3).  The (type, code)
+    combinations mirror the OS behaviours Section 3.1 reports.
+    """
+
+    responds: bool = True
+    icmp_type: IcmpType = IcmpType.DEST_UNREACHABLE
+    icmp_code: int = int(IcmpCode.ADMIN_PROHIBITED)
+
+    @classmethod
+    def admin_prohibited(cls) -> ResponsePolicy:
+        return cls(True, IcmpType.DEST_UNREACHABLE, int(IcmpCode.ADMIN_PROHIBITED))
+
+    @classmethod
+    def no_route(cls) -> ResponsePolicy:
+        return cls(True, IcmpType.DEST_UNREACHABLE, int(IcmpCode.NO_ROUTE))
+
+    @classmethod
+    def addr_unreachable(cls) -> ResponsePolicy:
+        return cls(True, IcmpType.DEST_UNREACHABLE, int(IcmpCode.ADDR_UNREACHABLE))
+
+    @classmethod
+    def hop_limit_exceeded(cls) -> ResponsePolicy:
+        return cls(True, IcmpType.TIME_EXCEEDED, int(IcmpCode.HOP_LIMIT_EXCEEDED))
+
+    @classmethod
+    def silent(cls) -> ResponsePolicy:
+        return cls(responds=False)
+
+
+@dataclass
+class CpeDevice:
+    """One customer premises router."""
+
+    device_id: int
+    mac: int
+    addressing: AddressingMode = AddressingMode.EUI64
+    policy: ResponsePolicy = field(default_factory=ResponsePolicy.admin_prohibited)
+    active_from_hours: float = -math.inf
+    active_until_hours: float = math.inf
+    online_fraction: float = 1.0
+    privacy_switch_hours: float | None = None
+    icmp_rate: float = IcmpRateLimiter.DEFAULT_RATE
+    icmp_burst: float = IcmpRateLimiter.DEFAULT_BURST
+    _limiter: IcmpRateLimiter | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.online_fraction <= 1.0:
+            raise ValueError(f"online_fraction must be in [0,1], got {self.online_fraction}")
+
+    @property
+    def limiter(self) -> IcmpRateLimiter:
+        if self._limiter is None:
+            self._limiter = IcmpRateLimiter(rate=self.icmp_rate, burst=self.icmp_burst)
+        return self._limiter
+
+    def addressing_at(self, t_hours: float) -> AddressingMode:
+        """Addressing mode in effect at *t_hours* (remediation-aware)."""
+        if (
+            self.privacy_switch_hours is not None
+            and t_hours >= self.privacy_switch_hours
+            and self.addressing is AddressingMode.EUI64
+        ):
+            return AddressingMode.PRIVACY
+        return self.addressing
+
+    def is_active(self, t_hours: float) -> bool:
+        """True if the device is in service at *t_hours*."""
+        return self.active_from_hours <= t_hours < self.active_until_hours
+
+    def is_online(self, t_hours: float) -> bool:
+        """True if the device is powered and reachable at *t_hours*.
+
+        Online-ness is decided per (device, day) by a deterministic hash,
+        so the same simulated day always looks the same -- mirroring how
+        a CPE is typically on or off for extended periods rather than
+        flapping per-probe.
+        """
+        if not self.is_active(t_hours):
+            return False
+        if self.online_fraction >= 1.0:
+            return True
+        return unit_float(self.device_id, day_of(t_hours), 0xD1CE) < self.online_fraction
+
+    def wan_iid(self, net64: int, t_hours: float) -> int:
+        """The WAN interface identifier when holding the given /64.
+
+        EUI-64 mode ignores both arguments -- that is the vulnerability.
+        Privacy mode derives a fresh pseudorandom IID from (device,
+        prefix), so every rotation yields an unlinkable address; the
+        ``ff:fe`` pattern is explicitly broken to keep classification
+        honest.  Static mode returns ``::1``.
+        """
+        mode = self.addressing_at(t_hours)
+        if mode is AddressingMode.EUI64:
+            return mac_to_eui64_iid(self.mac)
+        if mode is AddressingMode.STATIC:
+            return 1
+        iid = mix64(self.device_id, net64, 0x9A1D)
+        if is_eui64_iid(iid):
+            # A random IID matches the ff:fe marker with probability 2^-16;
+            # break it so PRIVACY devices never masquerade as EUI-64.
+            iid ^= 1 << 24
+        return iid
+
+    def allows_response(self, t_seconds: float) -> bool:
+        """Apply the RFC 4443 error rate limit at *t_seconds*."""
+        return self.limiter.allow(t_seconds)

@@ -1,0 +1,200 @@
+"""The simulated Internet: what the attacker's vantage point can reach.
+
+:class:`SimInternet` glues providers, their pools, a BGP table, and an AS
+registry into one probe-able world.  Its two verbs mirror the paper's two
+tools:
+
+* ``probe(target, t)`` -- a zmap-style ICMPv6 Echo Request.  If the target
+  falls inside a delegated customer prefix, the responsible CPE answers
+  (policy, uptime, and rate limits permitting) with an ICMPv6 error whose
+  source is its WAN address.  Probes into routed-but-undelegated space may
+  draw a "no route" from a statically addressed core router; unrouted
+  space is silent.
+* ``trace(target, t)`` -- a yarrp-style traceroute returning the per-hop
+  source addresses, ending at the CPE when one is on-path (the periphery
+  discovery of Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.asinfo import AsRegistry
+from repro.bgp.table import RoutingTable
+from repro.net.icmpv6 import IcmpCode, IcmpType, ProbeResponse
+from repro.scan.rate import IcmpRateLimiter
+from repro.simnet.clock import hours
+from repro.simnet.pool import Residence, RotationPool
+from repro.simnet.provider import Provider
+
+_NET48_SHIFT = 80  # bits below a /48 network
+
+
+@dataclass
+class InternetStats:
+    """Counters for tests and experiment accounting."""
+
+    probes: int = 0
+    cpe_responses: int = 0
+    core_responses: int = 0
+    rate_limited: int = 0
+    silent_policy: int = 0
+    offline: int = 0
+    vacant: int = 0
+    unrouted: int = 0
+
+
+class SimInternet:
+    """A deterministic, probe-able synthetic IPv6 Internet."""
+
+    def __init__(
+        self,
+        providers: list[Provider],
+        registry: AsRegistry | None = None,
+        core_answers_unrouted: bool = True,
+        core_icmp_rate: float = IcmpRateLimiter.DEFAULT_RATE,
+    ) -> None:
+        self.providers = list(providers)
+        self.registry = registry or AsRegistry()
+        self.rib = RoutingTable()
+        self.core_answers_unrouted = core_answers_unrouted
+        self.stats = InternetStats()
+        self._provider_by_asn: dict[int, Provider] = {}
+        self._pool_index: dict[int, tuple[Provider, RotationPool]] = {}
+        self._wide_pools: list[tuple[Provider, RotationPool]] = []
+        self._core_limiters: dict[int, IcmpRateLimiter] = {}
+        self._core_icmp_rate = core_icmp_rate
+
+        for provider in self.providers:
+            if provider.asn in self._provider_by_asn:
+                raise ValueError(f"duplicate AS{provider.asn}")
+            self._provider_by_asn[provider.asn] = provider
+            self.registry.register(provider.asn, provider.name, provider.country)
+            for prefix in provider.bgp_prefixes:
+                self.rib.advertise(prefix, provider.asn)
+            for pool in provider.pools:
+                self._index_pool(provider, pool)
+
+    def _index_pool(self, provider: Provider, pool: RotationPool) -> None:
+        """Index a pool by its covering /48s for O(1) probe resolution."""
+        if pool.prefix.plen > 48:
+            self._wide_pools.append((provider, pool))
+            return
+        for net48 in pool.prefix.subnets(48):
+            key = net48.network >> _NET48_SHIFT
+            if key in self._pool_index:
+                other = self._pool_index[key][1]
+                raise ValueError(f"pools overlap in {net48}: {pool.prefix} / {other.prefix}")
+            self._pool_index[key] = (provider, pool)
+
+    # -- lookup helpers ----------------------------------------------------
+
+    def provider_of_asn(self, asn: int) -> Provider | None:
+        return self._provider_by_asn.get(asn)
+
+    def pool_of(self, addr: int) -> tuple[Provider, RotationPool] | None:
+        """The (provider, pool) whose pool prefix covers *addr*, if any."""
+        entry = self._pool_index.get(addr >> _NET48_SHIFT)
+        if entry is not None:
+            return entry
+        for provider, pool in self._wide_pools:
+            if addr in pool.prefix:
+                return provider, pool
+        return None
+
+    def resolve(self, addr: int, t_hours: float) -> Residence | None:
+        """Ground-truth resolution (no uptime/policy filtering)."""
+        entry = self.pool_of(addr)
+        if entry is None:
+            return None
+        return entry[1].resolve(addr, t_hours)
+
+    def all_devices(self):
+        for provider in self.providers:
+            yield from provider.all_devices()
+
+    # -- the attacker-facing verbs ------------------------------------------
+
+    def probe(self, target: int, t_seconds: float) -> ProbeResponse | None:
+        """One ICMPv6 Echo Request toward *target* at *t_seconds*."""
+        self.stats.probes += 1
+        t_h = hours(t_seconds)
+        entry = self.pool_of(target)
+        if entry is not None:
+            provider, pool = entry
+            residence = pool.resolve(target, t_h)
+            if residence is None:
+                self.stats.vacant += 1
+                return None
+            device = residence.device
+            if not device.is_online(t_h):
+                self.stats.offline += 1
+                return None
+            if not device.policy.responds:
+                self.stats.silent_policy += 1
+                return None
+            if not device.allows_response(t_seconds):
+                self.stats.rate_limited += 1
+                return None
+            self.stats.cpe_responses += 1
+            return ProbeResponse(
+                target=target,
+                source=residence.wan_address,
+                icmp_type=device.policy.icmp_type,
+                code=device.policy.icmp_code,
+                time=t_seconds,
+            )
+        return self._core_response(target, t_seconds)
+
+    def _core_response(self, target: int, t_seconds: float) -> ProbeResponse | None:
+        """Routed-but-undelegated space: maybe a core-router "no route"."""
+        route = self.rib.lookup(target)
+        if route is None:
+            self.stats.unrouted += 1
+            return None
+        if not self.core_answers_unrouted:
+            return None
+        provider = self._provider_by_asn.get(route.origin_asn)
+        if provider is None or not provider.bgp_prefixes:
+            self.stats.unrouted += 1
+            return None
+        limiter = self._core_limiters.get(provider.asn)
+        if limiter is None:
+            limiter = IcmpRateLimiter(rate=self._core_icmp_rate)
+            self._core_limiters[provider.asn] = limiter
+        if not limiter.allow(t_seconds):
+            self.stats.rate_limited += 1
+            return None
+        self.stats.core_responses += 1
+        return ProbeResponse(
+            target=target,
+            source=provider.core_router_address(0),
+            icmp_type=IcmpType.DEST_UNREACHABLE,
+            code=int(IcmpCode.NO_ROUTE),
+            time=t_seconds,
+        )
+
+    def trace(self, target: int, t_seconds: float) -> list[int | None]:
+        """yarrp-style forwarding path toward *target*.
+
+        Returns per-hop source addresses: the origin provider's core
+        routers, then the CPE WAN interface if a delegation covers the
+        target and the device is up.  Silent hops are ``None``.
+        """
+        t_h = hours(t_seconds)
+        route = self.rib.lookup(target)
+        if route is None:
+            return [None, None]
+        provider = self._provider_by_asn.get(route.origin_asn)
+        if provider is None:
+            return [None, None]
+        hops: list[int | None] = [
+            provider.core_router_address(i) for i in range(provider.core_hops)
+        ]
+        entry = self.pool_of(target)
+        residence = entry[1].resolve(target, t_h) if entry else None
+        if residence is not None and residence.device.is_online(t_h):
+            hops.append(residence.wan_address)
+        else:
+            hops.append(None)
+        return hops

@@ -1,0 +1,86 @@
+"""Provider (ISP) model: an AS with BGP space carved into rotation pools.
+
+A provider advertises one or more BGP prefixes and hosts rotation pools
+within them.  Pools may differ in delegation size (Figure 6 shows one
+Versatel /48 split into /56s and another into /64s) and in rotation
+policy.  The provider also owns a small set of statically numbered core
+router interfaces, which appear as intermediate traceroute hops and as
+"no route" responders for probes into unallocated space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.addr import IID_BITS, Prefix
+from repro.simnet.device import CpeDevice
+from repro.simnet.pool import Residence, RotationPool
+
+
+@dataclass
+class Provider:
+    """One autonomous system operating rotation pools."""
+
+    asn: int
+    name: str
+    country: str
+    bgp_prefixes: list[Prefix] = field(default_factory=list)
+    pools: list[RotationPool] = field(default_factory=list)
+    core_hops: int = 3  # intermediate routers on paths into this AS
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"bad ASN: {self.asn}")
+        for pool in self.pools:
+            self._check_pool_covered(pool)
+
+    def _check_pool_covered(self, pool: RotationPool) -> None:
+        if not any(bgp.contains_prefix(pool.prefix) for bgp in self.bgp_prefixes):
+            raise ValueError(
+                f"pool {pool.prefix} outside AS{self.asn} BGP space"
+            )
+
+    def add_pool(self, pool: RotationPool) -> None:
+        self._check_pool_covered(pool)
+        self.pools.append(pool)
+
+    def pool_covering(self, addr: int) -> RotationPool | None:
+        """The rotation pool whose prefix contains *addr*, if any."""
+        for pool in self.pools:
+            if addr in pool.prefix:
+                return pool
+        return None
+
+    def resolve(self, addr: int, t_hours: float) -> Residence | None:
+        """Resolve a probed address to a device tenancy, if delegated."""
+        pool = self.pool_covering(addr)
+        if pool is None:
+            return None
+        return pool.resolve(addr, t_hours)
+
+    def owns(self, addr: int) -> bool:
+        return any(addr in prefix for prefix in self.bgp_prefixes)
+
+    def all_devices(self) -> list[CpeDevice]:
+        """Every customer device across all pools."""
+        return [device for pool in self.pools for device in pool.devices]
+
+    def core_router_address(self, hop_index: int) -> int:
+        """Statically numbered core interface address for hop *hop_index*.
+
+        Core interfaces live in the first /64 of the provider's first BGP
+        prefix with small manual IIDs -- "managed network infrastructure
+        is typically statically addressed" (Section 3.1).
+        """
+        if not self.bgp_prefixes:
+            raise ValueError(f"AS{self.asn} has no BGP prefix")
+        if hop_index < 0:
+            raise ValueError(f"bad hop index: {hop_index}")
+        base64 = self.bgp_prefixes[0].network >> IID_BITS
+        return (base64 << IID_BITS) | (hop_index + 1)
+
+    def describe(self) -> str:
+        pools = ", ".join(
+            f"{p.prefix}->{'/' + str(p.delegation_plen)}" for p in self.pools
+        )
+        return f"AS{self.asn} {self.name} ({self.country}): {pools or 'no pools'}"

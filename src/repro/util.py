@@ -1,0 +1,59 @@
+"""Small shared utilities: deterministic integer mixing and statistics.
+
+Simulation components must be reproducible from explicit seeds, so all
+"random-looking but fixed" quantities (privacy IIDs, per-device jitter,
+online schedules) derive from :func:`mix64` -- a splitmix64-style avalanche
+over the inputs -- rather than from global RNG state.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def mix64(*values: int) -> int:
+    """Deterministically hash any number of ints to a 64-bit value.
+
+    Order-sensitive and avalanche-quality; used wherever the simulator
+    needs a fixed pseudo-random quantity keyed by identifiers.
+    """
+    acc = 0x243F6A8885A308D3  # pi, for nothing-up-my-sleeve flavour
+    for value in values:
+        x = (value + _GOLDEN + acc) & _MASK64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+        acc = x ^ (x >> 31)
+    return acc
+
+
+def unit_float(*values: int) -> float:
+    """Deterministic float in [0, 1) keyed by *values*."""
+    return mix64(*values) / float(1 << 64)
+
+
+def median(values: list[float] | list[int]) -> float:
+    """Median of a non-empty list (mean of middle two for even length)."""
+    if not values:
+        raise ValueError("median of empty list")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mean(values: list[float] | list[int]) -> float:
+    """Arithmetic mean of a non-empty list."""
+    if not values:
+        raise ValueError("mean of empty list")
+    return sum(values) / len(values)
+
+
+def stddev(values: list[float] | list[int]) -> float:
+    """Population standard deviation (the paper reports simple spreads)."""
+    if not values:
+        raise ValueError("stddev of empty list")
+    mu = mean(values)
+    return (sum((v - mu) ** 2 for v in values) / len(values)) ** 0.5

@@ -1,0 +1,19 @@
+"""Presentation helpers: CDFs, ASCII plots, and aligned tables.
+
+Figures in this reproduction are data-first: every experiment returns the
+underlying series, and these helpers render them as terminal graphics --
+the offline environment has no plotting stack, and ASCII output keeps
+results inspectable in CI logs.
+"""
+
+from repro.viz.cdf import cdf_points, fraction_at_or_below, quantile
+from repro.viz.ascii import render_cdf, render_series, render_table
+
+__all__ = [
+    "cdf_points",
+    "fraction_at_or_below",
+    "quantile",
+    "render_cdf",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,95 @@
+"""ASCII rendering: tables, line/step plots, CDFs."""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list[object]], title: str = "") -> str:
+    """A column-aligned plain-text table."""
+    if not headers:
+        raise ValueError("table needs headers")
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    if hi <= lo:
+        return 0
+    ratio = (value - lo) / (hi - lo)
+    return min(steps - 1, max(0, int(ratio * (steps - 1) + 0.5)))
+
+
+def render_series(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot one or more (x, y) series on a shared ASCII canvas.
+
+    Each series gets a distinct marker; later series overdraw earlier
+    ones where they collide.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    markers = "*o+x#@%&"
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        raise ValueError("all series empty")
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (label, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in points:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            canvas[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} [{y_lo:g} .. {y_hi:g}]")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} [{x_lo:g} .. {x_hi:g}]")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def render_cdf(
+    named_values: dict[str, list[float]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "value",
+) -> str:
+    """Render empirical CDFs of one or more datasets."""
+    from repro.viz.cdf import cdf_points
+
+    series = {name: cdf_points(values) for name, values in named_values.items()}
+    return render_series(
+        series, width=width, height=height, title=title,
+        x_label=x_label, y_label="CDF",
+    )

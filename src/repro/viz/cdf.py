@@ -1,0 +1,43 @@
+"""Empirical CDF computation."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+
+def cdf_points(values: list[float] | list[int]) -> list[tuple[float, float]]:
+    """The empirical CDF of *values* as (x, P[X <= x]) steps.
+
+    Duplicate values collapse to one point at their highest cumulative
+    probability, which is what step-plotting expects.
+    """
+    if not values:
+        raise ValueError("CDF of empty data")
+    ordered = sorted(values)
+    n = len(ordered)
+    points: list[tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (float(value), index / n)
+        else:
+            points.append((float(value), index / n))
+    return points
+
+
+def fraction_at_or_below(values: list[float] | list[int], x: float) -> float:
+    """P[X <= x] under the empirical distribution of *values*."""
+    if not values:
+        raise ValueError("empty data")
+    ordered = sorted(values)
+    return bisect_right(ordered, x) / len(ordered)
+
+
+def quantile(values: list[float] | list[int], q: float) -> float:
+    """The *q*-quantile (nearest-rank) of *values*."""
+    if not values:
+        raise ValueError("empty data")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0,1], got {q}")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return float(ordered[index])

@@ -1,0 +1,112 @@
+"""Tests for the RIB and the AS registry."""
+
+import pytest
+
+from repro.bgp.asinfo import UNKNOWN_COUNTRY, UNKNOWN_NAME, AsRegistry
+from repro.bgp.table import Route, RoutingTable
+from repro.net.addr import Prefix, parse_addr
+
+
+class TestRoutingTable:
+    def build(self) -> RoutingTable:
+        rib = RoutingTable()
+        rib.advertise(Prefix.parse("2001:16b8::/32"), 8881)
+        rib.advertise(Prefix.parse("2003:e2::/32"), 3320)
+        rib.advertise(Prefix.parse("2001:16b8:8000::/33"), 64512)
+        return rib
+
+    def test_lookup_origin(self):
+        rib = self.build()
+        assert rib.origin_of(parse_addr("2001:16b8:1d01::1")) == 8881
+        assert rib.origin_of(parse_addr("2003:e2:f000::1")) == 3320
+
+    def test_longest_match_wins(self):
+        rib = self.build()
+        assert rib.origin_of(parse_addr("2001:16b8:8000::1")) == 64512
+
+    def test_unrouted(self):
+        rib = self.build()
+        assert rib.lookup(parse_addr("2a00::1")) is None
+        assert rib.origin_of(parse_addr("2a00::1")) is None
+        assert rib.bgp_prefix_of(parse_addr("2a00::1")) is None
+
+    def test_bgp_prefix_of(self):
+        rib = self.build()
+        assert rib.bgp_prefix_of(parse_addr("2001:16b8:1::1")) == Prefix.parse(
+            "2001:16b8::/32"
+        )
+
+    def test_withdraw(self):
+        rib = self.build()
+        assert rib.withdraw(Prefix.parse("2001:16b8:8000::/33"))
+        assert rib.origin_of(parse_addr("2001:16b8:8000::1")) == 8881
+        assert not rib.withdraw(Prefix.parse("2001:16b8:8000::/33"))
+
+    def test_len_and_routes(self):
+        rib = self.build()
+        assert len(rib) == 3
+        routes = list(rib.routes())
+        assert all(isinstance(r, Route) for r in routes)
+        assert len(routes) == 3
+
+    def test_routes_of_asn(self):
+        rib = self.build()
+        rib.advertise(Prefix.parse("2001:4860::/32"), 8881)
+        assert len(rib.routes_of_asn(8881)) == 2
+
+    def test_describe_lookup(self):
+        rib = self.build()
+        text = rib.describe_lookup(parse_addr("2001:16b8::1"))
+        assert "AS8881" in text
+        assert "unrouted" in rib.describe_lookup(parse_addr("2a00::1"))
+
+    def test_replace_advertisement(self):
+        rib = self.build()
+        rib.advertise(Prefix.parse("2001:16b8::/32"), 999)
+        assert rib.origin_of(parse_addr("2001:16b8::1")) == 999
+        assert len(rib) == 3
+
+
+class TestAsRegistry:
+    def test_bundled_records(self):
+        reg = AsRegistry()
+        assert reg.name_of(8881) == "Versatel / 1&1"
+        assert reg.country_of(8881) == "DE"
+        assert reg.country_of(9146) == "BA"
+        assert 8422 in reg
+
+    def test_unknown(self):
+        reg = AsRegistry()
+        assert reg.name_of(4242420000) == UNKNOWN_NAME
+        assert reg.country_of(4242420000) == UNKNOWN_COUNTRY
+        assert reg.get(4242420000) is None
+
+    def test_register(self):
+        reg = AsRegistry()
+        reg.register(65000, "Test Net", "de")
+        assert reg.country_of(65000) == "DE"
+        assert reg.name_of(65000) == "Test Net"
+
+    def test_register_validation(self):
+        reg = AsRegistry()
+        with pytest.raises(ValueError):
+            reg.register(0, "X", "DE")
+        with pytest.raises(ValueError):
+            reg.register(65000, "X", "DEU")
+
+    def test_country_queries(self):
+        reg = AsRegistry()
+        de = reg.asns_in_country("de")
+        assert 8881 in de and 3320 in de and 8422 in de
+        assert "DE" in reg.countries()
+
+    def test_describe(self):
+        reg = AsRegistry()
+        assert "Versatel" in reg.describe(8881)
+        assert "unregistered" in reg.describe(4242420000)
+
+    def test_len_and_asns_sorted(self):
+        reg = AsRegistry()
+        asns = reg.asns()
+        assert list(asns) == sorted(asns)
+        assert len(reg) == len(asns)

@@ -1,0 +1,162 @@
+"""Tests for the binary radix trie, including a brute-force LPM oracle."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.trie import PrefixTrie
+from repro.net.addr import ADDR_MAX, Prefix
+
+
+def make_prefix(addr: int, plen: int) -> Prefix:
+    return Prefix.containing(addr, plen)
+
+
+class TestBasics:
+    def test_empty_lookup(self):
+        trie = PrefixTrie()
+        assert trie.lookup(42) is None
+        assert trie.longest_match(42) is None
+        assert len(trie) == 0
+
+    def test_insert_and_exact(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("2001:db8::/32")
+        trie.insert(p, "a")
+        assert trie.exact(p) == "a"
+        assert len(trie) == 1
+
+    def test_exact_misses_different_plen(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("2001:db8::/32"), "a")
+        assert trie.exact(Prefix.parse("2001:db8::/33")) is None
+        assert trie.exact(Prefix.parse("2001:db8::/31")) is None
+
+    def test_replace_value(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("2001:db8::/32")
+        trie.insert(p, "a")
+        trie.insert(p, "b")
+        assert trie.exact(p) == "b"
+        assert len(trie) == 1
+
+    def test_longest_match_prefers_specific(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("2001:db8::/32"), "wide")
+        trie.insert(Prefix.parse("2001:db8:5::/48"), "narrow")
+        addr_in_narrow = Prefix.parse("2001:db8:5::/48").network + 7
+        addr_in_wide = Prefix.parse("2001:db8:6::/48").network + 7
+        assert trie.lookup(addr_in_narrow) == "narrow"
+        assert trie.lookup(addr_in_wide) == "wide"
+
+    def test_longest_match_returns_covering_prefix(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("2001:db8::/32")
+        trie.insert(p, "x")
+        match = trie.longest_match(p.network + 99)
+        assert match is not None
+        assert match[0] == p
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix(0, 0), "default")
+        assert trie.lookup(12345) == "default"
+        trie.insert(Prefix.parse("2001:db8::/32"), "specific")
+        assert trie.lookup(Prefix.parse("2001:db8::/32").network) == "specific"
+        assert trie.lookup(0) == "default"
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("2001:db8::/32")
+        trie.insert(p, "a")
+        assert trie.remove(p)
+        assert trie.exact(p) is None
+        assert len(trie) == 0
+        assert not trie.remove(p)
+
+    def test_remove_missing_path(self):
+        trie = PrefixTrie()
+        assert not trie.remove(Prefix.parse("2001:db8::/32"))
+
+    def test_remove_keeps_nested(self):
+        trie = PrefixTrie()
+        outer = Prefix.parse("2001:db8::/32")
+        inner = Prefix.parse("2001:db8:5::/48")
+        trie.insert(outer, "o")
+        trie.insert(inner, "i")
+        trie.remove(outer)
+        assert trie.lookup(inner.network) == "i"
+        assert trie.lookup(outer.network) is None
+
+    def test_items_sorted_by_bits(self):
+        trie = PrefixTrie()
+        prefixes = [
+            Prefix.parse("2001:db8::/32"),
+            Prefix.parse("2001:db8:5::/48"),
+            Prefix.parse("2001:16b8::/32"),
+        ]
+        for i, p in enumerate(prefixes):
+            trie.insert(p, i)
+        listed = [p for p, _ in trie.items()]
+        assert len(listed) == 3
+        assert listed == sorted(listed, key=lambda p: (p.network, p.plen))
+
+    def test_covering_order(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("2001:db8::/32"), "a")
+        trie.insert(Prefix.parse("2001:db8::/48"), "b")
+        trie.insert(Prefix.parse("2001:db8::/64"), "c")
+        addr = Prefix.parse("2001:db8::/64").network + 1
+        values = [v for _, v in trie.covering(addr)]
+        assert values == ["a", "b", "c"]
+
+
+prefix_strategy = st.tuples(
+    st.integers(min_value=0, max_value=ADDR_MAX),
+    st.integers(min_value=8, max_value=64),
+).map(lambda t: make_prefix(*t))
+
+
+class TestAgainstBruteForce:
+    @given(st.lists(prefix_strategy, min_size=1, max_size=40), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_lpm_matches_linear_scan(self, prefixes, data):
+        trie = PrefixTrie()
+        table = {}
+        for i, p in enumerate(prefixes):
+            trie.insert(p, i)
+            table[p] = i  # later duplicates overwrite, same as trie
+
+        base = data.draw(st.sampled_from(prefixes))
+        addr = data.draw(
+            st.integers(min_value=base.first, max_value=base.last)
+        )
+
+        best = None
+        for p, v in table.items():
+            if addr in p and (best is None or p.plen > best[0].plen):
+                best = (p, v)
+        assert best is not None
+        match = trie.longest_match(addr)
+        assert match is not None
+        assert match[0].plen == best[0].plen
+        assert match[1] == table[match[0]]
+
+    def test_randomized_bulk(self):
+        rng = random.Random(1234)
+        trie = PrefixTrie()
+        prefixes = []
+        for i in range(300):
+            plen = rng.choice([24, 32, 40, 48, 56])
+            net = rng.getrandbits(128)
+            p = make_prefix(net, plen)
+            prefixes.append((p, i))
+            trie.insert(p, i)
+        for _ in range(500):
+            p, _ = rng.choice(prefixes)
+            addr = rng.randrange(p.first, p.last + 1)
+            best_plen = max(q.plen for q, _ in prefixes if addr in q)
+            match = trie.longest_match(addr)
+            assert match is not None
+            assert match[0].plen == best_plen

@@ -1,0 +1,65 @@
+"""Shared fixtures: small simulated internets for core-layer tests."""
+
+import pytest
+
+from repro.net.addr import Prefix
+from repro.simnet.device import AddressingMode, CpeDevice
+from repro.simnet.internet import SimInternet
+from repro.simnet.pool import RotationPool
+from repro.simnet.provider import Provider
+from repro.simnet.rotation import IncrementRotation, NoRotation, ShuffleRotation
+
+
+def make_provider(
+    asn: int,
+    bgp: str,
+    pool48: str,
+    delegation_plen: int,
+    policy,
+    n_devices: int,
+    country: str = "DE",
+    mac_base: int = 0x3810D5000000,
+    addressing: AddressingMode = AddressingMode.EUI64,
+    pool_key: int = 7,
+) -> Provider:
+    pool = RotationPool(
+        prefix=Prefix.parse(pool48),
+        delegation_plen=delegation_plen,
+        policy=policy,
+        pool_key=pool_key,
+    )
+    for i in range(n_devices):
+        pool.add_device(
+            CpeDevice(
+                device_id=asn * 10_000 + i,
+                mac=mac_base + asn * 0x1000 + i,
+                addressing=addressing,
+            )
+        )
+    return Provider(
+        asn=asn, name=f"AS{asn}", country=country,
+        bgp_prefixes=[Prefix.parse(bgp)], pools=[pool],
+    )
+
+
+@pytest.fixture()
+def rotating_internet() -> SimInternet:
+    """Two providers: a daily /56 increment rotator and a /60 shuffler."""
+    a = make_provider(
+        65001, "2001:db8::/32", "2001:db8::/48", 56,
+        IncrementRotation(interval_hours=24.0), 48, country="DE",
+    )
+    b = make_provider(
+        65002, "2001:db9::/32", "2001:db9::/48", 60,
+        ShuffleRotation(interval_hours=24.0), 64, country="GR",
+    )
+    return SimInternet([a, b], core_answers_unrouted=False)
+
+
+@pytest.fixture()
+def static_internet() -> SimInternet:
+    """One provider that never rotates (/64 delegations)."""
+    provider = make_provider(
+        65010, "2001:dba::/32", "2001:dba::/48", 64, NoRotation(), 40, country="JP",
+    )
+    return SimInternet([provider], core_answers_unrouted=False)

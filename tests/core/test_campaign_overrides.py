@@ -1,0 +1,75 @@
+"""Tests for per-prefix campaign probe-granularity overrides."""
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.net.addr import Prefix
+from repro.simnet.builder import InternetSpec, PoolSpec, ProviderSpec, build_internet
+from repro.simnet.rotation import ShuffleRotation
+
+ALWAYS = (("admin_prohibited", 1.0),)
+
+
+def sixty_internet():
+    spec = InternetSpec(
+        providers=(
+            ProviderSpec(
+                asn=65001, name="Sixty", country="BA",
+                pools=(PoolSpec(48, 60, 0.5, ShuffleRotation(24.0)),),
+                eui64_fraction=1.0, online_fraction=1.0,
+                new_since_seed_fraction=0.0, retired_fraction=0.0,
+                response_mix=ALWAYS,
+            ),
+        ),
+        seed=5,
+    )
+    return build_internet(spec)
+
+
+class TestPlenOverrides:
+    def test_override_multiplies_targets(self):
+        internet = sixty_internet()
+        prefix = Prefix(internet.providers[0].pools[0].prefix.network, 48)
+        base = Campaign(internet, [prefix], CampaignConfig(days=1, seed=5))
+        finer = Campaign(
+            internet, [prefix], CampaignConfig(days=1, seed=5),
+            plen_overrides={prefix: 60},
+        )
+        assert len(base.targets) == 256
+        assert len(finer.targets) == 4096
+
+    def test_finer_granularity_observes_all_devices(self):
+        internet = sixty_internet()
+        pool = internet.providers[0].pools[0]
+        prefix = Prefix(pool.prefix.network, 48)
+
+        coarse = Campaign(internet, [prefix], CampaignConfig(days=2, seed=5)).run()
+        fine = Campaign(
+            internet, [prefix], CampaignConfig(days=2, seed=5),
+            plen_overrides={prefix: 60},
+        ).run()
+        coarse_iids = len(coarse.store.eui64_iids())
+        fine_iids = len(fine.store.eui64_iids())
+        # Per-/56 probing of /60 delegations samples ~1/16 of devices per
+        # epoch; per-/60 probing sees everyone.
+        assert fine_iids == pool.n_customers
+        assert coarse_iids < fine_iids
+
+    def test_override_validation(self):
+        internet = sixty_internet()
+        prefix = Prefix(internet.providers[0].pools[0].prefix.network, 48)
+        with pytest.raises(ValueError):
+            Campaign(
+                internet, [prefix], CampaignConfig(days=1),
+                plen_overrides={prefix: 40},
+            )
+
+    def test_override_for_unlisted_prefix_ignored(self):
+        internet = sixty_internet()
+        prefix = Prefix(internet.providers[0].pools[0].prefix.network, 48)
+        other = Prefix.parse("2001:db8::/48")
+        campaign = Campaign(
+            internet, [prefix], CampaignConfig(days=1, seed=5),
+            plen_overrides={other: 60},
+        )
+        assert len(campaign.targets) == 256

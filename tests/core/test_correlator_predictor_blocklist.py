@@ -1,0 +1,227 @@
+"""Tests for flow correlation, next-prefix prediction, and blocklisting."""
+
+import pytest
+
+from repro.core.blocklist import (
+    AbuseScenario,
+    BlockPolicy,
+    BlocklistEvaluator,
+)
+from repro.core.correlator import Flow, FlowCorrelator, synthesize_flows
+from repro.core.predictor import (
+    IncrementModel,
+    fit_increment_model,
+    prediction_hit_rate,
+)
+from repro.core.timeseries import TrajectoryPoint
+from repro.net.addr import Prefix
+from repro.simnet.device import AddressingMode, CpeDevice
+from repro.simnet.internet import SimInternet
+from repro.simnet.pool import RotationPool
+from repro.simnet.provider import Provider
+from repro.simnet.rotation import IncrementRotation
+
+
+def build_internet(privacy_from: int = 48, n_devices: int = 64) -> SimInternet:
+    """A rotator whose devices [privacy_from:] use privacy addressing."""
+    pool = RotationPool(
+        prefix=Prefix.parse("2001:db8::/46"),
+        delegation_plen=56,
+        policy=IncrementRotation(interval_hours=24.0),
+        pool_key=31,
+    )
+    for i in range(n_devices):
+        addressing = (
+            AddressingMode.EUI64 if i < privacy_from else AddressingMode.PRIVACY
+        )
+        pool.add_device(
+            CpeDevice(device_id=500 + i, mac=0x3810D5300000 + i, addressing=addressing)
+        )
+    provider = Provider(
+        asn=65001, name="R", country="DE",
+        bgp_prefixes=[Prefix.parse("2001:db8::/32")], pools=[pool],
+    )
+    return SimInternet([provider], core_answers_unrouted=False)
+
+
+class TestCorrelator:
+    def test_synthesize_flows_labelled(self):
+        internet = build_internet()
+        flows = synthesize_flows(internet, 65001, n_households=5,
+                                 flows_per_day=4, days=[1, 2, 3], seed=1)
+        assert len(flows) == 5 * 4 * 3
+        assert {f.household for f in flows} == set(range(5))
+
+    def test_synthesize_unknown_asn(self):
+        internet = build_internet()
+        with pytest.raises(ValueError):
+            synthesize_flows(internet, 99999, 1, 1, [1])
+
+    def test_flows_with_eui_cpe_identified(self):
+        internet = build_internet(privacy_from=64)  # all EUI-64
+        flows = synthesize_flows(internet, 65001, 8, 3, [1, 2], seed=2)
+        correlator = FlowCorrelator(internet, seed=3)
+        outcome = correlator.correlate(flows)
+        assert len(outcome.identified) == len(flows)
+        assert outcome.recall(flows) == 1.0
+
+    def test_privacy_cpe_defeats_correlation(self):
+        internet = build_internet(privacy_from=0)  # all privacy mode
+        flows = synthesize_flows(internet, 65001, 8, 3, [1, 2], seed=2)
+        correlator = FlowCorrelator(internet, seed=3)
+        outcome = correlator.correlate(flows)
+        assert not outcome.identified
+        assert outcome.recall(flows) == 0.0
+
+    def test_mixed_population_partial_recall(self):
+        """The paper's 60-90% case-study accuracy band."""
+        internet = build_internet(privacy_from=48, n_devices=64)  # 75% EUI
+        flows = synthesize_flows(internet, 20, 0, [1], seed=0) if False else \
+            synthesize_flows(internet, 65001, 20, 3, [1, 2, 3], seed=4)
+        correlator = FlowCorrelator(internet, seed=5)
+        outcome = correlator.correlate(flows)
+        recall = outcome.recall(flows)
+        assert 0.4 < recall < 1.0
+
+    def test_no_false_links(self):
+        internet = build_internet(privacy_from=64)
+        flows = synthesize_flows(internet, 65001, 10, 2, [1], seed=6)
+        outcome = FlowCorrelator(internet, seed=7).correlate(flows)
+        _correct, incorrect, _undecided = outcome.pairs_linked(flows)
+        assert incorrect == 0
+
+    def test_probes_accounted(self):
+        internet = build_internet(privacy_from=64)
+        flows = synthesize_flows(internet, 65001, 4, 2, [1], seed=8)
+        outcome = FlowCorrelator(internet, probes_per_flow=2, seed=9).correlate(flows)
+        assert outcome.probes_sent >= len(flows)
+
+    def test_recall_requires_pairs(self):
+        internet = build_internet()
+        outcome = FlowCorrelator(internet).correlate([])
+        with pytest.raises(ValueError):
+            outcome.recall([])
+
+    def test_probes_per_flow_validation(self):
+        internet = build_internet()
+        with pytest.raises(ValueError):
+            FlowCorrelator(internet, probes_per_flow=0)
+
+
+POOL = Prefix.parse("2001:db8::/46")
+POOL64_BASE = POOL.network >> 64
+
+
+def staircase(days, step=256, start=0):
+    """An AS8881-style trajectory: +step /64s per day, modulo the pool."""
+    size = 1 << (64 - 46)
+    return [
+        TrajectoryPoint(day=d, net64=POOL64_BASE + (start + d * step) % size)
+        for d in days
+    ]
+
+
+class TestPredictor:
+    def test_fit_recovers_step(self):
+        model = fit_increment_model(staircase(range(6)), POOL)
+        assert model is not None
+        assert model.step_net64 == 256
+        assert model.confidence == 1.0
+
+    def test_fit_handles_wrap(self):
+        size = 1 << 18
+        points = staircase(range(8), step=256, start=size - 3 * 256)
+        model = fit_increment_model(points, POOL)
+        assert model is not None
+        assert model.step_net64 == 256
+
+    def test_fit_with_gaps(self):
+        model = fit_increment_model(staircase([0, 1, 3, 6]), POOL)
+        assert model is not None
+        assert model.step_net64 == 256
+
+    def test_fit_rejects_short(self):
+        assert fit_increment_model(staircase([0, 1]), POOL) is None
+
+    def test_fit_rejects_random_walk(self):
+        points = [
+            TrajectoryPoint(day=d, net64=POOL64_BASE + n)
+            for d, n in [(0, 10), (1, 5000), (2, 17), (3, 60000), (4, 123)]
+        ]
+        model = fit_increment_model(points, POOL)
+        assert model is None or model.confidence < 0.5
+
+    def test_min_points_validation(self):
+        with pytest.raises(ValueError):
+            fit_increment_model(staircase(range(4)), POOL, min_points=1)
+
+    def test_prediction_future_only(self):
+        model = fit_increment_model(staircase(range(5)), POOL)
+        with pytest.raises(ValueError):
+            model.predict_net64(2)
+
+    def test_prediction_hit_rate_perfect(self):
+        points = staircase(range(10))
+        model = fit_increment_model(points[:5], POOL)
+        assert prediction_hit_rate(model, points) == 1.0
+
+    def test_prediction_wraps(self):
+        size = 1 << 18
+        model = IncrementModel(
+            step_net64=256, pool=POOL, last_day=0,
+            last_net64=POOL64_BASE + size - 256, confidence=1.0,
+        )
+        assert model.predict_net64(1) == POOL64_BASE  # wrapped to pool start
+
+    def test_hit_rate_requires_future(self):
+        model = fit_increment_model(staircase(range(5)), POOL)
+        with pytest.raises(ValueError):
+            prediction_hit_rate(model, staircase(range(3)))
+
+
+class TestBlocklist:
+    @pytest.fixture(scope="class")
+    def scenario_setup(self):
+        internet = build_internet(privacy_from=64, n_devices=64)
+        flows = synthesize_flows(internet, 65001, 12, 3, [1, 4, 5], seed=11)
+        day_of = lambda flow: int(flow.t_seconds // 86400.0)
+        scenario = AbuseScenario(
+            training=[f for f in flows if day_of(f) == 1],
+            evaluation=[f for f in flows if day_of(f) in (4, 5)],
+            abusive_households={0, 1, 2},
+        )
+        return internet, scenario
+
+    def test_prefix_blocking_defeated_by_rotation(self, scenario_setup):
+        """Section 9's point: /64 blocklists rot as prefixes rotate."""
+        internet, scenario = scenario_setup
+        evaluator = BlocklistEvaluator(internet, block_plen=64)
+        outcome = evaluator.evaluate(scenario, BlockPolicy.PREFIX)
+        assert outcome.block_rate < 0.3
+
+    def test_iid_blocking_survives_rotation(self, scenario_setup):
+        internet, scenario = scenario_setup
+        evaluator = BlocklistEvaluator(internet)
+        outcome = evaluator.evaluate(scenario, BlockPolicy.IID)
+        assert outcome.block_rate > 0.9
+        assert outcome.collateral_rate < 0.05
+
+    def test_asn_blocking_blunt(self, scenario_setup):
+        internet, scenario = scenario_setup
+        evaluator = BlocklistEvaluator(internet)
+        outcome = evaluator.evaluate(scenario, BlockPolicy.ASN)
+        assert outcome.block_rate == 1.0
+        assert outcome.collateral_rate == 1.0  # everyone in the AS blocked
+
+    def test_block_plen_validation(self, scenario_setup):
+        internet, _scenario = scenario_setup
+        with pytest.raises(ValueError):
+            BlocklistEvaluator(internet, block_plen=8)
+
+    def test_metrics_require_flows(self):
+        from repro.core.blocklist import BlocklistOutcome
+        outcome = BlocklistOutcome(policy=BlockPolicy.PREFIX)
+        with pytest.raises(ValueError):
+            outcome.block_rate
+        with pytest.raises(ValueError):
+            outcome.collateral_rate

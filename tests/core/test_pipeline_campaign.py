@@ -1,0 +1,184 @@
+"""Tests for the Section 4 pipeline and Section 5 campaign."""
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.pipeline import DiscoveryPipeline, PipelineConfig
+from repro.net.addr import Prefix
+from repro.simnet.builder import InternetSpec, PoolSpec, ProviderSpec, build_internet
+from repro.simnet.internet import SimInternet
+from repro.simnet.rotation import IncrementRotation, NoRotation
+
+
+ALWAYS_ANSWER = (("admin_prohibited", 1.0),)
+
+
+def pipeline_internet() -> SimInternet:
+    """Three providers: a daily rotator, a non-rotator, a low-density AS.
+
+    Fully online, no silent devices, high occupancy -- so the pipeline's
+    stage outcomes are exact rather than probabilistic.
+    """
+    spec = InternetSpec(
+        providers=(
+            ProviderSpec(
+                asn=65001, name="Rotator", country="DE",
+                pools=(PoolSpec(46, 56, 1.0, IncrementRotation(24.0)),),
+                vendor_mix=(("AVM", 1.0),),
+                eui64_fraction=1.0, online_fraction=1.0,
+                new_since_seed_fraction=0.0, retired_fraction=0.0,
+                response_mix=ALWAYS_ANSWER,
+            ),
+            ProviderSpec(
+                asn=65002, name="Static", country="JP",
+                pools=(PoolSpec(48, 56, 1.0, NoRotation()),),
+                vendor_mix=(("Sercomm", 1.0),),
+                eui64_fraction=1.0, online_fraction=1.0,
+                new_since_seed_fraction=0.0, retired_fraction=0.0,
+                response_mix=ALWAYS_ANSWER,
+            ),
+            ProviderSpec(
+                asn=65003, name="LowDensity", country="TW",
+                pools=(PoolSpec(44, 48, 0.5, NoRotation()),),
+                vendor_mix=(("Zyxel", 1.0),),
+                eui64_fraction=1.0, online_fraction=1.0,
+                new_since_seed_fraction=0.0, retired_fraction=0.0,
+                response_mix=ALWAYS_ANSWER,
+            ),
+        ),
+        seed=11,
+    )
+    return build_internet(spec)
+
+
+@pytest.fixture(scope="module")
+def pipeline_result():
+    internet = pipeline_internet()
+    pipeline = DiscoveryPipeline(internet, PipelineConfig(seed=11, coverage_48s=32))
+    return internet, pipeline.run()
+
+
+class TestPipeline:
+    def test_seed_finds_occupied_48s(self, pipeline_result):
+        internet, result = pipeline_result
+        assert result.seed_48s
+        assert len(result.seed_32s) == 3  # all three providers seeded
+
+    def test_seed_48s_have_eui_cpe(self, pipeline_result):
+        internet, result = pipeline_result
+        for prefix48 in result.seed_48s:
+            entry = internet.pool_of(prefix48.network)
+            assert entry is not None
+
+    def test_expansion_covers_rotator_pool(self, pipeline_result):
+        internet, result = pipeline_result
+        rotator_pool = internet.provider_of_asn(65001).pools[0]
+        expanded_in_pool = {
+            p for p in result.expanded_48s if rotator_pool.prefix.contains_prefix(p)
+        }
+        assert len(expanded_in_pool) == 4  # all four /48s of the /46
+
+    def test_density_classification(self, pipeline_result):
+        internet, result = pipeline_result
+        low_density_pool = internet.provider_of_asn(65003).pools[0]
+        flagged_low = {
+            p for p in result.low_density_48s if low_density_pool.prefix.contains_prefix(p)
+        }
+        assert flagged_low  # /48-per-device prefixes classified low
+        assert result.high_density_48s
+
+    def test_rotation_detection_flags_rotator(self, pipeline_result):
+        internet, result = pipeline_result
+        rotator_pool = internet.provider_of_asn(65001).pools[0]
+        rotating_in_pool = {
+            p for p in result.rotating_48s if rotator_pool.prefix.contains_prefix(p)
+        }
+        assert len(rotating_in_pool) == 4
+
+    def test_static_provider_not_flagged(self, pipeline_result):
+        internet, result = pipeline_result
+        static_pool = internet.provider_of_asn(65002).pools[0]
+        rotating_in_static = {
+            p for p in result.rotating_48s if static_pool.prefix.contains_prefix(p)
+        }
+        assert not rotating_in_static  # fully online + static = no churn signal
+
+    def test_table1_attribution(self, pipeline_result):
+        internet, result = pipeline_result
+        by_asn = result.rotating_by_asn(internet.rib.origin_of)
+        assert by_asn.get(65001) == 4
+        by_country = result.rotating_by_country(
+            internet.rib.origin_of, internet.registry.country_of
+        )
+        assert by_country.get("DE") == 4
+
+    def test_summary_counters(self, pipeline_result):
+        internet, result = pipeline_result
+        summary = result.summary()
+        assert summary["probes_sent"] == result.probes_sent > 0
+        assert summary["unique_eui64_iids"] > 0
+        assert summary["eui64_addresses"] >= summary["unique_eui64_iids"]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(coverage_48s=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(snapshot_a_hour=10.0, snapshot_b_hour=20.0)
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        internet = pipeline_internet()
+        pool = internet.provider_of_asn(65001).pools[0]
+        prefixes = list(pool.prefix.subnets(48))
+        config = CampaignConfig(days=6, start_day=2, seed=5)
+        campaign = Campaign(internet, prefixes, config)
+        return internet, campaign, campaign.run()
+
+    def test_fixed_targets_across_days(self, setup):
+        _internet, campaign, _result = setup
+        assert campaign.targets == campaign.targets
+        assert len(campaign.targets) == 4 * 256
+
+    def test_run_accounting(self, setup):
+        _internet, campaign, result = setup
+        assert result.days_run == 6
+        assert result.probes_sent == 6 * len(campaign.targets)
+        assert result.targets_per_day == len(campaign.targets)
+
+    def test_all_devices_observed_every_day(self, setup):
+        internet, _campaign, result = setup
+        pool = internet.provider_of_asn(65001).pools[0]
+        for day in range(2, 8):
+            day_iids = {o.source_iid for o in result.store.on_day(day) if o.is_eui64}
+            assert len(day_iids) == pool.n_customers
+
+    def test_rotation_visible_in_store(self, setup):
+        internet, _campaign, result = setup
+        summary = result.summary()
+        # Daily rotation: every device appears at 6 distinct addresses but
+        # keeps one IID.
+        assert summary["unique_eui64_addresses"] == 6 * summary["unique_eui64_iids"]
+
+    def test_validation(self):
+        internet = pipeline_internet()
+        with pytest.raises(ValueError):
+            Campaign(internet, [], CampaignConfig(days=1))
+        with pytest.raises(ValueError):
+            Campaign(internet, [Prefix.parse("2001:db8::/56")])
+        with pytest.raises(ValueError):
+            CampaignConfig(days=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(scan_hour=24.0)
+
+    def test_hourly_mode(self):
+        internet = pipeline_internet()
+        pool = internet.provider_of_asn(65001).pools[0]
+        prefixes = list(pool.prefix.subnets(48))[:1]
+        campaign = Campaign(internet, prefixes, CampaignConfig(days=6, start_day=2, seed=5))
+        result = campaign.run_hourly(days=2, start_day=10)
+        assert result.days_run == 2
+        assert result.probes_sent == 48 * 256
+        hours_seen = {round(o.t_seconds / 3600.0) for o in result.store}
+        assert len(hours_seen) == 48

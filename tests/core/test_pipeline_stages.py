@@ -1,0 +1,164 @@
+"""Stage-isolation tests for the discovery pipeline.
+
+The end-to-end behaviour is covered in test_pipeline_campaign; these
+tests drive individual stages with handcrafted preconditions, including
+failure injection (silent providers, stale seeds, empty inputs).
+"""
+
+import math
+
+import pytest
+
+from repro.core.density import DensityClass
+from repro.core.pipeline import DiscoveryPipeline, PipelineConfig, PipelineResult
+from repro.net.addr import Prefix
+from repro.simnet.builder import InternetSpec, PoolSpec, ProviderSpec, build_internet
+from repro.simnet.internet import SimInternet
+from repro.simnet.rotation import IncrementRotation, NoRotation
+
+ALWAYS = (("admin_prohibited", 1.0),)
+SILENT = (("silent", 1.0),)
+
+
+def one_provider_internet(response_mix=ALWAYS, new_fraction=0.0) -> SimInternet:
+    spec = InternetSpec(
+        providers=(
+            ProviderSpec(
+                asn=65001, name="P", country="DE",
+                pools=(PoolSpec(46, 56, 1.0, IncrementRotation(24.0)),),
+                eui64_fraction=1.0, online_fraction=1.0,
+                new_since_seed_fraction=new_fraction, retired_fraction=0.0,
+                response_mix=response_mix,
+            ),
+        ),
+        seed=3,
+    )
+    return build_internet(spec)
+
+
+def make_pipeline(internet, **overrides) -> DiscoveryPipeline:
+    config = PipelineConfig(seed=3, coverage_48s=32, **overrides)
+    return DiscoveryPipeline(internet, config)
+
+
+class TestSeedStage:
+    def test_finds_fully_occupied_pool(self):
+        internet = one_provider_internet()
+        pipeline = make_pipeline(internet)
+        result = PipelineResult()
+        pipeline.run_seed_stage(result)
+        assert len(result.seed_32s) == 1
+        assert len(result.seed_48s) == 4  # all /48s of the /46
+
+    def test_silent_provider_invisible(self):
+        internet = one_provider_internet(response_mix=SILENT)
+        pipeline = make_pipeline(internet)
+        result = PipelineResult()
+        pipeline.run_seed_stage(result)
+        # Silent CPE still answer traceroute? No: trace ends at the CPE
+        # only if the device is online; silence policy applies to error
+        # generation.  The trace path reveals the WAN hop regardless, so
+        # the seed still finds these /48s -- which is faithful: yarrp
+        # sees Hop-Limit-Exceeded from hops that would drop Echo probes.
+        assert len(result.seed_48s) == 4
+
+    def test_devices_newer_than_seed_unseen(self):
+        internet = one_provider_internet(new_fraction=1.0)
+        pipeline = make_pipeline(internet)
+        result = PipelineResult()
+        pipeline.run_seed_stage(result)
+        assert not result.seed_48s  # nobody existed a year ago
+
+    def test_empty_internet(self):
+        internet = SimInternet([])
+        pipeline = make_pipeline(internet)
+        result = PipelineResult()
+        pipeline.run_seed_stage(result)
+        assert not result.seed_48s
+        assert result.probes_sent == 0
+
+
+class TestExpansionStage:
+    def test_without_seed_is_noop(self):
+        internet = one_provider_internet()
+        pipeline = make_pipeline(internet)
+        result = PipelineResult()
+        pipeline.run_expansion_stage(result)
+        assert not result.expanded_48s
+        assert result.probes_sent == 0
+
+    def test_silent_devices_kill_expansion(self):
+        """Echo probes into silent-CPE space get nothing back, so the
+        stale seed is not revalidated -- the paper's validation step."""
+        internet = one_provider_internet(response_mix=SILENT)
+        pipeline = make_pipeline(internet)
+        result = PipelineResult()
+        pipeline.run_seed_stage(result)
+        pipeline.run_expansion_stage(result)
+        assert result.seed_48s
+        assert not result.expanded_48s
+
+
+class TestDensityStage:
+    def test_reports_cover_expanded_set(self):
+        internet = one_provider_internet()
+        pipeline = make_pipeline(internet)
+        result = PipelineResult()
+        pipeline.run_seed_stage(result)
+        pipeline.run_expansion_stage(result)
+        pipeline.run_density_stage(result)
+        assert set(result.density_reports) == result.expanded_48s
+        assert all(
+            r.classification is DensityClass.HIGH
+            for r in result.density_reports.values()
+        )
+
+    def test_threshold_configurable(self):
+        internet = one_provider_internet()
+        # A fully occupied pool reaches density 1.0; only a threshold
+        # above that reclassifies everything as low.
+        pipeline = make_pipeline(internet, density_threshold=1.01)
+        result = PipelineResult()
+        pipeline.run_seed_stage(result)
+        pipeline.run_expansion_stage(result)
+        pipeline.run_density_stage(result)
+        # With an absurd threshold everything is "low density".
+        assert not result.high_density_48s
+        assert result.low_density_48s == result.expanded_48s
+
+
+class TestRotationStage:
+    def test_without_high_density_is_noop(self):
+        internet = one_provider_internet()
+        pipeline = make_pipeline(internet)
+        result = PipelineResult()
+        pipeline.run_rotation_stage(result)
+        assert result.detection.n_rotating == 0
+
+    def test_full_run_equivalent_to_stage_sequence(self):
+        internet_a = one_provider_internet()
+        internet_b = one_provider_internet()
+        full = make_pipeline(internet_a).run()
+        stepwise = PipelineResult()
+        pipeline = make_pipeline(internet_b)
+        pipeline.run_seed_stage(stepwise)
+        pipeline.run_expansion_stage(stepwise)
+        pipeline.run_density_stage(stepwise)
+        pipeline.run_rotation_stage(stepwise)
+        assert full.rotating_48s == stepwise.rotating_48s
+        assert full.summary() == stepwise.summary()
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        a = make_pipeline(one_provider_internet()).run()
+        b = make_pipeline(one_provider_internet()).run()
+        assert a.summary() == b.summary()
+        assert a.rotating_48s == b.rotating_48s
+
+    def test_different_seed_may_differ_but_valid(self):
+        internet = one_provider_internet()
+        result = DiscoveryPipeline(
+            internet, PipelineConfig(seed=99, coverage_48s=32)
+        ).run()
+        assert result.summary()["rotating_48s"] == 4  # fully occupied pool

@@ -1,0 +1,217 @@
+"""Tests for the Section 6 tracker and Section 5.5 pathology analyses."""
+
+import pytest
+
+from repro.core.pathology import analyze_pathologies
+from repro.core.records import ObservationStore, ProbeObservation
+from repro.core.tracker import AsProfile, DeviceTracker, TrackerConfig
+from repro.net.addr import IID_BITS, Prefix, iid_of, with_iid
+from repro.net.eui64 import mac_to_eui64_iid
+from repro.simnet.device import AddressingMode, CpeDevice
+from repro.simnet.internet import SimInternet
+from repro.simnet.pool import RotationPool
+from repro.simnet.provider import Provider
+from repro.simnet.rotation import IncrementRotation, NoRotation, ShuffleRotation
+
+
+def build_internet() -> SimInternet:
+    rot_pool = RotationPool(
+        prefix=Prefix.parse("2001:db8::/46"),
+        delegation_plen=56,
+        policy=IncrementRotation(interval_hours=24.0),
+        pool_key=21,
+    )
+    for i in range(64):
+        rot_pool.add_device(CpeDevice(device_id=100 + i, mac=0x3810D5100000 + i))
+    rotator = Provider(
+        asn=65001, name="Rotator", country="DE",
+        bgp_prefixes=[Prefix.parse("2001:db8::/32")], pools=[rot_pool],
+    )
+    static_pool = RotationPool(
+        prefix=Prefix.parse("2001:dc8::/48"),
+        delegation_plen=64,
+        policy=NoRotation(),
+        pool_key=22,
+    )
+    for i in range(16):
+        static_pool.add_device(CpeDevice(device_id=300 + i, mac=0x3810D5200000 + i))
+    static = Provider(
+        asn=65002, name="Static", country="JP",
+        bgp_prefixes=[Prefix.parse("2001:dc8::/32")], pools=[static_pool],
+    )
+    return SimInternet([rotator, static], core_answers_unrouted=False)
+
+
+@pytest.fixture()
+def tracked_internet() -> SimInternet:
+    return build_internet()
+
+
+class TestAsProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsProfile(asn=1, allocation_plen=44, pool_plen=46)
+        with pytest.raises(ValueError):
+            AsProfile(asn=1, allocation_plen=65, pool_plen=46)
+
+    def test_tracker_config_validation(self):
+        with pytest.raises(ValueError):
+            TrackerConfig(widen_bits=-1)
+
+
+class TestTracker:
+    def make_tracker(self, internet, widen=True) -> DeviceTracker:
+        profiles = {
+            65001: AsProfile(asn=65001, allocation_plen=56, pool_plen=46),
+            65002: AsProfile(asn=65002, allocation_plen=64, pool_plen=48),
+        }
+        config = TrackerConfig(seed=3, max_widenings=1 if widen else 0)
+        return DeviceTracker(internet, profiles, config)
+
+    def test_tracks_rotating_device_every_day(self, tracked_internet):
+        pool = tracked_internet.providers[0].pools[0]
+        device = pool.devices[5]
+        iid = mac_to_eui64_iid(device.mac)
+        initial = pool.wan_address_of(5, 12.0)
+        tracker = self.make_tracker(tracked_internet)
+        track = tracker.track(iid, initial, days=list(range(1, 8)))
+        assert track.days_found == 7
+        assert track.distinct_net64s == 8  # initial + 7 daily rotations
+        assert track.ever_rotated
+
+    def test_found_addresses_are_ground_truth(self, tracked_internet):
+        pool = tracked_internet.providers[0].pools[0]
+        device = pool.devices[9]
+        iid = mac_to_eui64_iid(device.mac)
+        initial = pool.wan_address_of(9, 12.0)
+        tracker = self.make_tracker(tracked_internet)
+        track = tracker.track(iid, initial, days=[1, 2, 3])
+        for outcome in track.outcomes:
+            assert outcome.found
+            t_hours = outcome.day * 24.0 + 13.0
+            index = pool.customer_index_of(device.device_id)
+            assert outcome.source == pool.wan_address_of(index, t_hours)
+
+    def test_probe_budget_bounded_by_pool_sweep(self, tracked_internet):
+        pool = tracked_internet.providers[0].pools[0]
+        device = pool.devices[3]
+        iid = mac_to_eui64_iid(device.mac)
+        initial = pool.wan_address_of(3, 12.0)
+        tracker = self.make_tracker(tracked_internet, widen=False)
+        track = tracker.track(iid, initial, days=[1])
+        assert track.outcomes[0].probes_sent <= 1024  # one /56 sweep of a /46
+
+    def test_static_device_trivially_tracked(self, tracked_internet):
+        pool = tracked_internet.providers[1].pools[0]
+        device = pool.devices[2]
+        iid = mac_to_eui64_iid(device.mac)
+        initial = pool.wan_address_of(2, 12.0)
+        tracker = self.make_tracker(tracked_internet)
+        track = tracker.track(iid, initial, days=[1, 2, 3])
+        assert track.days_found == 3
+        assert not track.ever_rotated
+        assert track.distinct_net64s == 1
+
+    def test_missing_device_not_found(self, tracked_internet):
+        pool = tracked_internet.providers[0].pools[0]
+        device = pool.devices[4]
+        device.active_until_hours = 20.0  # retires before tracking days
+        iid = mac_to_eui64_iid(device.mac)
+        initial = pool.wan_address_of(4, 12.0)
+        tracker = self.make_tracker(tracked_internet)
+        track = tracker.track(iid, initial, days=[2, 3])
+        assert track.days_found == 0
+        # a miss costs the base sweep plus one widened sweep
+        assert track.outcomes[0].probes_sent > 1024
+
+    def test_track_many_report(self, tracked_internet):
+        pool = tracked_internet.providers[0].pools[0]
+        targets = {}
+        for i in (0, 1, 2):
+            targets[mac_to_eui64_iid(pool.devices[i].mac)] = pool.wan_address_of(i, 12.0)
+        tracker = self.make_tracker(tracked_internet)
+        report = tracker.track_many(targets, days=[1, 2])
+        per_day = report.found_per_day()
+        assert per_day == {1: 3, 2: 3}
+        changed = report.changed_prefix_per_day()
+        same = report.same_prefix_per_day()
+        for day in (1, 2):
+            assert changed.get(day, 0) + same.get(day, 0) == 3
+
+    def test_profile_missing_raises(self, tracked_internet):
+        tracker = DeviceTracker(tracked_internet, profiles={})
+        with pytest.raises(ValueError):
+            tracker.track(1, Prefix.parse("2001:db8::/64").network + 1, days=[1])
+
+    def test_mean_and_stddev_probes(self, tracked_internet):
+        pool = tracked_internet.providers[0].pools[0]
+        device = pool.devices[7]
+        iid = mac_to_eui64_iid(device.mac)
+        tracker = self.make_tracker(tracked_internet)
+        track = tracker.track(iid, pool.wan_address_of(7, 12.0), days=[1, 2, 3])
+        assert track.mean_probes > 0
+        assert track.stddev_probes >= 0
+
+
+EUI_P = mac_to_eui64_iid(0x3810D5CC0001)
+EUI_Q = mac_to_eui64_iid(0x3810D5CC0002)
+
+
+def observation(day, net64, iid):
+    return ProbeObservation(
+        day=day, t_seconds=(day * 24 + 12) * 3600.0, target=1,
+        source=with_iid(net64, iid),
+    )
+
+
+class TestPathology:
+    def asn_of(self, addr):
+        # crude mapping by high bits for synthetic observations
+        return (addr >> IID_BITS) >> 32
+
+    def test_single_as_iid_not_flagged(self):
+        store = ObservationStore()
+        for day in range(5):
+            store.add(observation(day, (100 << 32) + day, EUI_P))
+        report = analyze_pathologies(store, lambda a: self.asn_of(a))
+        assert report.n_multi_as == 0
+        assert not report.switches
+
+    def test_mac_reuse_detected(self):
+        store = ObservationStore()
+        for day in range(5):  # same IID in two ASes concurrently
+            store.add(observation(day, (100 << 32) + day, EUI_P))
+            store.add(observation(day, (200 << 32) + day, EUI_P))
+        report = analyze_pathologies(store, lambda a: self.asn_of(a))
+        assert EUI_P in report.mac_reuse_iids
+        assert report.max_as_spread() == 2
+
+    def test_provider_switch_detected(self):
+        store = ObservationStore()
+        for day in range(0, 4):
+            store.add(observation(day, (100 << 32) + day, EUI_Q))
+        for day in range(6, 10):
+            store.add(observation(day, (200 << 32) + day, EUI_Q))
+        report = analyze_pathologies(store, lambda a: self.asn_of(a))
+        assert EUI_Q not in report.mac_reuse_iids
+        switches = [s for s in report.switches if s.iid == EUI_Q]
+        assert len(switches) == 1
+        assert switches[0].from_asn == 100
+        assert switches[0].to_asn == 200
+        assert switches[0].last_day_old == 3
+        assert switches[0].first_day_new == 6
+
+    def test_non_eui_ignored(self):
+        store = ObservationStore()
+        store.add(observation(0, 100 << 32, 0x1234))
+        store.add(observation(0, 200 << 32, 0x1234))
+        report = analyze_pathologies(store, lambda a: self.asn_of(a))
+        assert report.n_multi_as == 0
+
+    def test_twelve_as_zero_mac(self):
+        store = ObservationStore()
+        zero_iid = mac_to_eui64_iid(0)
+        for asn in range(1, 13):
+            store.add(observation(asn % 3, (asn << 32), zero_iid))
+        report = analyze_pathologies(store, lambda a: self.asn_of(a))
+        assert report.max_as_spread() == 12

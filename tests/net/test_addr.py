@@ -1,0 +1,204 @@
+"""Tests for repro.net.addr: formatting, parsing, and Prefix arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addr import (
+    ADDR_MAX,
+    Prefix,
+    format_addr,
+    high64,
+    iid_of,
+    parse_addr,
+    with_iid,
+)
+
+addresses = st.integers(min_value=0, max_value=ADDR_MAX)
+
+
+class TestFormatAddr:
+    def test_zero_is_double_colon(self):
+        assert format_addr(0) == "::"
+
+    def test_loopback(self):
+        assert format_addr(1) == "::1"
+
+    def test_documentation_prefix(self):
+        addr = 0x20010DB8 << 96
+        assert format_addr(addr) == "2001:db8::"
+
+    def test_paper_example_prefix(self):
+        # The provider prefix from the paper's Figure 1.
+        addr = parse_addr("2001:16b8::")
+        assert format_addr(addr) == "2001:16b8::"
+
+    def test_no_compression_of_single_zero_group(self):
+        addr = parse_addr("2001:db8:0:1:1:1:1:1")
+        assert format_addr(addr) == "2001:db8:0:1:1:1:1:1"
+
+    def test_leftmost_longest_run_wins(self):
+        addr = parse_addr("2001:0:0:1:0:0:0:1")
+        assert format_addr(addr) == "2001:0:0:1::1"
+
+    def test_all_ones(self):
+        assert format_addr(ADDR_MAX) == "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_addr(-1)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            format_addr(ADDR_MAX + 1)
+
+
+class TestParseAddr:
+    def test_full_form(self):
+        assert parse_addr("0:0:0:0:0:0:0:1") == 1
+
+    def test_compressed(self):
+        assert parse_addr("::1") == 1
+        assert parse_addr("2001:db8::") == 0x20010DB8 << 96
+
+    def test_whitespace_tolerated(self):
+        assert parse_addr("  ::1  ") == 1
+
+    def test_rejects_two_double_colons(self):
+        with pytest.raises(ValueError):
+            parse_addr("1::2::3")
+
+    def test_rejects_wrong_group_count(self):
+        with pytest.raises(ValueError):
+            parse_addr("1:2:3")
+
+    def test_rejects_oversize_group(self):
+        with pytest.raises(ValueError):
+            parse_addr("12345::")
+
+    def test_rejects_useless_double_colon(self):
+        with pytest.raises(ValueError):
+            parse_addr("1:2:3:4:5:6:7::8")
+
+    @given(addresses)
+    def test_roundtrip(self, addr):
+        assert parse_addr(format_addr(addr)) == addr
+
+
+class TestHighLowHelpers:
+    def test_iid_of(self):
+        addr = (0xABCD << 64) | 0x1234
+        assert iid_of(addr) == 0x1234
+
+    def test_high64(self):
+        addr = (0xABCD << 64) | 0x1234
+        assert high64(addr) == 0xABCD
+
+    @given(addresses)
+    def test_split_recombine(self, addr):
+        assert with_iid(high64(addr), iid_of(addr)) == addr
+
+    def test_with_iid_range_checks(self):
+        with pytest.raises(ValueError):
+            with_iid(1 << 64, 0)
+        with pytest.raises(ValueError):
+            with_iid(0, 1 << 64)
+
+
+class TestPrefix:
+    def test_canonicalizes_host_bits(self):
+        p = Prefix(parse_addr("2001:db8::ffff"), 32)
+        assert p.network == parse_addr("2001:db8::")
+
+    def test_parse_and_str_roundtrip(self):
+        p = Prefix.parse("2001:16b8::/32")
+        assert str(p) == "2001:16b8::/32"
+
+    def test_parse_requires_len(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("2001:db8::")
+
+    def test_plen_bounds(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 129)
+        with pytest.raises(ValueError):
+            Prefix(0, -1)
+
+    def test_contains(self):
+        p = Prefix.parse("2001:db8::/32")
+        assert parse_addr("2001:db8:ffff::1") in p
+        assert parse_addr("2001:db9::") not in p
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("2001:db8::/32")
+        inner = Prefix.parse("2001:db8:5::/48")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_num_subnets(self):
+        p = Prefix.parse("2001:db8::/48")
+        assert p.num_subnets(56) == 256
+        assert p.num_subnets(64) == 65536
+
+    def test_num_subnets_rejects_supernet(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("2001:db8::/48").num_subnets(32)
+
+    def test_subnet_indexing(self):
+        p = Prefix.parse("2001:db8::/48")
+        s = p.subnet(0x12, 56)
+        assert str(s) == "2001:db8:0:1200::/56"
+        assert p.subnet_index(s.network, 56) == 0x12
+
+    def test_subnet_index_out_of_range(self):
+        p = Prefix.parse("2001:db8::/48")
+        with pytest.raises(IndexError):
+            p.subnet(256, 56)
+
+    def test_subnet_index_requires_membership(self):
+        p = Prefix.parse("2001:db8::/48")
+        with pytest.raises(ValueError):
+            p.subnet_index(parse_addr("2001:db9::"), 56)
+
+    def test_subnets_enumeration(self):
+        p = Prefix.parse("2001:db8::/62")
+        nets = list(p.subnets(64))
+        assert len(nets) == 4
+        assert nets[0].network == p.network
+        assert all(n.plen == 64 for n in nets)
+        assert nets[-1].last == p.last
+
+    def test_random_addr_in_prefix(self):
+        p = Prefix.parse("2001:db8:42::/48")
+        rng = random.Random(7)
+        for _ in range(100):
+            assert p.random_addr(rng) in p
+
+    def test_random_subnet_in_prefix(self):
+        p = Prefix.parse("2001:db8:42::/48")
+        rng = random.Random(7)
+        for _ in range(50):
+            s = p.random_subnet(64, rng)
+            assert p.contains_prefix(s)
+
+    def test_equality_and_hash(self):
+        a = Prefix.parse("2001:db8::/32")
+        b = Prefix(parse_addr("2001:db8::1"), 32)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @given(addresses, st.integers(min_value=0, max_value=128))
+    def test_containing_always_contains(self, addr, plen):
+        assert addr in Prefix.containing(addr, plen)
+
+    @given(addresses, st.integers(min_value=1, max_value=64))
+    def test_subnet_roundtrip(self, addr, extra):
+        base_plen = 128 - extra
+        outer_plen = max(0, base_plen - 8)
+        outer = Prefix.containing(addr, outer_plen)
+        inner_plen = min(128, outer_plen + 8)
+        idx = outer.subnet_index(addr, inner_plen)
+        assert addr in outer.subnet(idx, inner_plen)

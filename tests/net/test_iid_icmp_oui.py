@@ -1,0 +1,177 @@
+"""Tests for IID classification, the ICMPv6 model, and the OUI registry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addr import ADDR_MAX, parse_addr
+from repro.net.eui64 import mac_to_eui64_iid
+from repro.net.icmpv6 import (
+    IcmpCode,
+    IcmpType,
+    Icmpv6Message,
+    ProbeResponse,
+    checksum,
+    decode,
+    encode,
+)
+from repro.net.iid import IidKind, classify_iid
+from repro.net.oui import UNKNOWN_VENDOR, OuiRegistry
+
+addresses = st.integers(min_value=0, max_value=ADDR_MAX)
+
+
+class TestClassifyIid:
+    def test_eui64(self):
+        assert classify_iid(mac_to_eui64_iid(0x3810D5AABBCC)) is IidKind.EUI64
+
+    def test_low(self):
+        assert classify_iid(1) is IidKind.LOW
+        assert classify_iid(0xFFFF) is IidKind.LOW
+
+    def test_embedded_port(self):
+        assert classify_iid(443) is IidKind.EMBEDDED_PORT
+        assert classify_iid(53) is IidKind.EMBEDDED_PORT
+
+    def test_embedded_ipv4_hex_style(self):
+        # ::c000:0201 == 192.0.2.1 embedded in the low 32 bits
+        assert classify_iid(0xC000_0201) is IidKind.EMBEDDED_IPV4
+
+    def test_embedded_ipv4_decimal_style(self):
+        # ::192:0:2:1 style, groups readable as decimal octets
+        iid = (0x192 << 48) | (0x0 << 32) | (0x2 << 16) | 0x1
+        assert classify_iid(iid) is IidKind.EMBEDDED_IPV4
+
+    def test_random(self):
+        assert classify_iid(0xDEAD_BEEF_CAFE_F00D) is IidKind.RANDOM
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            classify_iid(1 << 64)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_total_function(self, iid):
+        assert classify_iid(iid) in IidKind
+
+
+class TestIcmpv6Model:
+    def test_error_predicate(self):
+        err = Icmpv6Message(IcmpType.DEST_UNREACHABLE, IcmpCode.ADMIN_PROHIBITED, 1, 2, 3)
+        assert err.is_error
+        reply = Icmpv6Message(IcmpType.ECHO_REPLY, 0, 1, 2)
+        assert not reply.is_error
+
+    def test_describe_mentions_type(self):
+        err = Icmpv6Message(IcmpType.TIME_EXCEEDED, 0, 1, 2, 3)
+        assert "TIME_EXCEEDED" in err.describe()
+
+    def test_probe_response_error_predicate(self):
+        r = ProbeResponse(1, 2, IcmpType.DEST_UNREACHABLE, 3, 0.0)
+        assert r.is_error
+        r2 = ProbeResponse(1, 2, IcmpType.ECHO_REPLY, 0, 0.0)
+        assert not r2.is_error
+
+    def test_probe_response_describe(self):
+        r = ProbeResponse(parse_addr("2001:db8::1"), parse_addr("2001:db8::2"),
+                          IcmpType.DEST_UNREACHABLE, 1, 1.5)
+        text = r.describe()
+        assert "2001:db8::1" in text
+        assert "2001:db8::2" in text
+
+
+class TestWireFormat:
+    def test_checksum_known_value(self):
+        # All-zero data checksums to 0xffff (one's complement of 0).
+        assert checksum(b"\x00\x00") == 0xFFFF
+
+    def test_checksum_odd_length_padded(self):
+        assert checksum(b"\x01") == checksum(b"\x01\x00")
+
+    def test_encode_decode_roundtrip_error(self):
+        src = parse_addr("2001:db8::1")
+        dst = parse_addr("2001:db8::2")
+        quoted = parse_addr("2001:db8:ffff::42")
+        msg = Icmpv6Message(IcmpType.DEST_UNREACHABLE, int(IcmpCode.ADDR_UNREACHABLE),
+                            src, dst, quoted)
+        wire = encode(msg)
+        back = decode(src, dst, wire)
+        assert back.icmp_type is IcmpType.DEST_UNREACHABLE
+        assert back.code == int(IcmpCode.ADDR_UNREACHABLE)
+        assert back.quoted_target == quoted
+
+    def test_encode_decode_roundtrip_echo(self):
+        src = parse_addr("2001:db8::1")
+        dst = parse_addr("2001:db8::2")
+        msg = Icmpv6Message(IcmpType.ECHO_REQUEST, 0, src, dst)
+        back = decode(src, dst, encode(msg))
+        assert back.icmp_type is IcmpType.ECHO_REQUEST
+        assert back.quoted_target == 0
+
+    def test_decode_rejects_corrupt(self):
+        src = parse_addr("2001:db8::1")
+        dst = parse_addr("2001:db8::2")
+        msg = Icmpv6Message(IcmpType.ECHO_REQUEST, 0, src, dst)
+        wire = bytearray(encode(msg))
+        wire[0] ^= 0xFF
+        with pytest.raises(ValueError):
+            decode(src, dst, bytes(wire))
+
+    def test_decode_rejects_short(self):
+        with pytest.raises(ValueError):
+            decode(0, 0, b"\x01")
+
+    @given(addresses, addresses, addresses)
+    def test_roundtrip_property(self, src, dst, quoted):
+        msg = Icmpv6Message(IcmpType.TIME_EXCEEDED, 0, src, dst, quoted)
+        back = decode(src, dst, encode(msg))
+        assert back.quoted_target == quoted
+
+
+class TestOuiRegistry:
+    def test_bundled_has_avm(self):
+        reg = OuiRegistry.bundled()
+        assert reg.vendor_of_oui(0x3810D5) == "AVM"
+
+    def test_bundled_has_lancom(self):
+        reg = OuiRegistry.bundled()
+        assert reg.vendor_of_oui(0x00A057) == "Lancom Systems"
+
+    def test_vendor_of_mac(self):
+        reg = OuiRegistry.bundled()
+        assert reg.vendor_of_mac(0x3810D5AABBCC) == "AVM"
+
+    def test_unknown(self):
+        reg = OuiRegistry.bundled()
+        assert reg.vendor_of_oui(0xDEAD01) == UNKNOWN_VENDOR
+
+    def test_register_and_lookup(self):
+        reg = OuiRegistry(table={})
+        reg.register(0x123456, "TestVendor")
+        assert reg.vendor_of_oui(0x123456) == "TestVendor"
+        assert 0x123456 in reg
+        assert len(reg) == 1
+
+    def test_register_range_check(self):
+        reg = OuiRegistry(table={})
+        with pytest.raises(ValueError):
+            reg.register(1 << 24, "X")
+
+    def test_ouis_of_vendor(self):
+        reg = OuiRegistry.bundled()
+        avm = reg.ouis_of_vendor("AVM")
+        assert 0x3810D5 in avm
+        assert len(avm) >= 5
+
+    def test_vendors_sorted_unique(self):
+        reg = OuiRegistry.bundled()
+        vendors = reg.vendors()
+        assert list(vendors) == sorted(set(vendors))
+        assert "ZTE" in vendors
+
+    def test_describe(self):
+        reg = OuiRegistry.bundled()
+        assert "AVM" in reg.describe(0x3810D5)
+
+    def test_no_duplicate_ouis_in_bundle(self):
+        # vendor_oui_table raises on duplicates; loading proves uniqueness.
+        assert len(OuiRegistry.bundled()) > 50

@@ -1,0 +1,133 @@
+"""Tests for MAC helpers and the EUI-64 bijection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.eui64 import (
+    addr_is_eui64,
+    addr_to_mac,
+    eui64_iid_to_mac,
+    is_eui64_iid,
+    mac_to_eui64_iid,
+)
+from repro.net.mac import (
+    MAC_MAX,
+    format_mac,
+    format_oui,
+    is_locally_administered,
+    is_multicast_mac,
+    mac_from_oui,
+    oui_of,
+    parse_mac,
+    parse_oui,
+)
+
+macs = st.integers(min_value=0, max_value=MAC_MAX)
+
+
+class TestMacText:
+    def test_format(self):
+        assert format_mac(0x3810D5AABBCC) == "38:10:d5:aa:bb:cc"
+
+    def test_parse_colon(self):
+        assert parse_mac("38:10:d5:aa:bb:cc") == 0x3810D5AABBCC
+
+    def test_parse_dash_and_case(self):
+        assert parse_mac("38-10-D5-AA-BB-CC") == 0x3810D5AABBCC
+
+    def test_parse_bare_hex(self):
+        assert parse_mac("3810d5aabbcc") == 0x3810D5AABBCC
+
+    def test_parse_rejects_bad_octet_count(self):
+        with pytest.raises(ValueError):
+            parse_mac("38:10:d5:aa:bb")
+
+    def test_parse_rejects_oversize_octet(self):
+        with pytest.raises(ValueError):
+            parse_mac("338:10:d5:aa:bb:cc")
+
+    @given(macs)
+    def test_roundtrip(self, mac):
+        assert parse_mac(format_mac(mac)) == mac
+
+
+class TestOui:
+    def test_oui_of(self):
+        assert oui_of(0x3810D5AABBCC) == 0x3810D5
+
+    def test_format_parse_roundtrip(self):
+        assert parse_oui(format_oui(0x3810D5)) == 0x3810D5
+
+    def test_mac_from_oui(self):
+        assert mac_from_oui(0x3810D5, 0xAABBCC) == 0x3810D5AABBCC
+
+    def test_mac_from_oui_range_checks(self):
+        with pytest.raises(ValueError):
+            mac_from_oui(1 << 24, 0)
+        with pytest.raises(ValueError):
+            mac_from_oui(0, 1 << 24)
+
+
+class TestMacBits:
+    def test_multicast_bit(self):
+        assert is_multicast_mac(0x0100_0000_0000)
+        assert not is_multicast_mac(0x3810D5AABBCC)
+
+    def test_local_bit(self):
+        assert is_locally_administered(0x0200_0000_0000)
+        assert not is_locally_administered(0x3810D5AABBCC)
+
+
+class TestEui64:
+    def test_paper_figure1_example(self):
+        """The canonical conversion of the paper's example CPE MAC.
+
+        MAC 38:10:d5:aa:bb:cc -> IID 3a10:d5ff:feaa:bbcc (U/L bit of 0x38
+        flips to 0x3a; ff:fe inserted in the middle).
+        """
+        mac = parse_mac("38:10:d5:aa:bb:cc")
+        iid = mac_to_eui64_iid(mac)
+        assert iid == 0x3A10_D5FF_FEAA_BBCC
+
+    def test_detection(self):
+        assert is_eui64_iid(0x3A10_D5FF_FEAA_BBCC)
+        assert not is_eui64_iid(0x3A10_D5FF_FFAA_BBCC)
+        assert not is_eui64_iid(0)
+
+    def test_detection_rejects_out_of_range(self):
+        assert not is_eui64_iid(-1)
+        assert not is_eui64_iid(1 << 64)
+
+    def test_inverse(self):
+        mac = parse_mac("38:10:d5:aa:bb:cc")
+        assert eui64_iid_to_mac(mac_to_eui64_iid(mac)) == mac
+
+    def test_inverse_rejects_non_eui64(self):
+        with pytest.raises(ValueError):
+            eui64_iid_to_mac(0x1234)
+
+    def test_zero_mac_is_valid_eui64(self):
+        """The all-zero default MAC from the paper's Section 5.5."""
+        iid = mac_to_eui64_iid(0)
+        assert is_eui64_iid(iid)
+        assert eui64_iid_to_mac(iid) == 0
+
+    def test_addr_level_helpers(self):
+        mac = parse_mac("38:10:d5:aa:bb:cc")
+        addr = (0x2001_16B8_0000_0001 << 64) | mac_to_eui64_iid(mac)
+        assert addr_is_eui64(addr)
+        assert addr_to_mac(addr) == mac
+
+    @given(macs)
+    def test_bijection(self, mac):
+        iid = mac_to_eui64_iid(mac)
+        assert is_eui64_iid(iid)
+        assert eui64_iid_to_mac(iid) == mac
+
+    @given(macs)
+    def test_ul_bit_flipped(self, mac):
+        iid = mac_to_eui64_iid(mac)
+        mac_top = mac >> 40
+        iid_top = iid >> 56
+        assert iid_top == mac_top ^ 0x02

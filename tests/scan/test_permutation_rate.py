@@ -1,0 +1,181 @@
+"""Tests for scan-order permutations and rate limiting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scan.permutation import (
+    FeistelPermutation,
+    MultiplicativeCycle,
+    _miller_rabin,
+    next_prime,
+)
+from repro.scan.rate import IcmpRateLimiter, TokenBucket
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        assert _miller_rabin(2)
+        assert _miller_rabin(3)
+        assert _miller_rabin(65537)
+        assert not _miller_rabin(1)
+        assert not _miller_rabin(65536)
+        assert not _miller_rabin(561)  # Carmichael number
+
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(10) == 11
+        assert next_prime(65536) == 65537
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=50)
+    def test_next_prime_is_prime_and_greater(self, n):
+        p = next_prime(n)
+        assert p > n
+        assert _miller_rabin(p)
+
+
+class TestMultiplicativeCycle:
+    def test_is_permutation(self):
+        cycle = MultiplicativeCycle(1000, seed=42)
+        values = list(cycle)
+        assert sorted(values) == list(range(1000))
+
+    def test_deterministic_given_seed(self):
+        a = list(MultiplicativeCycle(500, seed=7))
+        b = list(MultiplicativeCycle(500, seed=7))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(MultiplicativeCycle(500, seed=1))
+        b = list(MultiplicativeCycle(500, seed=2))
+        assert a != b
+
+    def test_not_identity_order(self):
+        values = list(MultiplicativeCycle(1000, seed=3))
+        assert values != list(range(1000))
+
+    def test_domain_one(self):
+        assert list(MultiplicativeCycle(1, seed=9)) == [0]
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            MultiplicativeCycle(0, seed=1)
+
+    def test_first_k(self):
+        cycle = MultiplicativeCycle(100, seed=5)
+        first = cycle.first(10)
+        assert len(first) == 10
+        assert first == list(cycle)[:10]
+
+    @given(st.integers(min_value=1, max_value=3000), st.integers())
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_property(self, n, seed):
+        values = list(MultiplicativeCycle(n, seed))
+        assert sorted(values) == list(range(n))
+
+
+class TestFeistelPermutation:
+    def test_is_permutation(self):
+        perm = FeistelPermutation(1000, key=42)
+        values = [perm.forward(i) for i in range(1000)]
+        assert sorted(values) == list(range(1000))
+
+    def test_inverse(self):
+        perm = FeistelPermutation(1000, key=42)
+        for i in range(1000):
+            assert perm.inverse(perm.forward(i)) == i
+
+    def test_forward_of_inverse(self):
+        perm = FeistelPermutation(257, key=9)
+        for i in range(257):
+            assert perm.forward(perm.inverse(i)) == i
+
+    def test_different_keys_differ(self):
+        a = [FeistelPermutation(512, key=1).forward(i) for i in range(512)]
+        b = [FeistelPermutation(512, key=2).forward(i) for i in range(512)]
+        assert a != b
+
+    def test_domain_bounds_checked(self):
+        perm = FeistelPermutation(10, key=1)
+        with pytest.raises(ValueError):
+            perm.forward(10)
+        with pytest.raises(ValueError):
+            perm.inverse(-1)
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            FeistelPermutation(0, key=1)
+
+    def test_iter_matches_forward(self):
+        perm = FeistelPermutation(50, key=77)
+        assert list(perm) == [perm.forward(i) for i in range(50)]
+
+    @given(st.integers(min_value=1, max_value=5000), st.integers())
+    @settings(max_examples=40, deadline=None)
+    def test_bijection_property(self, n, key):
+        perm = FeistelPermutation(n, key)
+        sample = range(0, n, max(1, n // 64))
+        for i in sample:
+            f = perm.forward(i)
+            assert 0 <= f < n
+            assert perm.inverse(f) == i
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert bucket.try_consume(0.0)
+        assert bucket.try_consume(0.0)
+        assert bucket.try_consume(0.0)
+        assert not bucket.try_consume(0.0)
+
+    def test_refill(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        assert bucket.try_consume(0.0)
+        assert bucket.try_consume(0.0)
+        assert not bucket.try_consume(0.0)
+        assert bucket.try_consume(1.0)  # 2 tokens/s refilled
+
+    def test_capacity_capped(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0)
+        bucket.try_consume(0.0)
+        assert bucket.available(1000.0) == pytest.approx(2.0)
+
+    def test_backwards_time_clamped(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.try_consume(5.0)
+        assert bucket.try_consume(4.0)  # no refill, but remaining burst spends
+        assert not bucket.try_consume(3.5)
+        assert bucket.try_consume(6.0)  # refill resumes from t=5
+
+    def test_large_rewind_resets_bucket(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.try_consume(100.0)
+        assert bucket.try_consume(100.0)
+        assert not bucket.try_consume(100.0)
+        # Rewinding far past a full refill starts a fresh run.
+        assert bucket.try_consume(10.0)
+        assert bucket.try_consume(10.0)
+        assert not bucket.try_consume(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestIcmpRateLimiter:
+    def test_allows_within_rate(self):
+        limiter = IcmpRateLimiter(rate=10.0, burst=5.0)
+        allowed = sum(limiter.allow(i * 0.1) for i in range(20))
+        assert allowed == 20  # 10/s stream fits a 10/s limiter
+
+    def test_suppresses_burst(self):
+        limiter = IcmpRateLimiter(rate=1.0, burst=2.0)
+        results = [limiter.allow(0.0) for _ in range(5)]
+        assert results == [True, True, False, False, False]
+        assert limiter.emitted == 2
+        assert limiter.suppressed == 3

@@ -1,0 +1,199 @@
+"""Integration tests: scanners driving the simulated Internet."""
+
+import random
+
+import pytest
+
+from repro.net.addr import Prefix, iid_of
+from repro.net.eui64 import mac_to_eui64_iid
+from repro.scan.targets import (
+    iter_subnet_targets,
+    one_target_per_subnet,
+    random_iid_targets,
+    targets_for_pool,
+)
+from repro.scan.yarrp import TracerouteRecord, Yarrp
+from repro.scan.zmap import ScanConfig, Zmap6
+from repro.simnet.device import CpeDevice
+from repro.simnet.internet import SimInternet
+from repro.simnet.pool import RotationPool
+from repro.simnet.provider import Provider
+from repro.simnet.rotation import IncrementRotation
+
+
+@pytest.fixture()
+def internet() -> SimInternet:
+    pool = RotationPool(
+        prefix=Prefix.parse("2001:db8::/48"),
+        delegation_plen=56,
+        policy=IncrementRotation(interval_hours=24.0),
+        pool_key=42,
+    )
+    for i in range(32):
+        pool.add_device(CpeDevice(device_id=i + 1, mac=0x3810D5000200 + i))
+    provider = Provider(
+        asn=64512, name="T", country="DE",
+        bgp_prefixes=[Prefix.parse("2001:db8::/32")], pools=[pool],
+    )
+    return SimInternet([provider], core_answers_unrouted=False)
+
+
+class TestTargets:
+    def test_random_iid_targets_inside(self):
+        rng = random.Random(0)
+        prefix = Prefix.parse("2001:db8::/48")
+        targets = random_iid_targets(prefix, 50, rng)
+        assert len(targets) == 50
+        assert all(t in prefix for t in targets)
+
+    def test_random_iid_targets_count_validation(self):
+        with pytest.raises(ValueError):
+            random_iid_targets(Prefix.parse("2001:db8::/48"), -1, random.Random(0))
+
+    def test_one_target_per_subnet(self):
+        rng = random.Random(0)
+        prefix = Prefix.parse("2001:db8::/48")
+        targets = one_target_per_subnet(prefix, 56, rng)
+        assert len(targets) == 256
+        for index, target in enumerate(targets):
+            assert prefix.subnet_index(target, 56) == index
+
+    def test_one_target_per_subnet_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            one_target_per_subnet(Prefix.parse("2001:db8::/48"), 32, rng)
+        with pytest.raises(ValueError):
+            one_target_per_subnet(Prefix.parse("2001:db8::/48"), 65, rng)
+
+    def test_targets_for_pool_matches_subnet_generator(self):
+        prefix = Prefix.parse("2001:db8::/46")
+        a = targets_for_pool(prefix, 56, random.Random(5))
+        b = one_target_per_subnet(prefix, 56, random.Random(5))
+        assert a == b
+
+    def test_iter_variant_lazy_equivalence(self):
+        prefix = Prefix.parse("2001:db8::/56")
+        eager = one_target_per_subnet(prefix, 64, random.Random(3))
+        lazy = list(iter_subnet_targets(prefix, 64, random.Random(3)))
+        assert eager == lazy
+
+
+class TestZmap6:
+    def test_scan_finds_all_online_devices(self, internet):
+        pool = internet.providers[0].pools[0]
+        targets = one_target_per_subnet(pool.prefix, 56, random.Random(1))
+        scanner = Zmap6(internet, ScanConfig(seed=3))
+        result = scanner.scan(targets, start_seconds=0.0)
+        assert result.probes_sent == 256
+        expected_iids = {mac_to_eui64_iid(d.mac) for d in pool.devices}
+        observed_iids = {iid_of(r.source) for r in result.responses}
+        assert observed_iids == expected_iids
+
+    def test_same_seed_same_order(self, internet):
+        pool = internet.providers[0].pools[0]
+        targets = one_target_per_subnet(pool.prefix, 56, random.Random(1))
+        a = Zmap6(internet, ScanConfig(seed=3)).scan(targets)
+        b = Zmap6(internet, ScanConfig(seed=3)).scan(targets)
+        assert [r.target for r in a.responses] == [r.target for r in b.responses]
+
+    def test_different_seed_different_order(self, internet):
+        pool = internet.providers[0].pools[0]
+        targets = one_target_per_subnet(pool.prefix, 56, random.Random(1))
+        a = Zmap6(internet, ScanConfig(seed=3)).scan(targets)
+        b = Zmap6(internet, ScanConfig(seed=4)).scan(targets)
+        assert [r.target for r in a.responses] != [r.target for r in b.responses]
+
+    def test_rate_determines_duration(self, internet):
+        pool = internet.providers[0].pools[0]
+        targets = one_target_per_subnet(pool.prefix, 56, random.Random(1))
+        result = Zmap6(internet, ScanConfig(rate_pps=100.0)).scan(targets)
+        assert result.duration_seconds == pytest.approx(2.56)
+
+    def test_probe_times_spaced_by_rate(self, internet):
+        pool = internet.providers[0].pools[0]
+        targets = one_target_per_subnet(pool.prefix, 56, random.Random(1))
+        result = Zmap6(internet, ScanConfig(rate_pps=1000.0)).scan(targets, 50.0)
+        times = [r.time for r in result.responses]
+        assert all(50.0 <= t < 50.0 + 0.256 + 1e-9 for t in times)
+
+    def test_loss_reduces_responses(self, internet):
+        pool = internet.providers[0].pools[0]
+        targets = one_target_per_subnet(pool.prefix, 56, random.Random(1))
+        lossless = Zmap6(internet, ScanConfig(seed=1)).scan(targets)
+        lossy = Zmap6(internet, ScanConfig(seed=1, loss_rate=0.5)).scan(targets)
+        assert len(lossy.responses) < len(lossless.responses)
+
+    def test_loss_rate_validation(self):
+        with pytest.raises(ValueError):
+            ScanConfig(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            ScanConfig(rate_pps=0)
+
+    def test_result_helpers(self, internet):
+        pool = internet.providers[0].pools[0]
+        targets = one_target_per_subnet(pool.prefix, 56, random.Random(1))
+        result = Zmap6(internet, ScanConfig(seed=1)).scan(targets)
+        assert len(result.responders()) == 32
+        assert len(result.pairs()) == len(result.responses)
+        assert 0 < result.response_rate < 1
+
+    def test_scan_until_stops_early(self, internet):
+        pool = internet.providers[0].pools[0]
+        targets = one_target_per_subnet(pool.prefix, 56, random.Random(1))
+        want = mac_to_eui64_iid(pool.devices[7].mac)
+        response, sent = Zmap6(internet, ScanConfig(seed=9)).scan_until(targets, want)
+        assert response is not None
+        assert iid_of(response.source) == want
+        assert sent <= 256
+
+    def test_scan_until_miss_counts_all(self, internet):
+        pool = internet.providers[0].pools[0]
+        targets = one_target_per_subnet(pool.prefix, 56, random.Random(1))
+        response, sent = Zmap6(internet, ScanConfig(seed=9)).scan_until(targets, 0xDEAD)
+        assert response is None
+        assert sent == 256
+
+    def test_ordered_mode(self, internet):
+        pool = internet.providers[0].pools[0]
+        targets = one_target_per_subnet(pool.prefix, 56, random.Random(1))
+        config = ScanConfig(randomize_order=False)
+        result = Zmap6(internet, config).scan(targets)
+        probed_order = [r.target for r in result.responses]
+        assert probed_order == sorted(probed_order)
+
+    def test_empty_targets(self, internet):
+        result = Zmap6(internet).scan([])
+        assert result.probes_sent == 0
+        assert result.responses == []
+
+
+class TestYarrp:
+    def test_eui64_last_hops(self, internet):
+        pool = internet.providers[0].pools[0]
+        targets = [pool.delegation_of(i, 0.0).network + 1 for i in range(8)]
+        targets.append(Prefix.parse("2a00::/48").network + 1)  # unrouted
+        yarrp = Yarrp(internet, seed=2)
+        records = yarrp.eui64_last_hops(targets)
+        assert len(records) == 8
+        assert all(r.last_hop_is_eui64 for r in records)
+
+    def test_trace_all_counts(self, internet):
+        pool = internet.providers[0].pools[0]
+        targets = [pool.delegation_of(i, 0.0).network + 1 for i in range(4)]
+        records = Yarrp(internet, seed=2).trace_all(targets)
+        assert len(records) == 4
+        assert {r.target for r in records} == set(targets)
+
+    def test_record_last_responsive_hop(self):
+        record = TracerouteRecord(target=1, hops=(10, 20, None))
+        assert record.last_responsive_hop == 20
+        empty = TracerouteRecord(target=1, hops=(None, None))
+        assert empty.last_responsive_hop is None
+        assert not empty.last_hop_is_eui64
+
+    def test_rate_validation(self, internet):
+        with pytest.raises(ValueError):
+            Yarrp(internet, rate_pps=0)
+
+    def test_empty_targets(self, internet):
+        assert Yarrp(internet).trace_all([]) == []

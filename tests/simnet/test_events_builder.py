@@ -1,0 +1,210 @@
+"""Tests for scenario events and the paper-mix builder."""
+
+import math
+
+import pytest
+
+from repro.net.eui64 import mac_to_eui64_iid
+from repro.net.oui import OuiRegistry
+from repro.simnet.builder import (
+    InternetSpec,
+    PoolSpec,
+    ProviderSpec,
+    build_internet,
+    build_paper_internet,
+    next_device_id,
+    paper_internet_spec,
+)
+from repro.simnet.device import AddressingMode
+from repro.simnet.events import (
+    apply_vendor_remediation,
+    clone_mac_into_ases,
+    retire_device,
+    switch_provider,
+)
+from repro.simnet.rotation import IncrementRotation, NoRotation
+
+
+def tiny_spec(n_providers=2, occupancy=0.5) -> InternetSpec:
+    providers = tuple(
+        ProviderSpec(
+            asn=65000 + i,
+            name=f"ISP {i}",
+            country="DE" if i % 2 == 0 else "GR",
+            pools=(PoolSpec(48, 56, occupancy, IncrementRotation(24.0)),),
+            vendor_mix=(("AVM", 0.8), ("ZTE", 0.2)),
+        )
+        for i in range(n_providers)
+    )
+    return InternetSpec(providers=providers, seed=7)
+
+
+class TestBuildInternet:
+    def test_deterministic(self):
+        a = build_internet(tiny_spec())
+        b = build_internet(tiny_spec())
+        macs_a = sorted(d.mac for d in a.all_devices())
+        macs_b = sorted(d.mac for d in b.all_devices())
+        assert macs_a == macs_b
+
+    def test_device_count_matches_occupancy(self):
+        internet = build_internet(tiny_spec(n_providers=1, occupancy=0.5))
+        pool = internet.providers[0].pools[0]
+        assert pool.n_customers == 128  # half of 256 slots
+
+    def test_unique_device_ids_and_macs(self):
+        internet = build_internet(tiny_spec(n_providers=3))
+        devices = list(internet.all_devices())
+        ids = [d.device_id for d in devices]
+        macs = [d.mac for d in devices]
+        assert len(set(ids)) == len(ids)
+        assert len(set(macs)) == len(macs)
+
+    def test_vendor_mix_respected(self):
+        internet = build_internet(tiny_spec(n_providers=1))
+        registry = OuiRegistry.bundled()
+        vendors = [registry.vendor_of_mac(d.mac) for d in internet.all_devices()]
+        avm = sum(1 for v in vendors if v == "AVM")
+        assert avm / len(vendors) > 0.6
+
+    def test_synthetic_bgp_allocation_distinct(self):
+        internet = build_internet(tiny_spec(n_providers=4))
+        prefixes = {str(p.bgp_prefixes[0]) for p in internet.providers}
+        assert len(prefixes) == 4
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            PoolSpec(pool_plen=40)
+        with pytest.raises(ValueError):
+            PoolSpec(occupancy=0.0)
+        with pytest.raises(ValueError):
+            PoolSpec(pool_plen=48, delegation_plen=40)
+        with pytest.raises(ValueError):
+            ProviderSpec(asn=1, name="x", country="DE", pools=())
+        with pytest.raises(ValueError):
+            ProviderSpec(
+                asn=1, name="x", country="DE",
+                pools=(PoolSpec(),), vendor_mix=(("AVM", 0.5),),
+            )
+
+
+class TestEvents:
+    def test_switch_provider_moves_mac(self):
+        internet = build_internet(tiny_spec(n_providers=2))
+        pool_a = internet.providers[0].pools[0]
+        device = pool_a.devices[0]
+        new = switch_provider(
+            internet, device.device_id, from_asn=65000, to_asn=65001,
+            at_hours=100.0, next_device_id=next_device_id(internet),
+        )
+        assert new.mac == device.mac
+        assert device.active_until_hours == 100.0
+        assert new.active_from_hours == 100.0
+        assert not device.is_active(101.0)
+        assert new.is_active(101.0)
+        assert internet.providers[1].pools[0].customer_index_of(new.device_id) is not None
+
+    def test_switch_provider_unknown_device(self):
+        internet = build_internet(tiny_spec(n_providers=2))
+        with pytest.raises(ValueError):
+            switch_provider(internet, 10**9, 65000, 65001, 10.0, 1)
+
+    def test_clone_mac_into_ases(self):
+        internet = build_internet(tiny_spec(n_providers=3))
+        clones = clone_mac_into_ases(
+            internet, mac=0x3810D5FFFFFF, asns=[65000, 65001, 65002],
+            first_device_id=next_device_id(internet),
+        )
+        assert len(clones) == 3
+        assert len({c.device_id for c in clones}) == 3
+        assert all(c.mac == 0x3810D5FFFFFF for c in clones)
+
+    def test_remediation_switches_vendor_devices(self):
+        internet = build_internet(tiny_spec(n_providers=1))
+        registry = OuiRegistry.bundled()
+        count = apply_vendor_remediation(internet, "AVM", at_hours=500.0)
+        assert count > 0
+        for device in internet.all_devices():
+            if registry.vendor_of_mac(device.mac) == "AVM" and device.addressing is AddressingMode.EUI64:
+                assert device.addressing_at(501.0) is AddressingMode.PRIVACY
+                assert device.addressing_at(499.0) is AddressingMode.EUI64
+
+    def test_retire_device(self):
+        internet = build_internet(tiny_spec(n_providers=1))
+        device = internet.providers[0].pools[0].devices[0]
+        retire_device(internet, 65000, device.device_id, at_hours=50.0)
+        assert not device.is_active(51.0)
+
+
+class TestPaperInternet:
+    @pytest.fixture(scope="class")
+    def internet(self):
+        return build_paper_internet(seed=1, n_tail_ases=20)
+
+    def test_named_providers_present(self, internet):
+        for asn in (8881, 6799, 3320, 8422, 7552, 9146, 6568, 7682):
+            assert internet.provider_of_asn(asn) is not None
+
+    def test_versatel_prefix_matches_paper(self, internet):
+        versatel = internet.provider_of_asn(8881)
+        assert str(versatel.bgp_prefixes[0]) == "2001:16b8::/32"
+
+    def test_versatel_rotates_daily_increment(self, internet):
+        versatel = internet.provider_of_asn(8881)
+        pool = versatel.pools[0]
+        assert isinstance(pool.policy, IncrementRotation)
+        assert pool.policy.interval_hours == 24.0
+
+    def test_starcat_does_not_rotate(self, internet):
+        starcat = internet.provider_of_asn(7682)
+        assert isinstance(starcat.pools[0].policy, NoRotation)
+        assert starcat.pools[0].delegation_plen == 64
+
+    def test_bh_telecom_allocates_60s(self, internet):
+        bh = internet.provider_of_asn(9146)
+        assert bh.pools[0].delegation_plen == 60
+
+    def test_netcologne_avm_homogeneity(self, internet):
+        registry = OuiRegistry.bundled()
+        netcologne = internet.provider_of_asn(8422)
+        vendors = [registry.vendor_of_mac(d.mac) for d in netcologne.all_devices()]
+        assert sum(1 for v in vendors if v == "AVM") / len(vendors) > 0.99
+
+    def test_zero_mac_cloned_into_twelve_ases(self, internet):
+        holders = {
+            provider.asn
+            for provider in internet.providers
+            for device in provider.all_devices()
+            if device.mac == 0
+        }
+        assert len(holders) == 12
+
+    def test_provider_switch_devices_exist(self, internet):
+        # One MAC leaves AS3320 for AS8881, another the reverse.
+        by_mac: dict[int, set[int]] = {}
+        for provider in internet.providers:
+            if provider.asn not in (3320, 8881):
+                continue
+            for device in provider.all_devices():
+                by_mac.setdefault(device.mac, set()).add(provider.asn)
+        switchers = [mac for mac, asns in by_mac.items() if len(asns) == 2]
+        assert len(switchers) >= 2
+
+    def test_tail_countries_diverse(self, internet):
+        countries = {p.country for p in internet.providers}
+        assert len(countries) >= 10
+
+    def test_spec_inspectable(self):
+        spec = paper_internet_spec(seed=1, n_tail_ases=5)
+        assert len(spec.providers) == len(_named := [p for p in spec.providers if p.bgp_prefix]) + 5
+        assert all(p.pools for p in spec.providers)
+
+    def test_probe_smoke(self, internet):
+        versatel = internet.provider_of_asn(8881)
+        pool = versatel.pools[0]
+        delegation = pool.delegation_of(0, 12.0)
+        response = internet.probe(delegation.network + 3, 12.0 * 3600)
+        device = pool.devices[0]
+        if device.policy.responds and device.is_online(12.0):
+            assert response is not None
+            assert (response.source & ((1 << 64) - 1)) == mac_to_eui64_iid(device.mac)

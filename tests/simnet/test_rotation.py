@@ -1,0 +1,138 @@
+"""Tests for rotation policies: bijectivity, inversion, timing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.rotation import (
+    IncrementRotation,
+    NoRotation,
+    RotationPolicy,
+    ShuffleRotation,
+)
+
+POLICIES = [
+    NoRotation(),
+    IncrementRotation(interval_hours=24.0),
+    ShuffleRotation(interval_hours=24.0),
+]
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: type(p).__name__)
+class TestAssignmentBijection:
+    def test_slots_distinct_within_epoch(self, policy):
+        nslots, key = 64, 12345
+        slots = [policy.slot_of(i, 3, nslots, key) for i in range(nslots)]
+        assert sorted(slots) == list(range(nslots))
+
+    def test_customer_of_inverts_slot_of(self, policy):
+        nslots, key = 64, 999
+        for epoch in (0, 1, 7, -2):
+            for i in range(nslots):
+                slot = policy.slot_of(i, epoch, nslots, key)
+                assert policy.customer_of(slot, epoch, nslots, key) == i
+
+    def test_slot_in_range(self, policy):
+        nslots, key = 128, 77
+        for i in range(nslots):
+            assert 0 <= policy.slot_of(i, 5, nslots, key) < nslots
+
+
+class TestNoRotation:
+    def test_slot_static_across_epochs(self):
+        policy = NoRotation()
+        assert policy.slot_of(5, 0, 64, 1) == policy.slot_of(5, 100, 64, 1)
+
+    def test_rotates_flag(self):
+        assert not NoRotation().rotates
+        assert IncrementRotation().rotates
+        assert ShuffleRotation().rotates
+
+
+class TestIncrementRotation:
+    def test_increments_by_one_per_epoch(self):
+        """Figure 9: the slot advances by one each day, wrapping modulo
+        the pool size."""
+        policy = IncrementRotation(interval_hours=24.0)
+        nslots, key = 64, 42
+        for i in (0, 5, 33):
+            s0 = policy.slot_of(i, 0, nslots, key)
+            for epoch in range(1, 130):
+                assert policy.slot_of(i, epoch, nslots, key) == (s0 + epoch) % nslots
+
+    def test_epoch_advances_daily(self):
+        policy = IncrementRotation(interval_hours=24.0, rotation_hour=0.0)
+        assert policy.base_epoch(1.0) == 0
+        assert policy.base_epoch(23.9) == 0
+        assert policy.base_epoch(24.1) == 1
+        assert policy.base_epoch(-0.1) == -1
+
+    def test_rotation_hour_offsets_epoch(self):
+        policy = IncrementRotation(interval_hours=24.0, rotation_hour=6.0)
+        assert policy.base_epoch(5.9) == -1
+        assert policy.base_epoch(6.1) == 0
+
+    def test_jitter_within_window(self):
+        policy = IncrementRotation(interval_hours=24.0, window_hours=6.0)
+        for customer in range(50):
+            jitter = policy.customer_jitter(customer, pool_key=9)
+            assert 0.0 <= jitter < 6.0
+
+    def test_jitter_deterministic(self):
+        policy = IncrementRotation(interval_hours=24.0, window_hours=6.0)
+        assert policy.customer_jitter(7, 9) == policy.customer_jitter(7, 9)
+
+    def test_zero_window_means_zero_jitter(self):
+        policy = IncrementRotation(interval_hours=24.0)
+        assert policy.customer_jitter(7, 9) == 0.0
+
+    def test_offset_in_epoch(self):
+        policy = IncrementRotation(interval_hours=24.0, rotation_hour=3.0)
+        assert policy.offset_in_epoch(3.0) == pytest.approx(0.0)
+        assert policy.offset_in_epoch(10.5) == pytest.approx(7.5)
+        assert policy.offset_in_epoch(27.0 + 24.0) == pytest.approx(0.0)
+
+    def test_jitter_spreads_customers(self):
+        policy = IncrementRotation(interval_hours=24.0, window_hours=6.0)
+        jitters = {policy.customer_jitter(c, 3) for c in range(200)}
+        assert len(jitters) > 150  # near-unique stagger times
+
+
+class TestShuffleRotation:
+    def test_epochs_produce_different_assignments(self):
+        policy = ShuffleRotation(interval_hours=24.0)
+        nslots, key = 256, 5
+        a = [policy.slot_of(i, 0, nslots, key) for i in range(nslots)]
+        b = [policy.slot_of(i, 1, nslots, key) for i in range(nslots)]
+        assert a != b
+        moved = sum(1 for x, y in zip(a, b) if x != y)
+        assert moved > nslots // 2  # a real shuffle moves most customers
+
+
+class TestValidation:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IncrementRotation(interval_hours=0)
+
+    def test_window_must_fit_interval(self):
+        with pytest.raises(ValueError):
+            IncrementRotation(interval_hours=24.0, window_hours=24.0)
+        with pytest.raises(ValueError):
+            IncrementRotation(interval_hours=24.0, window_hours=-1.0)
+
+
+@given(
+    policy_index=st.integers(min_value=0, max_value=2),
+    nslots_pow=st.integers(min_value=1, max_value=12),
+    key=st.integers(min_value=0, max_value=2**31),
+    epoch=st.integers(min_value=-50, max_value=50),
+    customer=st.integers(min_value=0, max_value=4000),
+)
+@settings(max_examples=80, deadline=None)
+def test_inversion_property(policy_index, nslots_pow, key, epoch, customer):
+    policy: RotationPolicy = POLICIES[policy_index]
+    nslots = 2**nslots_pow
+    i = customer % nslots
+    slot = policy.slot_of(i, epoch, nslots, key)
+    assert 0 <= slot < nslots
+    assert policy.customer_of(slot, epoch, nslots, key) == i

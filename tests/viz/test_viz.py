@@ -1,0 +1,100 @@
+"""Tests for CDF math and ASCII rendering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.viz.ascii import render_cdf, render_series, render_table
+from repro.viz.cdf import cdf_points, fraction_at_or_below, quantile
+
+
+class TestCdf:
+    def test_points_simple(self):
+        points = cdf_points([1, 2, 3, 4])
+        assert points == [(1.0, 0.25), (2.0, 0.5), (3.0, 0.75), (4.0, 1.0)]
+
+    def test_duplicates_collapse(self):
+        points = cdf_points([1, 1, 2])
+        assert points == [(1.0, 2 / 3), (2.0, 1.0)]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+    def test_fraction_at_or_below(self):
+        values = [1, 2, 3, 4]
+        assert fraction_at_or_below(values, 2) == 0.5
+        assert fraction_at_or_below(values, 0) == 0.0
+        assert fraction_at_or_below(values, 9) == 1.0
+
+    def test_quantile(self):
+        values = list(range(1, 101))
+        assert quantile(values, 0.0) == 1
+        assert quantile(values, 1.0) == 100
+        assert abs(quantile(values, 0.5) - 50) <= 1
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1))
+    def test_cdf_monotone_ending_at_one(self, values):
+        points = cdf_points(values)
+        ys = [y for _, y in points]
+        xs = [x for x, _ in points]
+        assert ys == sorted(ys)
+        assert xs == sorted(set(xs))
+        assert ys[-1] == pytest.approx(1.0)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [["xxx", 1], ["y", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_no_rows(self):
+        text = render_table(["col"], [])
+        assert "col" in text
+
+
+class TestRenderSeries:
+    def test_basic_plot_shape(self):
+        text = render_series(
+            {"s": [(0, 0), (1, 1)]}, width=20, height=5, title="plot"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "plot"
+        assert sum(1 for line in lines if line.startswith("|")) == 5
+        assert "legend: *=s" in text
+
+    def test_marker_placement_extremes(self):
+        text = render_series({"s": [(0, 0), (10, 10)]}, width=11, height=5)
+        body = [line[1:] for line in text.splitlines() if line.startswith("|")]
+        assert body[0][-1] == "*"  # max lands top-right
+        assert body[-1][0] == "*"  # min lands bottom-left
+
+    def test_multiple_series_distinct_markers(self):
+        text = render_series({"a": [(0, 0)], "b": [(1, 1)]}, width=10, height=4)
+        assert "*=a" in text and "o=b" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_series({})
+        with pytest.raises(ValueError):
+            render_series({"s": []})
+
+    def test_render_cdf_smoke(self):
+        text = render_cdf({"d": [1, 2, 2, 3]}, width=20, height=5)
+        assert "CDF" in text
