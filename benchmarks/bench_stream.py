@@ -1,0 +1,114 @@
+"""Streaming ingestion throughput: batch vs. single-pass stream.
+
+The comparison is equal-capability: both modes must end with the same
+artifacts -- the observation corpus *and* the attacker's per-AS
+inferences (Algorithms 1 and 2) plus day-over-day rotation detection.
+Batch mode gets them the paper's way (store everything, then re-walk
+the corpus per analysis); streaming mode maintains them incrementally
+in the same single pass that fills the store.  The acceptance bar:
+single-pass ingestion at least matches the batch wall-clock.
+
+A second benchmark isolates the pure engine hot path (responses/second
+through ``StreamEngine.ingest``), which bounds what a faster simulator
+or a real packet feed could sustain.
+"""
+
+import time
+
+from repro.core.allocation import AllocationInference
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.rotation_detect import detect_rotating_prefixes
+from repro.core.rotation_pool import RotationPoolInference
+from repro.scan.zmap import ScanResult
+from repro.stream.campaign import StreamingCampaign
+from repro.stream.engine import StreamConfig, StreamEngine
+
+
+def _campaign(context, start_day):
+    prefixes = sorted(
+        context.pipeline_result.rotating_48s, key=lambda p: p.network
+    )
+    config = CampaignConfig(days=2, start_day=start_day, seed=context.scale.seed)
+    return Campaign(context.internet, prefixes, config)
+
+
+def _batch_postprocess(context, result):
+    """The re-walks batch mode needs to match the engine's live state."""
+    groups = result.store.group_eui64_by_asn(context.origin_of)
+    pools, allocations = {}, {}
+    for asn, observations in groups.items():
+        if asn == 0:
+            continue
+        try:
+            pools[asn] = RotationPoolInference.from_observations(asn, observations)
+            allocations[asn] = AllocationInference.from_observations(asn, observations)
+        except ValueError:
+            continue
+    days = result.store.days()
+    snapshots = []
+    for day in days:
+        snapshot = ScanResult()
+        snapshot.responses = result.store.on_day(day)  # ProbeResponse-compatible
+        snapshots.append(snapshot)
+    detections = [
+        detect_rotating_prefixes(a, b) for a, b in zip(snapshots, snapshots[1:])
+    ]
+    return pools, allocations, detections
+
+
+def test_stream_vs_batch_wallclock(benchmark, context):
+    t0 = time.perf_counter()
+    batch_result = _campaign(context, start_day=40).run()
+    batch_pools, _allocs, batch_detections = _batch_postprocess(context, batch_result)
+    batch_seconds = time.perf_counter() - t0
+
+    def run_streaming():
+        streaming = StreamingCampaign(_campaign(context, start_day=40))
+        streaming.run()
+        return streaming
+
+    streaming = benchmark.pedantic(run_streaming, rounds=1, iterations=1)
+    stream_seconds = benchmark.stats.stats.total
+    stream_result = streaming.result
+
+    # Equal capability, identical outputs.
+    assert stream_result.summary() == batch_result.summary()
+    assert list(stream_result.store) == list(batch_result.store)
+    live_rotating = streaming.engine.live_detection.rotating_prefixes
+    batch_rotating = set().union(*(d.rotating_prefixes for d in batch_detections))
+    assert live_rotating == batch_rotating
+    for asn, pool in batch_pools.items():
+        assert streaming.engine.pool_inference(asn).inferred_plen == pool.inferred_plen
+
+    responses = len(stream_result.store)
+    print(
+        f"\n2-day campaign, {responses} responses: "
+        f"batch (scan+store, then re-walk inferences) {batch_seconds:.2f}s, "
+        f"stream (single pass, live inferences) {stream_seconds:.2f}s "
+        f"({responses / stream_seconds:,.0f} responses/s end-to-end)"
+    )
+    # Single-pass ingestion must at least match batch wall-clock (25%
+    # slack absorbs single-round timer noise on a shared machine).
+    assert stream_seconds <= batch_seconds * 1.25
+
+
+def test_engine_ingest_throughput(benchmark, context):
+    corpus = list(context.campaign_result.store)
+
+    def ingest_all():
+        engine = StreamEngine(
+            StreamConfig(num_shards=8, keep_observations=False),
+            origin_of=context.origin_of,
+        )
+        engine.ingest_batch(corpus)
+        engine.flush()
+        return engine
+
+    engine = benchmark.pedantic(ingest_all, rounds=1, iterations=1)
+    seconds = benchmark.stats.stats.total
+    assert engine.responses_ingested == len(corpus)
+    print(
+        f"\nengine-only ingestion: {len(corpus)} responses in {seconds:.3f}s "
+        f"({len(corpus) / seconds:,.0f} responses/s), "
+        f"{len(engine.asns())} ASes live-inferred"
+    )

@@ -1,12 +1,23 @@
-"""Legacy setup shim.
+"""Package metadata and legacy install shim.
 
 The offline environment has setuptools but not the ``wheel`` package, so
-PEP 660 editable installs (which shell out to ``bdist_wheel``) fail.  This
-shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` take
-the classic ``setup.py develop`` path instead.  All real metadata lives in
-``pyproject.toml``.
+PEP 660 editable installs (which shell out to ``bdist_wheel``) fail.
+This classic ``setup.py`` keeps ``pip install -e . --no-use-pep517
+--no-build-isolation`` working and declares the full package tree under
+``src/`` so non-editable installs ship every subpackage
+(``repro.stream`` included).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-ipv6-prefix-rotation",
+    version="1.0.0",
+    description=(
+        'Reproduction of "Follow the Scent: Defeating IPv6 Prefix '
+        'Rotation Privacy" (IMC 2021)'
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -12,6 +12,9 @@ The package layers, bottom-up:
 * :mod:`repro.scan` -- zmap6- and yarrp-style scanners;
 * :mod:`repro.core` -- the paper's contribution: allocation-size and
   rotation-pool inference, discovery pipeline, campaigns, tracking;
+* :mod:`repro.stream` -- the online adversary: single-pass sharded
+  ingestion, incrementally updated inferences, live rotation tracking,
+  checkpoint/resume;
 * :mod:`repro.experiments` -- one driver per table/figure plus
   ablations;
 * :mod:`repro.viz` -- CDFs and ASCII rendering.
@@ -35,7 +38,7 @@ from repro.net.addr import Prefix, format_addr, parse_addr
 from repro.net.eui64 import eui64_iid_to_mac, is_eui64_iid, mac_to_eui64_iid
 from repro.net.mac import format_mac, parse_mac
 from repro.net.oui import OuiRegistry
-from repro.scan.zmap import ScanConfig, Zmap6
+from repro.scan.zmap import ScanConfig, ScanStream, Zmap6
 from repro.simnet.builder import (
     InternetSpec,
     PoolSpec,
@@ -44,6 +47,9 @@ from repro.simnet.builder import (
     build_paper_internet,
 )
 from repro.simnet.internet import SimInternet
+from repro.stream.campaign import StreamingCampaign
+from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.tracker import LivePursuit
 
 __version__ = "1.0.0"
 
@@ -55,6 +61,7 @@ __all__ = [
     "DeviceTracker",
     "DiscoveryPipeline",
     "InternetSpec",
+    "LivePursuit",
     "ObservationStore",
     "OuiRegistry",
     "PipelineConfig",
@@ -64,8 +71,12 @@ __all__ = [
     "ProviderSpec",
     "RotationPoolInference",
     "ScanConfig",
+    "ScanStream",
     "SearchSpaceBound",
     "SimInternet",
+    "StreamConfig",
+    "StreamEngine",
+    "StreamingCampaign",
     "TrackerConfig",
     "Zmap6",
     "build_internet",

@@ -15,11 +15,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
-from repro.core.records import ObservationStore
+from repro.core.records import ObservationStore, ProbeObservation
 from repro.net.addr import Prefix
 from repro.scan.targets import one_target_per_subnet
-from repro.scan.zmap import ScanConfig, Zmap6
+from repro.scan.zmap import ScanConfig, ScanStream, Zmap6
 from repro.simnet.clock import HOURS_PER_DAY, seconds
 from repro.simnet.internet import SimInternet
 
@@ -105,20 +106,80 @@ class Campaign:
     def targets(self) -> list[int]:
         return list(self._targets)
 
-    def run(self) -> CampaignResult:
-        """The full multi-day campaign."""
+    def day_schedule(self) -> list[tuple[int, float]]:
+        """``(day, scan start in seconds)`` for every campaign day."""
         config = self.config
-        result = CampaignResult(targets_per_day=len(self._targets))
+        return [
+            (
+                config.start_day + offset,
+                seconds((config.start_day + offset) * HOURS_PER_DAY + config.scan_hour),
+            )
+            for offset in range(config.days)
+        ]
+
+    def iter_day_streams(
+        self, start_offset: int = 0
+    ) -> Iterator[tuple[int, ScanStream]]:
+        """One lazy :class:`ScanStream` per remaining campaign day.
+
+        *start_offset* skips already-processed days, the resume hook for
+        checkpointed streaming campaigns.
+        """
+        config = self.config
         scanner = Zmap6(
             self.internet, ScanConfig(rate_pps=config.rate_pps, seed=config.seed)
         )
-        for offset in range(config.days):
-            day = config.start_day + offset
-            start = seconds(day * HOURS_PER_DAY + config.scan_hour)
-            scan = scanner.scan(self._targets, start_seconds=start)
-            result.probes_sent += scan.probes_sent
-            result.store.add_responses(scan.responses, day=day)
+        for day, start in self.day_schedule()[start_offset:]:
+            yield day, scanner.stream(self._targets, start_seconds=start)
+
+    def run(self) -> CampaignResult:
+        """The full multi-day campaign (batch form of :meth:`run_streaming`)."""
+        return self.run_streaming()
+
+    def run_streaming(
+        self,
+        consumer: Callable[[ProbeObservation], None] | None = None,
+        result: CampaignResult | None = None,
+        start_offset: int = 0,
+        max_days: int | None = None,
+        on_day_complete: Callable[[int], None] | None = None,
+    ) -> CampaignResult:
+        """Single-pass campaign: responses are handed to *consumer* as
+        they arrive and bulk-applied to the store once per scan.
+
+        Produces a result identical to batch mode -- both paths share the
+        scanner's probe loop and the store's :meth:`~repro.core.records.
+        ObservationStore.extend` fast path.  This is the one
+        correctness-critical ingest loop; every streaming driver
+        (including :class:`repro.stream.campaign.StreamingCampaign`)
+        runs through it.  Pass a partially filled *result* plus
+        *start_offset* to resume an interrupted campaign; *max_days*
+        bounds how many days this call processes, and *on_day_complete*
+        fires after each day's accounting (the checkpoint hook).
+        """
+        if result is None:
+            result = CampaignResult(targets_per_day=len(self._targets))
+        from_response = ProbeObservation.from_response
+        processed = 0
+        for day, stream in self.iter_day_streams(start_offset):
+            if max_days is not None and processed >= max_days:
+                break
+            observations = []
+            append = observations.append
+            if consumer is None:
+                for response in stream:
+                    append(from_response(response, day))
+            else:
+                for response in stream:
+                    observation = from_response(response, day)
+                    append(observation)
+                    consumer(observation)
+            result.store.extend(observations)
+            result.probes_sent += stream.probes_sent
             result.days_run += 1
+            processed += 1
+            if on_day_complete is not None:
+                on_day_complete(day)
         return result
 
     def run_hourly(

@@ -57,11 +57,18 @@ class ProbeObservation:
 
 
 class ObservationStore:
-    """Accumulates observations and serves the paper's standard queries."""
+    """Accumulates observations and serves the paper's standard queries.
+
+    All inserts flow through :meth:`extend`, which maintains every index
+    incrementally -- per-IID histories, the EUI-64 IID set, and per-day
+    slices -- so batch loading and streaming ingestion share one storage
+    layer with identical results.
+    """
 
     def __init__(self) -> None:
         self._observations: list[ProbeObservation] = []
         self._by_iid: dict[int, list[ProbeObservation]] = defaultdict(list)
+        self._by_day: dict[int, list[ProbeObservation]] = defaultdict(list)
         self._eui_iids: set[int] = set()
 
     def __len__(self) -> int:
@@ -71,20 +78,36 @@ class ObservationStore:
         return iter(self._observations)
 
     def add(self, observation: ProbeObservation) -> None:
-        self._observations.append(observation)
-        self._by_iid[observation.source_iid].append(observation)
-        if observation.is_eui64:
-            self._eui_iids.add(observation.source_iid)
+        self.extend((observation,))
+
+    def extend(self, observations: Iterable[ProbeObservation]) -> int:
+        """Bulk insert with incremental index maintenance.
+
+        The fast path of both batch loading (one call per scan) and
+        streaming ingestion (one call per micro-batch).  Each IID is
+        classified once per observation instead of once per index.
+        Returns how many observations were added.
+        """
+        batch = observations if isinstance(observations, list) else list(observations)
+        self._observations.extend(batch)
+        by_iid = self._by_iid
+        by_day = self._by_day
+        eui_iids = self._eui_iids
+        for observation in batch:
+            iid = iid_of(observation.source)
+            by_iid[iid].append(observation)
+            by_day[observation.day].append(observation)
+            if iid not in eui_iids and is_eui64_iid(iid):
+                eui_iids.add(iid)
+        return len(batch)
 
     def add_responses(
         self, responses: Iterable[ProbeResponse], day: int | None = None
     ) -> int:
         """Ingest a scan's responses; returns how many were added."""
-        count = 0
-        for response in responses:
-            self.add(ProbeObservation.from_response(response, day))
-            count += 1
-        return count
+        return self.extend(
+            [ProbeObservation.from_response(response, day) for response in responses]
+        )
 
     # -- summary counters (the Section 4/5 headline numbers) ---------------
 
@@ -120,7 +143,11 @@ class ObservationStore:
     # -- filtered views ------------------------------------------------------
 
     def on_day(self, day: int) -> list[ProbeObservation]:
-        return [o for o in self._observations if o.day == day]
+        return list(self._by_day.get(day, ()))
+
+    def days(self) -> list[int]:
+        """Every day with at least one observation, ascending."""
+        return sorted(self._by_day)
 
     def eui64_only(self) -> list[ProbeObservation]:
         return [o for o in self._observations if o.is_eui64]

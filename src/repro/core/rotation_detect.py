@@ -37,12 +37,47 @@ class RotationDetection:
         return len(self.rotating_prefixes)
 
 
+def eui64_pair(target: int, source: int) -> tuple[int, int] | None:
+    """The ``<target, response>`` pair if *source* carries an EUI-64 IID.
+
+    The unit of Section 4.3's comparison, shared by the batch detector
+    below and the streaming detector in :mod:`repro.stream.state`.
+    """
+    if is_eui64_iid(iid_of(source)):
+        return (target, source)
+    return None
+
+
 def _eui64_pairs(result: ScanResult) -> set[tuple[int, int]]:
     return {
-        (r.target, r.source)
+        pair
         for r in result.responses
-        if is_eui64_iid(iid_of(r.source))
+        if (pair := eui64_pair(r.target, r.source)) is not None
     }
+
+
+def target_prefix48(target: int) -> Prefix:
+    """The /48 containing a probed target (the flagging granularity)."""
+    return Prefix(target >> _NET48_SHIFT << _NET48_SHIFT, 48)
+
+
+def diff_pairs(
+    pairs_a: set[tuple[int, int]], pairs_b: set[tuple[int, int]]
+) -> RotationDetection:
+    """The snapshot comparison itself, over pre-extracted EUI-64 pairs.
+
+    Both the batch two-scan detector and the streaming day-over-day
+    detector reduce to this diff, so they flag identical prefixes.
+    """
+    common = pairs_a & pairs_b
+    changed = (pairs_a | pairs_b) - common
+
+    # A target whose EUI pair appears in only one snapshot changed; also
+    # catch targets answered by different EUI sources in the two scans.
+    detection = RotationDetection(changed_pairs=changed, stable_pairs=len(common))
+    for target, _source in changed:
+        detection.rotating_prefixes.add(target_prefix48(target))
+    return detection
 
 
 def detect_rotating_prefixes(
@@ -55,18 +90,7 @@ def detect_rotating_prefixes(
     EUI-to-nothing, and nothing-to-EUI transitions, exactly as the paper
     describes.
     """
-    pairs_a = _eui64_pairs(first)
-    pairs_b = _eui64_pairs(second)
-
-    common = pairs_a & pairs_b
-    changed = (pairs_a | pairs_b) - common
-
-    # A target whose EUI pair appears in only one snapshot changed; also
-    # catch targets answered by different EUI sources in the two scans.
-    detection = RotationDetection(changed_pairs=changed, stable_pairs=len(common))
-    for target, _source in changed:
-        detection.rotating_prefixes.add(Prefix(target >> _NET48_SHIFT << _NET48_SHIFT, 48))
-    return detection
+    return diff_pairs(_eui64_pairs(first), _eui64_pairs(second))
 
 
 def rotating_asns(

@@ -171,6 +171,42 @@ class DeviceTracker:
         response, sent = scanner.scan_until(targets, iid, start_seconds=start)
         return sent, response.source if response else None
 
+    def hunt_one_day(self, iid: int, last_known: int, day: int) -> DayOutcome:
+        """One day's pursuit of *iid* anchored at *last_known*.
+
+        The pool sweep plus the widening fallback, shared by the batch
+        :meth:`track` loop and the streaming pursuit in
+        :mod:`repro.stream.tracker` -- both therefore send identical
+        probes for a given (iid, anchor, day).
+        """
+        profile = self._profile_for(last_known)
+        probes, source = self._attempt(
+            iid, last_known, profile.pool_plen, profile.allocation_plen, day, 0
+        )
+        widenings = 0
+        pool_plen = profile.pool_plen
+        while (
+            source is None
+            and widenings < self.config.max_widenings
+            and self.config.widen_bits > 0
+            and pool_plen > self.config.widen_bits
+        ):
+            widenings += 1
+            pool_plen -= self.config.widen_bits
+            extra, source = self._attempt(
+                iid, last_known, pool_plen, profile.allocation_plen, day, widenings
+            )
+            probes += extra
+        found = source is not None
+        changed = bool(found and (source >> IID_BITS) != (last_known >> IID_BITS))
+        return DayOutcome(
+            day=day,
+            found=found,
+            probes_sent=probes,
+            source=source,
+            changed_prefix=changed,
+        )
+
     def track(
         self, iid: int, initial_address: int, days: list[int]
     ) -> IidTrack:
@@ -178,39 +214,10 @@ class DeviceTracker:
         track = IidTrack(iid=iid, initial_address=initial_address)
         last_known = initial_address
         for day in days:
-            profile = self._profile_for(last_known)
-            probes, source = self._attempt(
-                iid, last_known, profile.pool_plen, profile.allocation_plen, day, 0
-            )
-            widenings = 0
-            pool_plen = profile.pool_plen
-            while (
-                source is None
-                and widenings < self.config.max_widenings
-                and self.config.widen_bits > 0
-                and pool_plen > self.config.widen_bits
-            ):
-                widenings += 1
-                pool_plen -= self.config.widen_bits
-                extra, source = self._attempt(
-                    iid, last_known, pool_plen, profile.allocation_plen, day, widenings
-                )
-                probes += extra
-            found = source is not None
-            changed = bool(
-                found and (source >> IID_BITS) != (last_known >> IID_BITS)
-            )
-            track.outcomes.append(
-                DayOutcome(
-                    day=day,
-                    found=found,
-                    probes_sent=probes,
-                    source=source,
-                    changed_prefix=changed,
-                )
-            )
-            if found:
-                last_known = source
+            outcome = self.hunt_one_day(iid, last_known, day)
+            track.outcomes.append(outcome)
+            if outcome.found:
+                last_known = outcome.source
         return track
 
     def track_many(

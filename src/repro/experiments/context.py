@@ -75,14 +75,15 @@ class ExperimentContext:
             days=self.scale.campaign_days, start_day=2, seed=self.scale.seed
         )
 
-    @cached_property
-    def campaign_result(self) -> CampaignResult:
-        """The daily campaign over every rotation-flagged /48.
+    def build_campaign(self) -> Campaign:
+        """The campaign over every rotation-flagged /48 (not yet run).
 
         Probe granularity per /48 follows the allocation-size inference
         (the Section 6 refinement): /60-delegation prefixes get per-/60
         targets so their devices are actually observed; granularity is
-        capped at /60 to bound probe volume.
+        capped at /60 to bound probe volume.  Batch and streaming
+        drivers both construct their campaign here, so they probe
+        identical targets.
         """
         rotating = sorted(
             self.pipeline_result.rotating_48s, key=lambda p: p.network
@@ -94,10 +95,14 @@ class ExperimentContext:
                 continue
             for prefix in self.rotating_48s_by_asn.get(asn, ()):
                 overrides[prefix] = plen
-        campaign = Campaign(
+        return Campaign(
             self.internet, rotating, self.campaign_config, plen_overrides=overrides
         )
-        return campaign.run()
+
+    @cached_property
+    def campaign_result(self) -> CampaignResult:
+        """The daily campaign's batch-mode result."""
+        return self.build_campaign().run()
 
     @property
     def campaign_store(self) -> ObservationStore:

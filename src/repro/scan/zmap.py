@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Protocol, Sequence
+from typing import Iterable, Iterator, Protocol, Sequence
 
 from repro.net.icmpv6 import ProbeResponse
 from repro.scan.permutation import MultiplicativeCycle
@@ -86,11 +86,74 @@ class ScanResult:
         return {(r.target, r.source) for r in self.responses}
 
 
+class ScanStream:
+    """One scan as a lazy response iterator with live accounting.
+
+    Yields :class:`ProbeResponse` objects in probe order as they arrive;
+    ``probes_sent`` counts every probe processed so far (lost and
+    unanswered included), so a consumer that stops early still knows the
+    probe cost up to and including the last yielded response.  Probing
+    happens lazily: nothing is sent until the stream is iterated.
+    """
+
+    def __init__(
+        self,
+        network: ProbeNetwork,
+        config: ScanConfig,
+        ordered: Iterable[int],
+        start_seconds: float,
+    ) -> None:
+        self.started_at = start_seconds
+        self.probes_sent = 0
+        self._interval = 1.0 / config.rate_pps
+        self._iterator = self._probe_loop(network, config, ordered, start_seconds)
+
+    def _probe_loop(
+        self,
+        network: ProbeNetwork,
+        config: ScanConfig,
+        ordered: Iterable[int],
+        start_seconds: float,
+    ) -> Iterator[ProbeResponse]:
+        loss = config.loss_rate
+        loss_rng = random.Random(config.seed ^ 0x10552) if loss else None
+        interval = self._interval
+        now = start_seconds
+        for target in ordered:
+            self.probes_sent += 1
+            if loss_rng is not None and loss_rng.random() < loss:
+                now += interval
+                continue
+            response = network.probe(target, now)
+            now += interval
+            if response is not None:
+                yield response
+
+    def __iter__(self) -> Iterator[ProbeResponse]:
+        return self._iterator
+
+    @property
+    def duration_seconds(self) -> float:
+        """Simulated time occupied by the probes processed so far."""
+        return self.probes_sent * self._interval
+
+    def result(self) -> ScanResult:
+        """Drain the remaining probes and package a :class:`ScanResult`."""
+        result = ScanResult(started_at=self.started_at)
+        result.responses.extend(self._iterator)
+        result.probes_sent = self.probes_sent
+        result._duration = self.duration_seconds
+        return result
+
+
 class Zmap6:
     """The attacker's scanner.
 
     One instance may run many scans; each ``scan`` call is standalone and
-    deterministic given (targets, config, start time).
+    deterministic given (targets, config, start time).  ``stream`` is the
+    single probe loop underneath both ``scan`` and ``scan_until``: batch
+    and streaming consumers therefore see byte-identical probe orders,
+    loss decisions, and timings.
     """
 
     def __init__(self, network: ProbeNetwork, config: ScanConfig | None = None) -> None:
@@ -103,33 +166,23 @@ class Zmap6:
         cycle = MultiplicativeCycle(len(targets), seed=self.config.seed)
         return (targets[i] for i in cycle)
 
-    def scan(self, targets: Sequence[int], start_seconds: float = 0.0) -> ScanResult:
-        """Probe every target once, starting at *start_seconds*.
+    def stream(self, targets: Sequence[int], start_seconds: float = 0.0) -> ScanStream:
+        """Probe every target once, yielding responses as they arrive.
 
         Targets are probed in the seed-determined order at the configured
         rate; each probe ``i`` is sent at ``start + i / rate``.
         """
-        config = self.config
-        result = ScanResult(started_at=start_seconds)
-        loss = config.loss_rate
-        loss_rng = random.Random(config.seed ^ 0x10552) if loss else None
-        interval = 1.0 / config.rate_pps
+        return ScanStream(
+            self.network, self.config, self._ordered(targets), start_seconds
+        )
 
-        now = start_seconds
-        count = 0
-        for target in self._ordered(targets):
-            count += 1
-            if loss_rng is not None and loss_rng.random() < loss:
-                now += interval
-                continue
-            response = self.network.probe(target, now)
-            if response is not None:
-                result.responses.append(response)
-            now += interval
+    def scan(self, targets: Sequence[int], start_seconds: float = 0.0) -> ScanResult:
+        """Probe every target once, starting at *start_seconds*.
 
-        result.probes_sent = count
-        result._duration = count * interval
-        return result
+        Batch form of :meth:`stream`: drains the whole scan into a
+        :class:`ScanResult`.
+        """
+        return self.stream(targets, start_seconds).result()
 
     def scan_until(
         self,
@@ -143,21 +196,9 @@ class Zmap6:
         hunted EUI-64 IID shows up, and report how many probes it took.
         Returns ``(matching response | None, probes_sent)``.
         """
-        config = self.config
-        loss = config.loss_rate
-        loss_rng = random.Random(config.seed ^ 0x10552) if loss else None
-        interval = 1.0 / config.rate_pps
         iid_mask = (1 << 64) - 1
-
-        now = start_seconds
-        sent = 0
-        for target in self._ordered(targets):
-            sent += 1
-            if loss_rng is not None and loss_rng.random() < loss:
-                now += interval
-                continue
-            response = self.network.probe(target, now)
-            now += interval
-            if response is not None and (response.source & iid_mask) == want_source_iid:
-                return response, sent
-        return None, sent
+        stream = self.stream(targets, start_seconds)
+        for response in stream:
+            if (response.source & iid_mask) == want_source_iid:
+                return response, stream.probes_sent
+        return None, stream.probes_sent

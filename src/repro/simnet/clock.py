@@ -31,8 +31,14 @@ def day_of(t_hours: float) -> int:
 
 
 def hour_of_day(t_hours: float) -> float:
-    """Hours since the containing day's midnight, in [0, 24)."""
-    return t_hours - day_of(t_hours) * HOURS_PER_DAY
+    """Hours since the containing day's midnight, in [0, 24).
+
+    Clamped at 0: for tiny negative times the division inside
+    :func:`day_of` underflows to ``-0.0``, so the day rounds to 0 and
+    the raw difference would be a negative denormal.
+    """
+    hour = t_hours - day_of(t_hours) * HOURS_PER_DAY
+    return hour if hour > 0.0 else 0.0
 
 
 def day_start(day: int) -> float:

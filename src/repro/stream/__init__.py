@@ -1,0 +1,50 @@
+"""repro.stream: online ingestion and live rotation tracking.
+
+The batch layers (:mod:`repro.core`) model the paper as post-processing:
+scan all day, then correlate.  This package models the paper's actual
+threat: an adversary that updates its inferences *as each response
+arrives*, keeps them current across a multi-week campaign, survives
+interruption, and re-anchors its pursuits the moment a hunted device
+resurfaces.
+
+Layout:
+
+* :mod:`repro.stream.shard` -- deterministic response -> shard routing
+  (/32 or origin-AS keyed) so hot-path aggregates stay small and local;
+* :mod:`repro.stream.state` -- the O(1)-per-response aggregates that
+  replace batch re-walks (allocation spans, pool spans, rotation pairs);
+* :mod:`repro.stream.engine` -- :class:`StreamEngine`, the single-pass
+  ingestion core with always-current per-AS inferences, live rotation
+  detection, and a watchlist for passive device sightings;
+* :mod:`repro.stream.campaign` -- :class:`StreamingCampaign`, batch-
+  identical campaign execution with periodic checkpoints;
+* :mod:`repro.stream.tracker` -- :class:`LivePursuit`, the day-major
+  streaming tracker;
+* :mod:`repro.stream.checkpoint` -- JSON serialization of engine state.
+"""
+
+from repro.stream.campaign import StreamingCampaign
+from repro.stream.checkpoint import (
+    engine_state,
+    load_engine,
+    restore_engine,
+    save_engine,
+)
+from repro.stream.engine import Sighting, StreamConfig, StreamEngine
+from repro.stream.shard import ShardKey, ShardRouter
+from repro.stream.tracker import LivePursuit, PursuitState
+
+__all__ = [
+    "LivePursuit",
+    "PursuitState",
+    "ShardKey",
+    "ShardRouter",
+    "Sighting",
+    "StreamConfig",
+    "StreamEngine",
+    "StreamingCampaign",
+    "engine_state",
+    "load_engine",
+    "restore_engine",
+    "save_engine",
+]

@@ -1,0 +1,163 @@
+"""The streaming campaign: ingest-as-you-scan with checkpoint/resume.
+
+Wraps a batch :class:`~repro.core.campaign.Campaign` and drives its
+day streams through a :class:`StreamEngine` in a single pass: every
+response updates the live inferences as it arrives, and each scan's
+observations are bulk-applied to the result's
+:class:`~repro.core.records.ObservationStore` through its ``extend``
+fast path.  The resulting :class:`CampaignResult` is identical to
+``campaign.run()`` -- same store contents, same counters -- because
+both modes share the scanner's probe loop and the storage layer.
+
+``checkpoint_every`` writes an engine+progress+corpus checkpoint after
+every N completed days; :meth:`resume` picks a run back up from such a
+file, replaying nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+from repro.core.campaign import Campaign, CampaignResult
+from repro.stream.checkpoint import (
+    FORMAT_VERSION,
+    _restore_store,
+    _store_state,
+    engine_state,
+    restore_engine,
+)
+from repro.stream.engine import StreamConfig, StreamEngine
+
+
+class StreamingCampaign:
+    """Single-pass campaign execution over a live engine.
+
+    The engine runs store-less (aggregates only); the observation corpus
+    lives in ``result.store``, filled scan-by-scan through the bulk
+    path.  Queries that need raw observations use the result store;
+    queries the aggregates cover (inferences, rotation candidates,
+    sightings) come from the engine without touching the corpus.
+    """
+
+    def __init__(
+        self,
+        campaign: Campaign,
+        engine: StreamEngine | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 0,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if checkpoint_every and checkpoint_path is None:
+            raise ValueError("checkpoint_every requires a checkpoint_path")
+        self.campaign = campaign
+        self.result = CampaignResult(targets_per_day=len(campaign.targets))
+        if engine is None:
+            engine = StreamEngine(
+                StreamConfig(keep_observations=False),
+                origin_of=campaign.internet.rib.origin_of,
+            )
+        else:
+            self._adopt_engine(engine)
+        self.engine = engine
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.checkpoint_every = checkpoint_every
+
+    @staticmethod
+    def _adopt_engine(engine: StreamEngine) -> None:
+        """Make a caller-supplied engine store-less, consistently.
+
+        The campaign owns the corpus, so the engine must not keep its
+        own copy -- and its *config* must agree, or a checkpoint would
+        record ``keep_observations=True`` with a null store and resume
+        with a fresh empty store that silently accumulates only
+        post-resume observations.
+        """
+        if engine.store is not None and len(engine.store) > 0:
+            raise ValueError(
+                "engine already holds observations; StreamingCampaign owns "
+                "the corpus -- pass a fresh engine"
+            )
+        engine.store = None
+        engine.config = replace(engine.config, keep_observations=False)
+
+    @classmethod
+    def resume(
+        cls,
+        campaign: Campaign,
+        checkpoint_path: str | Path,
+        checkpoint_every: int = 0,
+    ) -> "StreamingCampaign":
+        """Rebuild a streaming campaign from a checkpoint file.
+
+        The rebuilt run continues from the first unprocessed day; the
+        engine, corpus, and counters come back exactly as written.
+        """
+        state = json.loads(Path(checkpoint_path).read_text())
+        if state.get("version") != FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version: {state.get('version')!r}")
+        streaming = cls(
+            campaign,
+            engine=restore_engine(
+                state["engine"], origin_of=campaign.internet.rib.origin_of
+            ),
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+        _restore_store(state["store"], streaming.result.store)
+        progress = state["progress"]
+        streaming.result.probes_sent = progress["probes_sent"]
+        streaming.result.days_run = progress["days_run"]
+        streaming.result.targets_per_day = progress["targets_per_day"]
+        return streaming
+
+    # -- execution ---------------------------------------------------------
+
+    def _write_checkpoint(self) -> None:
+        state = {
+            "version": FORMAT_VERSION,
+            "progress": {
+                "probes_sent": self.result.probes_sent,
+                "days_run": self.result.days_run,
+                "targets_per_day": self.result.targets_per_day,
+            },
+            "engine": engine_state(self.engine),
+            "store": _store_state(self.result.store),
+        }
+        tmp = self.checkpoint_path.with_suffix(self.checkpoint_path.suffix + ".tmp")
+        tmp.write_text(json.dumps(state))
+        tmp.replace(self.checkpoint_path)
+
+    def _on_day_complete(self, _day: int) -> None:
+        if (
+            self.checkpoint_every
+            and self.result.days_run % self.checkpoint_every == 0
+        ):
+            self._write_checkpoint()
+
+    def run(self, max_days: int | None = None) -> CampaignResult:
+        """Process remaining campaign days; returns the (shared) result.
+
+        Delegates the per-response loop to
+        :meth:`Campaign.run_streaming` -- the one ingest loop both batch
+        and streaming modes share -- with the engine as consumer.
+        *max_days* bounds how many days this call processes (the
+        interruption hook the checkpoint tests exercise).
+        """
+        self.campaign.run_streaming(
+            consumer=self.engine.ingest,
+            result=self.result,
+            start_offset=self.result.days_run,
+            max_days=max_days,
+            on_day_complete=self._on_day_complete,
+        )
+        self.engine.flush()
+        if self.checkpoint_path is not None:
+            self._write_checkpoint()
+        return self.result
+
+    @property
+    def finished(self) -> bool:
+        return self.result.days_run >= self.campaign.config.days

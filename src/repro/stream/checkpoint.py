@@ -1,0 +1,180 @@
+"""Checkpoint/resume for the streaming engine and streaming campaigns.
+
+Long campaigns (the paper's ran 44 days) must survive interruption.  A
+checkpoint captures the *attacker-side* state only -- engine aggregates,
+rotation windows, watchlist, and optionally the observation corpus --
+as deterministic JSON (sets are emitted sorted), so a resumed run is
+bit-identical to an uninterrupted one given the same probe stream.
+
+The simulated Internet itself is deliberately not checkpointed: a real
+adversary cannot snapshot the Internet either.  Rebuilding it from the
+same seed reproduces the same world; the only divergence risk is
+device-side ICMPv6 token-bucket state, which refills within seconds of
+simulated time and resets across large gaps (see ``TokenBucket``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+from repro.core.records import ObservationStore, ProbeObservation
+from repro.core.rotation_detect import RotationDetection
+from repro.net.addr import Prefix
+from repro.stream.engine import Sighting, StreamConfig, StreamEngine
+from repro.stream.shard import ShardKey
+from repro.stream.state import ShardState
+
+FORMAT_VERSION = 1
+
+
+def _detection_state(detection: RotationDetection) -> dict:
+    return {
+        "changed_pairs": sorted(list(p) for p in detection.changed_pairs),
+        "stable_pairs": detection.stable_pairs,
+        "rotating_prefixes": sorted(
+            [p.network, p.plen] for p in detection.rotating_prefixes
+        ),
+    }
+
+
+def _restore_detection(state: dict) -> RotationDetection:
+    return RotationDetection(
+        changed_pairs={(t, s) for t, s in state["changed_pairs"]},
+        rotating_prefixes={Prefix(n, plen) for n, plen in state["rotating_prefixes"]},
+        stable_pairs=state["stable_pairs"],
+    )
+
+
+def _shard_state(shard: ShardState) -> dict:
+    return {
+        "shard_id": shard.shard_id,
+        "n_observations": shard.n_observations,
+        "sources": sorted(shard.sources),
+        "eui_sources": sorted(shard.eui_sources),
+        "eui_iids": sorted(shard.eui_iids),
+        "alloc": sorted(
+            [asn, iid, day, span[0], span[1]]
+            for asn, spans in shard.alloc_spans.items()
+            for (iid, day), span in spans.items()
+        ),
+        "pool": sorted(
+            [asn, iid, span[0], span[1]]
+            for asn, spans in shard.pool_spans.items()
+            for iid, span in spans.items()
+        ),
+        "pairs": sorted(
+            [day, sorted(list(p) for p in pairs)]
+            for day, pairs in shard.pairs_by_day.items()
+        ),
+    }
+
+
+def _restore_shard(state: dict) -> ShardState:
+    shard = ShardState(shard_id=state["shard_id"])
+    shard.n_observations = state["n_observations"]
+    shard.sources = set(state["sources"])
+    shard.eui_sources = set(state["eui_sources"])
+    shard.eui_iids = set(state["eui_iids"])
+    for asn, iid, day, lo, hi in state["alloc"]:
+        shard.alloc_spans.setdefault(asn, {})[(iid, day)] = [lo, hi]
+    for asn, iid, lo, hi in state["pool"]:
+        shard.pool_spans.setdefault(asn, {})[iid] = [lo, hi]
+    for day, pairs in state["pairs"]:
+        shard.pairs_by_day[day] = {(t, s) for t, s in pairs}
+    return shard
+
+
+def _store_state(store: ObservationStore) -> list[list]:
+    return [[o.day, o.t_seconds, o.target, o.source] for o in store]
+
+
+def _restore_store(rows: list[list], store: ObservationStore | None = None) -> ObservationStore:
+    store = store if store is not None else ObservationStore()
+    store.extend(
+        [
+            ProbeObservation(day=day, t_seconds=t, target=target, source=source)
+            for day, t, target, source in rows
+        ]
+    )
+    return store
+
+
+def engine_state(engine: StreamEngine) -> dict:
+    """The engine's complete serializable state."""
+    state = {
+        "version": FORMAT_VERSION,
+        "config": {
+            "num_shards": engine.config.num_shards,
+            "shard_key": engine.config.shard_key.value,
+            "keep_observations": engine.config.keep_observations,
+        },
+        "current_day": engine.current_day,
+        "closed_through": engine._closed_through,
+        "days_seen": sorted(engine._days_seen),
+        "responses_ingested": engine.responses_ingested,
+        "watch_iids": sorted(engine._watch_iids),
+        "watched": sorted(
+            [iid, s.source, s.day, s.t_seconds] for iid, s in engine.watched.items()
+        ),
+        "detection": _detection_state(engine.live_detection),
+        "shards": [_shard_state(s) for s in engine.shards],
+        "store": _store_state(engine.store) if engine.store is not None else None,
+    }
+    return state
+
+
+def restore_engine(
+    state: dict,
+    origin_of: Callable[[int], int | None] | None = None,
+    store: ObservationStore | None = None,
+) -> StreamEngine:
+    """Rebuild an engine from :func:`engine_state` output.
+
+    *origin_of* is not serializable and must be re-supplied; pass
+    *store* to adopt an external store (e.g. a campaign result's)
+    instead of rebuilding one from the checkpoint rows.
+    """
+    if state.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version: {state.get('version')!r}")
+    config = StreamConfig(
+        num_shards=state["config"]["num_shards"],
+        shard_key=ShardKey(state["config"]["shard_key"]),
+        keep_observations=state["config"]["keep_observations"],
+    )
+    engine = StreamEngine(config, origin_of=origin_of, store=store)
+    engine.current_day = state["current_day"]
+    engine._closed_through = state["closed_through"]
+    engine._days_seen = set(state["days_seen"])
+    engine.responses_ingested = state["responses_ingested"]
+    engine._watch_iids = set(state["watch_iids"])
+    engine.watched = {
+        iid: Sighting(source=source, day=day, t_seconds=t)
+        for iid, source, day, t in state["watched"]
+    }
+    engine.live_detection = _restore_detection(state["detection"])
+    engine.shards = [_restore_shard(s) for s in state["shards"]]
+    if state["store"] is not None and store is None and engine.store is not None:
+        _restore_store(state["store"], engine.store)
+    return engine
+
+
+def save_engine(engine: StreamEngine, path: str | Path) -> Path:
+    """Write the engine checkpoint atomically; returns the path."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(engine_state(engine)))
+    tmp.replace(path)
+    return path
+
+
+def load_engine(
+    path: str | Path,
+    origin_of: Callable[[int], int | None] | None = None,
+    store: ObservationStore | None = None,
+) -> StreamEngine:
+    """Read a checkpoint written by :func:`save_engine`."""
+    return restore_engine(
+        json.loads(Path(path).read_text()), origin_of=origin_of, store=store
+    )

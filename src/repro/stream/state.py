@@ -1,0 +1,179 @@
+"""Shard-local incremental state: the streaming engine's hot path.
+
+Everything the batch analyses recompute by re-walking the whole
+:class:`~repro.core.records.ObservationStore` is reducible to tiny
+running aggregates, updated in O(1) per response:
+
+* **Allocation inference** (Algorithm 1) needs, per (AS, IID, day), only
+  the min/max /64 number of the *targets* that elicited the IID --
+  ``allocation_bits`` is ``log2(max - min)``.
+* **Pool inference** (Algorithm 2) needs, per (AS, IID), only the
+  min/max /64 number of the IID's *response sources* across the whole
+  campaign.
+* **Rotation detection** (Section 4.3) needs per-day sets of
+  ``<target, EUI-64 response>`` pairs; consecutive days diff with
+  :func:`repro.core.rotation_detect.diff_pairs`, the same function the
+  batch detector uses, so live and batch flag identical prefixes.
+
+Aggregates are keyed by origin AS inside each shard; shard-level
+partials merge losslessly (min/max and set union commute), so any
+sharding of the response stream yields the same inferences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.allocation import AllocationInference, allocation_bits, plen_from_bits
+from repro.core.records import ProbeObservation
+from repro.core.rotation_pool import (
+    RotationPoolInference,
+    pool_bits,
+    pool_plen_from_bits,
+)
+from repro.net.addr import IID_BITS
+from repro.net.eui64 import _FFFE, _FFFE_SHIFT
+from repro.util import median
+
+Span = list[int]  # [lo, hi] running min/max, mutated in place
+
+_IID_MASK = (1 << IID_BITS) - 1
+
+
+def _update_span(spans: dict, key, value: int) -> None:
+    span = spans.get(key)
+    if span is None:
+        spans[key] = [value, value]
+    elif value < span[0]:
+        span[0] = value
+    elif value > span[1]:
+        span[1] = value
+
+
+def merge_spans(into: dict, other: dict) -> None:
+    """Merge another span table into *into* (losslessly -- min/max commute)."""
+    for key, span in other.items():
+        mine = into.get(key)
+        if mine is None:
+            into[key] = [span[0], span[1]]
+        else:
+            if span[0] < mine[0]:
+                mine[0] = span[0]
+            if span[1] > mine[1]:
+                mine[1] = span[1]
+
+
+@dataclass
+class ShardState:
+    """All incremental aggregates owned by one shard.
+
+    ``alloc_spans``: asn -> (iid, day) -> [min, max] target /64 number.
+    ``pool_spans``: asn -> iid -> [min, max] source /64 number.
+    ``pairs_by_day``: day -> set of changed-pair candidates, EUI-64 only.
+    """
+
+    shard_id: int = 0
+    n_observations: int = 0
+    sources: set[int] = field(default_factory=set)
+    eui_sources: set[int] = field(default_factory=set)
+    eui_iids: set[int] = field(default_factory=set)
+    alloc_spans: dict[int, dict[tuple[int, int], Span]] = field(default_factory=dict)
+    pool_spans: dict[int, dict[int, Span]] = field(default_factory=dict)
+    pairs_by_day: dict[int, set[tuple[int, int]]] = field(default_factory=dict)
+
+    def observe(self, observation: ProbeObservation, asn: int) -> None:
+        """Fold one observation into every aggregate.
+
+        O(1), and deliberately hand-inlined: this is the per-response
+        hot path the throughput benchmark measures.
+        """
+        self.n_observations += 1
+        source = observation.source
+        self.sources.add(source)
+        iid = source & _IID_MASK
+        if (iid >> _FFFE_SHIFT) & 0xFFFF != _FFFE:  # is_eui64_iid, inlined
+            return
+        self.eui_sources.add(source)
+        self.eui_iids.add(iid)
+        day = observation.day
+        target = observation.target
+
+        alloc = self.alloc_spans.get(asn)
+        if alloc is None:
+            alloc = self.alloc_spans[asn] = {}
+        t64 = target >> IID_BITS
+        span = alloc.get((iid, day))
+        if span is None:
+            alloc[(iid, day)] = [t64, t64]
+        elif t64 < span[0]:
+            span[0] = t64
+        elif t64 > span[1]:
+            span[1] = t64
+
+        pool = self.pool_spans.get(asn)
+        if pool is None:
+            pool = self.pool_spans[asn] = {}
+        s64 = source >> IID_BITS
+        span = pool.get(iid)
+        if span is None:
+            pool[iid] = [s64, s64]
+        elif s64 < span[0]:
+            span[0] = s64
+        elif s64 > span[1]:
+            span[1] = s64
+
+        pairs = self.pairs_by_day.get(day)
+        if pairs is None:
+            pairs = self.pairs_by_day[day] = set()
+        pairs.add((target, source))
+
+
+# -- merged-shard inference (identical to the batch algorithms) -----------
+
+
+def allocation_inference_from_spans(
+    asn: int, spans: dict[tuple[int, int], Span], day: int | None = None
+) -> AllocationInference:
+    """Algorithm 1 over incremental spans.
+
+    Matches :meth:`AllocationInference.from_observations` exactly: both
+    reduce each IID's targets to a /64-number spread, and the spread of a
+    set equals the spread of its running min/max.
+    """
+    per_iid: dict[int, Span] = {}
+    for (iid, span_day), span in spans.items():
+        if day is not None and span_day != day:
+            continue
+        mine = per_iid.get(iid)
+        if mine is None:
+            per_iid[iid] = [span[0], span[1]]
+        else:
+            mine[0] = min(mine[0], span[0])
+            mine[1] = max(mine[1], span[1])
+    if not per_iid:
+        raise ValueError(f"AS{asn}: no EUI-64 observations")
+
+    inference = AllocationInference(asn=asn)
+    sizes = []
+    for iid, (lo, hi) in per_iid.items():
+        bits = allocation_bits([lo, hi])
+        sizes.append(bits)
+        inference.per_iid_plen[iid] = plen_from_bits(bits)
+    inference.inferred_plen = plen_from_bits(median(sizes))
+    return inference
+
+
+def pool_inference_from_spans(
+    asn: int, spans: dict[int, Span]
+) -> RotationPoolInference:
+    """Algorithm 2 over incremental spans; matches the batch inference."""
+    if not spans:
+        raise ValueError(f"AS{asn}: no EUI-64 observations")
+    inference = RotationPoolInference(asn=asn)
+    sizes = []
+    for iid, (lo, hi) in spans.items():
+        bits = pool_bits([lo, hi])
+        sizes.append(bits)
+        inference.per_iid_plen[iid] = pool_plen_from_bits(bits)
+    inference.inferred_plen = pool_plen_from_bits(median(sizes))
+    return inference

@@ -8,7 +8,7 @@ tests in this module; it is the expensive part, built once.
 import pytest
 
 from repro.experiments import ablations, fig3, fig4, fig5, fig6, fig7, fig8, fig9
-from repro.experiments import fig10, fig11_12, headline, table1, tracking
+from repro.experiments import fig10, fig11_12, headline, streaming, table1, tracking
 from repro.experiments.context import ExperimentContext
 from repro.experiments.scale import SMALL
 
@@ -195,3 +195,18 @@ class TestHeadlineAndAblations:
         assert iid.collateral_rate < 0.1
         assert asn.collateral_rate == 1.0
         assert "A3" in result.render()
+
+
+class TestStreaming:
+    def test_batch_and_stream_identical(self, context):
+        result = streaming.run(context)
+        assert result.stores_identical
+        assert result.summaries_identical
+        assert result.inferences_identical
+        assert result.identical
+        assert result.responses > 0
+
+    def test_render(self, context):
+        text = streaming.run(context).render()
+        assert "batch" in text and "stream" in text
+        assert "identical" in text

@@ -123,6 +123,55 @@ class TestFeistelPermutation:
             assert perm.inverse(f) == i
 
 
+class TestPermutationEdgeCases:
+    """Degenerate and awkward domains both constructions must handle."""
+
+    @pytest.mark.parametrize("n", [0, -1, -100])
+    def test_non_positive_domains_rejected(self, n):
+        with pytest.raises(ValueError):
+            MultiplicativeCycle(n, seed=1)
+        with pytest.raises(ValueError):
+            FeistelPermutation(n, key=1)
+
+    def test_domain_one_is_identity(self):
+        assert list(MultiplicativeCycle(1, seed=123)) == [0]
+        perm = FeistelPermutation(1, key=123)
+        assert perm.forward(0) == 0
+        assert perm.inverse(0) == 0
+        assert list(perm) == [0]
+
+    def test_domain_two(self):
+        assert sorted(MultiplicativeCycle(2, seed=4)) == [0, 1]
+        perm = FeistelPermutation(2, key=4)
+        assert sorted(perm.forward(i) for i in range(2)) == [0, 1]
+        assert all(perm.inverse(perm.forward(i)) == i for i in range(2))
+
+    @pytest.mark.parametrize("n", [3, 6, 7, 100, 257, 1000, 4099])
+    def test_non_power_of_two_domains_full_cycle_unique(self, n):
+        """One full cycle visits every value exactly once -- no repeats,
+        no skips -- even when the domain is not a power of two (cycle
+        walking for Feistel, prime-gap skipping for the cycle)."""
+        from collections import Counter
+
+        cycle_counts = Counter(MultiplicativeCycle(n, seed=9))
+        assert cycle_counts == Counter({v: 1 for v in range(n)})
+        feistel_counts = Counter(FeistelPermutation(n, key=9))
+        assert feistel_counts == Counter({v: 1 for v in range(n)})
+
+    def test_prime_adjacent_domains(self):
+        """n such that n+1 is prime (no skipping) and n one past a prime
+        (maximal skipping) both cover the domain."""
+        for n in (4, 6, 10, 12):  # n+1 prime
+            assert sorted(MultiplicativeCycle(n, seed=2)) == list(range(n))
+        for n in (8, 12, 14, 18):  # n-1 prime -> p = next prime is farther
+            assert sorted(MultiplicativeCycle(n, seed=2)) == list(range(n))
+
+    def test_seed_changes_start_not_membership(self):
+        a = set(MultiplicativeCycle(97, seed=1))
+        b = set(MultiplicativeCycle(97, seed=2))
+        assert a == b == set(range(97))
+
+
 class TestTokenBucket:
     def test_burst_then_empty(self):
         bucket = TokenBucket(rate=1.0, burst=3.0)

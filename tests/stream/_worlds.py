@@ -1,0 +1,71 @@
+"""Deterministic small worlds for streaming-layer tests.
+
+Builders are functions (not session fixtures) because equivalence tests
+need *two independent but identical* worlds -- one consumed by the batch
+path, one by the streaming path -- and checkpoint tests need a third for
+the resumed run.
+"""
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.net.addr import Prefix
+from repro.simnet.device import AddressingMode, CpeDevice
+from repro.simnet.internet import SimInternet
+from repro.simnet.pool import RotationPool
+from repro.simnet.provider import Provider
+from repro.simnet.rotation import IncrementRotation, ShuffleRotation
+
+
+def make_provider(
+    asn: int,
+    bgp: str,
+    pool48: str,
+    delegation_plen: int,
+    policy,
+    n_devices: int,
+    country: str = "DE",
+) -> Provider:
+    pool = RotationPool(
+        prefix=Prefix.parse(pool48),
+        delegation_plen=delegation_plen,
+        policy=policy,
+        pool_key=7,
+    )
+    for i in range(n_devices):
+        pool.add_device(
+            CpeDevice(
+                device_id=asn * 10_000 + i,
+                mac=0x3810D5000000 + asn * 0x1000 + i,
+                addressing=AddressingMode.EUI64,
+            )
+        )
+    return Provider(
+        asn=asn, name=f"AS{asn}", country=country,
+        bgp_prefixes=[Prefix.parse(bgp)], pools=[pool],
+    )
+
+
+def build_rotating_internet() -> SimInternet:
+    """Two providers: a daily /56 increment rotator and a /60 shuffler.
+
+    Deterministic: every call builds an identical world, so batch and
+    streaming runs over separate instances see identical responses.
+    """
+    a = make_provider(
+        65001, "2001:db8::/32", "2001:db8::/48", 56,
+        IncrementRotation(interval_hours=24.0), 48, country="DE",
+    )
+    b = make_provider(
+        65002, "2001:db9::/32", "2001:db9::/48", 60,
+        ShuffleRotation(interval_hours=24.0), 64, country="GR",
+    )
+    return SimInternet([a, b], core_answers_unrouted=False)
+
+
+CAMPAIGN_PREFIXES = [Prefix.parse("2001:db8::/48"), Prefix.parse("2001:db9::/48")]
+CAMPAIGN_CONFIG = CampaignConfig(days=5, start_day=2, seed=3)
+
+
+def build_campaign(internet: SimInternet | None = None) -> Campaign:
+    return Campaign(
+        internet or build_rotating_internet(), CAMPAIGN_PREFIXES, CAMPAIGN_CONFIG
+    )

@@ -1,0 +1,12 @@
+"""Shared fixtures for streaming-layer tests (worlds live in _worlds.py)."""
+
+import pytest
+
+from _worlds import build_rotating_internet
+
+from repro.simnet.internet import SimInternet
+
+
+@pytest.fixture()
+def rotating_internet() -> SimInternet:
+    return build_rotating_internet()

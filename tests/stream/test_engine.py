@@ -1,0 +1,253 @@
+"""Engine unit tests: sharding, incremental aggregates, live detection,
+watchlist, and checkpoint round-trips."""
+
+import json
+
+import pytest
+
+from repro.core.allocation import AllocationInference
+from repro.core.records import ObservationStore, ProbeObservation
+from repro.core.rotation_detect import detect_rotating_prefixes
+from repro.core.rotation_pool import RotationPoolInference
+from repro.scan.zmap import ScanConfig, Zmap6
+from repro.stream.checkpoint import engine_state, load_engine, restore_engine, save_engine
+from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.shard import ShardKey, ShardRouter, net32_of
+from repro.stream.state import ShardState, merge_spans
+
+from _worlds import build_campaign, build_rotating_internet
+
+
+def run_small_campaign():
+    internet = build_rotating_internet()
+    campaign = build_campaign(internet)
+    return internet, campaign.run().store
+
+
+def fill_engine(num_shards=4, shard_key=ShardKey.PREFIX32, keep_observations=True):
+    internet, store = run_small_campaign()
+    engine = StreamEngine(
+        StreamConfig(num_shards=num_shards, shard_key=shard_key,
+                     keep_observations=keep_observations),
+        origin_of=internet.rib.origin_of,
+    )
+    engine.ingest_batch(iter(store))
+    engine.flush()
+    return internet, store, engine
+
+
+class TestShardRouter:
+    def test_deterministic_and_in_range(self):
+        router = ShardRouter(8)
+        addrs = [0x20010DB8 << 96 | i << 64 | 5 for i in range(64)]
+        shards = [router.shard_of(a) for a in addrs]
+        assert shards == [router.shard_of(a) for a in addrs]
+        assert all(0 <= s < 8 for s in shards)
+
+    def test_same_prefix32_same_shard(self):
+        router = ShardRouter(16)
+        base = 0x20010DB8 << 96
+        assert router.shard_of(base | 1) == router.shard_of(base | (1 << 90))
+
+    def test_asn_key_requires_origin(self):
+        with pytest.raises(ValueError):
+            ShardRouter(4, ShardKey.ASN)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+    def test_net32(self):
+        assert net32_of(0x20010DB8 << 96 | 42) == 0x20010DB8
+
+
+class TestSpans:
+    def test_merge_spans_is_minmax_union(self):
+        a = {1: [5, 9]}
+        b = {1: [2, 7], 2: [4, 4]}
+        merge_spans(a, b)
+        assert a == {1: [2, 9], 2: [4, 4]}
+
+    def test_observe_ignores_non_eui64(self):
+        shard = ShardState()
+        shard.observe(
+            ProbeObservation(day=0, t_seconds=0.0, target=1 << 64, source=7), asn=1
+        )
+        assert shard.n_observations == 1
+        assert not shard.eui_iids and not shard.alloc_spans
+
+
+class TestEngineInferenceEquivalence:
+    @pytest.mark.parametrize("num_shards", [1, 4])
+    @pytest.mark.parametrize("shard_key", [ShardKey.PREFIX32, ShardKey.ASN])
+    def test_matches_batch_algorithms(self, num_shards, shard_key):
+        internet, store, engine = fill_engine(num_shards, shard_key)
+        origin_of = internet.rib.origin_of
+        for asn in (65001, 65002):
+            batch_pool = RotationPoolInference.from_store(asn, store, origin_of)
+            live_pool = engine.pool_inference(asn)
+            assert live_pool.inferred_plen == batch_pool.inferred_plen
+            assert live_pool.per_iid_plen == batch_pool.per_iid_plen
+            batch_alloc = AllocationInference.from_store(asn, store, origin_of)
+            live_alloc = engine.allocation_inference(asn)
+            assert live_alloc.inferred_plen == batch_alloc.inferred_plen
+            assert live_alloc.per_iid_plen == batch_alloc.per_iid_plen
+
+    def test_day_filtered_allocation(self):
+        internet, store, engine = fill_engine()
+        origin_of = internet.rib.origin_of
+        day = store.days()[0]
+        batch = AllocationInference.from_store(65001, store, origin_of, day=day)
+        live = engine.allocation_inference(65001, day=day)
+        assert live.per_iid_plen == batch.per_iid_plen
+        assert live.inferred_plen == batch.inferred_plen
+
+    def test_summary_matches_store(self):
+        _internet, store, engine = fill_engine()
+        summary = engine.summary()
+        assert summary["responses"] == len(store)
+        assert summary["unique_addresses"] == len(store.unique_sources())
+        assert summary["unique_eui64_addresses"] == len(store.unique_eui64_sources())
+        assert summary["unique_eui64_iids"] == len(store.eui64_iids())
+
+    def test_as_profiles_well_formed(self):
+        _internet, _store, engine = fill_engine()
+        profiles = engine.as_profiles()
+        assert set(profiles) == {65001, 65002}
+        for profile in profiles.values():
+            assert profile.pool_plen <= profile.allocation_plen <= 64
+
+
+class TestLiveRotationDetection:
+    def test_matches_two_snapshot_batch_detector(self, rotating_internet):
+        import random
+
+        from repro.scan.targets import one_target_per_subnet
+        from repro.net.addr import Prefix
+
+        rng = random.Random(1)
+        targets = one_target_per_subnet(Prefix.parse("2001:db8::/48"), 56, rng)
+        scanner = Zmap6(rotating_internet, ScanConfig(seed=1))
+        snap_a = scanner.scan(targets, start_seconds=18 * 3600.0)
+        snap_b = scanner.scan(targets, start_seconds=42 * 3600.0)
+        batch = detect_rotating_prefixes(snap_a, snap_b)
+
+        engine = StreamEngine(StreamConfig(num_shards=4))
+        engine.ingest_responses(snap_a.responses, day=0)
+        engine.ingest_responses(snap_b.responses, day=1)
+        live = engine.flush()
+        assert live.changed_pairs == batch.changed_pairs
+        assert live.rotating_prefixes == batch.rotating_prefixes
+        assert live.stable_pairs == batch.stable_pairs
+
+    def test_accumulates_across_days(self):
+        _internet, _store, engine = fill_engine()
+        assert engine.live_detection.rotating_prefixes  # rotators flagged live
+
+    def test_rejects_backwards_days(self):
+        engine = StreamEngine(StreamConfig(num_shards=1))
+        obs = ProbeObservation(day=3, t_seconds=0.0, target=1, source=2)
+        engine.ingest(obs)
+        with pytest.raises(ValueError, match="backwards"):
+            engine.ingest(ProbeObservation(day=2, t_seconds=0.0, target=1, source=2))
+
+    def test_scanned_day_with_no_eui_pairs_still_diffs(self):
+        """EUI-to-nothing-to-EUI across a pair-less (but scanned) middle
+        day must flag both transitions, exactly like running the batch
+        detector on each consecutive snapshot pair."""
+        eui_source = (0x20010DB8 << 96) | 0x0219C6FFFE000001  # ff:fe marker
+        plain_source = (0x20010DB8 << 96) | 0x1234  # not EUI-64
+        eui_source_b = (0x20010DB9 << 96) | 0x0219C6FFFE000002
+        target = 0x20010DB8 << 96 | 7
+
+        engine = StreamEngine(StreamConfig(num_shards=2))
+        engine.ingest(ProbeObservation(day=0, t_seconds=0.0, target=target, source=eui_source))
+        engine.ingest(ProbeObservation(day=1, t_seconds=1.0, target=target, source=plain_source))
+        engine.ingest(ProbeObservation(day=2, t_seconds=2.0, target=target, source=eui_source_b))
+        live = engine.flush()
+
+        assert (target, eui_source) in live.changed_pairs  # disappeared day 1
+        assert (target, eui_source_b) in live.changed_pairs  # appeared day 2
+        assert live.changed_pairs == (
+            engine.rotation_between(0, 1).changed_pairs
+            | engine.rotation_between(1, 2).changed_pairs
+        )
+
+    def test_unscanned_gap_days_do_not_diff(self):
+        """A day gap (no scan at all) yields no snapshot to compare."""
+        eui_source = (0x20010DB8 << 96) | 0x0219C6FFFE000001
+        target = 0x20010DB8 << 96 | 7
+        engine = StreamEngine(StreamConfig(num_shards=1))
+        engine.ingest(ProbeObservation(day=0, t_seconds=0.0, target=target, source=eui_source))
+        engine.ingest(ProbeObservation(day=5, t_seconds=5.0, target=target, source=eui_source))
+        live = engine.flush()
+        assert not live.changed_pairs and not live.rotating_prefixes
+
+
+class TestWatchlist:
+    def test_sightings_track_freshest(self):
+        _internet, store, engine_unused = fill_engine()
+        some_iid = sorted(store.eui64_iids())[0]
+        history = store.observations_of_iid(some_iid)
+        engine = StreamEngine(StreamConfig(num_shards=2))
+        engine.watch(some_iid, initial_address=history[0].source)
+        engine.ingest_batch(iter(store))
+        sighting = engine.last_sighting(some_iid)
+        freshest = max(history, key=lambda o: o.t_seconds)
+        assert sighting.source == freshest.source
+        assert sighting.t_seconds == freshest.t_seconds
+
+    def test_unwatched_iids_not_tracked(self):
+        _internet, store, _engine = fill_engine()
+        engine = StreamEngine(StreamConfig(num_shards=2))
+        engine.ingest_batch(iter(store))
+        assert engine.last_sighting(12345) is None
+
+
+class TestCheckpoint:
+    def test_state_roundtrip_identical(self):
+        internet, _store, engine = fill_engine()
+        state = engine_state(engine)
+        # JSON round-trip, as a file-based resume would see it.
+        state = json.loads(json.dumps(state))
+        restored = restore_engine(state, origin_of=internet.rib.origin_of)
+        assert engine_state(restored) == engine_state(engine)
+        assert restored.pool_inference(65001).per_iid_plen == \
+            engine.pool_inference(65001).per_iid_plen
+        assert list(restored.store) == list(engine.store)
+
+    def test_save_load_file(self, tmp_path):
+        internet, _store, engine = fill_engine(keep_observations=False)
+        path = save_engine(engine, tmp_path / "engine.json")
+        restored = load_engine(path, origin_of=internet.rib.origin_of)
+        assert engine_state(restored) == engine_state(engine)
+        assert restored.store is None
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="version"):
+            restore_engine({"version": 999})
+
+    def test_resume_continues_ingestion(self):
+        internet, store, _engine = fill_engine()
+        days = store.days()
+        split = days[len(days) // 2]
+        first = [o for o in store if o.day < split]
+        rest = [o for o in store if o.day >= split]
+
+        engine_a = StreamEngine(
+            StreamConfig(num_shards=3), origin_of=internet.rib.origin_of
+        )
+        engine_a.ingest_batch(first)
+        resumed = restore_engine(
+            json.loads(json.dumps(engine_state(engine_a))),
+            origin_of=internet.rib.origin_of,
+        )
+        resumed.ingest_batch(rest)
+        resumed.flush()
+
+        whole = StreamEngine(
+            StreamConfig(num_shards=3), origin_of=internet.rib.origin_of
+        )
+        whole.ingest_batch(iter(store))
+        whole.flush()
+        assert engine_state(resumed) == engine_state(whole)
