@@ -49,6 +49,7 @@ from repro.simnet.builder import (
 from repro.simnet.internet import SimInternet
 from repro.stream.campaign import StreamingCampaign
 from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.parallel import ParallelStreamEngine
 from repro.stream.tracker import LivePursuit
 
 __version__ = "1.0.0"
@@ -64,6 +65,7 @@ __all__ = [
     "LivePursuit",
     "ObservationStore",
     "OuiRegistry",
+    "ParallelStreamEngine",
     "PipelineConfig",
     "PoolSpec",
     "Prefix",

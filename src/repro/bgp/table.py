@@ -27,11 +27,28 @@ class Route:
         return f"{self.prefix} <- AS{self.origin_asn}"
 
 
+# Memoization granularity for origin lookups: one cache slot per
+# covering /48.  Sound while every route is /48 or shorter -- the
+# longest match is then constant across a /48 -- which holds for this
+# model's providers (/32 advertisements; the paper's periphery unit is
+# the /48).  A more-specific insertion flips the table to uncached
+# bit-walks, so correctness never depends on the workload.
+_CACHE_PLEN = 48
+_CACHE_SHIFT = 128 - _CACHE_PLEN
+_MISS = object()
+
+
 class RoutingTable:
-    """A prefix -> origin-AS table with longest-match semantics."""
+    """A prefix -> origin-AS table with longest-match semantics.
+
+    ``origin_of`` -- the hot query: streaming ingestion and batch
+    AS-grouping both call it once per response -- memoizes its answers
+    per covering /48, invalidated on every advertise/withdraw.
+    """
 
     def __init__(self) -> None:
         self._trie: PrefixTrie[Route] = PrefixTrie()
+        self._origin_cache: dict[int, int | None] = {}
 
     def __len__(self) -> int:
         return len(self._trie)
@@ -39,10 +56,14 @@ class RoutingTable:
     def advertise(self, prefix: Prefix, origin_asn: int) -> None:
         """Install an advertisement, replacing any same-prefix route."""
         self._trie.insert(prefix, Route(prefix, origin_asn))
+        self._origin_cache.clear()
 
     def withdraw(self, prefix: Prefix) -> bool:
         """Remove the route for exactly *prefix*.  True if it existed."""
-        return self._trie.remove(prefix)
+        removed = self._trie.remove(prefix)
+        if removed:
+            self._origin_cache.clear()
+        return removed
 
     def lookup(self, addr: int) -> Route | None:
         """Longest-match route covering *addr*, or None if unrouted."""
@@ -50,9 +71,17 @@ class RoutingTable:
         return match[1] if match else None
 
     def origin_of(self, addr: int) -> int | None:
-        """Origin ASN for *addr*, or None if unrouted."""
-        route = self.lookup(addr)
-        return route.origin_asn if route else None
+        """Origin ASN for *addr*, or None if unrouted.  Memoized."""
+        if self._trie.max_plen > _CACHE_PLEN:
+            route = self.lookup(addr)
+            return route.origin_asn if route else None
+        key = addr >> _CACHE_SHIFT
+        asn = self._origin_cache.get(key, _MISS)
+        if asn is _MISS:
+            route = self.lookup(addr)
+            asn = route.origin_asn if route else None
+            self._origin_cache[key] = asn
+        return asn
 
     def bgp_prefix_of(self, addr: int) -> Prefix | None:
         """The encompassing advertised prefix for *addr* (Figure 7's x-axis)."""

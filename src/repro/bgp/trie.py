@@ -32,9 +32,22 @@ class PrefixTrie(Generic[V]):
     def __init__(self) -> None:
         self._root: _Node[V] = _Node()
         self._size = 0
+        self._max_plen = 0
 
     def __len__(self) -> int:
         return self._size
+
+    @property
+    def max_plen(self) -> int:
+        """Longest prefix length ever inserted (not lowered by removals).
+
+        An upper bound on how specific any lookup answer can be, which
+        is what callers memoizing longest-prefix-match results need: a
+        cache keyed on an address's covering /P is sound iff no route is
+        longer than /P.  Removals keep the bound conservative rather
+        than re-scanning the trie.
+        """
+        return self._max_plen
 
     def insert(self, prefix: Prefix, value: V) -> None:
         """Insert or replace the value stored at *prefix*."""
@@ -51,6 +64,8 @@ class PrefixTrie(Generic[V]):
             self._size += 1
         node.value = value
         node.has_value = True
+        if prefix.plen > self._max_plen:
+            self._max_plen = prefix.plen
 
     def exact(self, prefix: Prefix) -> V | None:
         """Value stored at exactly *prefix*, or None."""

@@ -16,8 +16,12 @@ Layout:
 * :mod:`repro.stream.engine` -- :class:`StreamEngine`, the single-pass
   ingestion core with always-current per-AS inferences, live rotation
   detection, and a watchlist for passive device sightings;
+* :mod:`repro.stream.parallel` -- :class:`ParallelStreamEngine`, the
+  multiprocess backend: sharded worker processes fed flat-tuple chunks,
+  merged back into a byte-identical engine view;
 * :mod:`repro.stream.campaign` -- :class:`StreamingCampaign`, batch-
-  identical campaign execution with periodic checkpoints;
+  identical campaign execution with periodic checkpoints (opts into the
+  parallel backend via ``workers=N``);
 * :mod:`repro.stream.tracker` -- :class:`LivePursuit`, the day-major
   streaming tracker;
 * :mod:`repro.stream.checkpoint` -- JSON serialization of engine state.
@@ -31,11 +35,13 @@ from repro.stream.checkpoint import (
     save_engine,
 )
 from repro.stream.engine import Sighting, StreamConfig, StreamEngine
-from repro.stream.shard import ShardKey, ShardRouter
+from repro.stream.parallel import ParallelStreamEngine
+from repro.stream.shard import ShardKey, ShardRouter, shard_index
 from repro.stream.tracker import LivePursuit, PursuitState
 
 __all__ = [
     "LivePursuit",
+    "ParallelStreamEngine",
     "PursuitState",
     "ShardKey",
     "ShardRouter",
@@ -47,4 +53,5 @@ __all__ = [
     "load_engine",
     "restore_engine",
     "save_engine",
+    "shard_index",
 ]

@@ -29,6 +29,7 @@ from repro.stream.checkpoint import (
     restore_engine,
 )
 from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.parallel import ParallelStreamEngine
 
 
 class StreamingCampaign:
@@ -39,6 +40,13 @@ class StreamingCampaign:
     path.  Queries that need raw observations use the result store;
     queries the aggregates cover (inferences, rotation candidates,
     sightings) come from the engine without touching the corpus.
+
+    ``workers`` opts the campaign into the multiprocess ingestion
+    backend: responses are dispatched to that many worker processes and
+    ``self.engine`` becomes the merged view, refreshed at every day the
+    run stops on and at every checkpoint.  Checkpoints are byte-for-byte
+    the same in both modes, so a run may freely switch worker counts --
+    or drop back to single-process -- across resumes.
     """
 
     def __init__(
@@ -47,11 +55,15 @@ class StreamingCampaign:
         engine: StreamEngine | None = None,
         checkpoint_path: str | Path | None = None,
         checkpoint_every: int = 0,
+        workers: int = 0,
+        batch_rows: int = 8192,
     ) -> None:
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
         if checkpoint_every and checkpoint_path is None:
             raise ValueError("checkpoint_every requires a checkpoint_path")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
         self.campaign = campaign
         self.result = CampaignResult(targets_per_day=len(campaign.targets))
         if engine is None:
@@ -62,8 +74,32 @@ class StreamingCampaign:
         else:
             self._adopt_engine(engine)
         self.engine = engine
+        self.workers = workers
+        self._parallel: ParallelStreamEngine | None = None
+        if workers:
+            # The (possibly checkpoint-restored) engine seeds the
+            # dispatcher: its aggregates fold into every merge and its
+            # watchlist/day state carries over, so an empty engine is
+            # simply a zero-cost base.
+            self._parallel = ParallelStreamEngine(
+                engine.config,
+                origin_of=campaign.internet.rib.origin_of,
+                num_workers=workers,
+                batch_rows=batch_rows,
+                base=engine,
+            )
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.checkpoint_every = checkpoint_every
+
+    @property
+    def live_engine(self) -> "StreamEngine | ParallelStreamEngine":
+        """The object live queries and watchlist calls should target.
+
+        Single-process mode: the engine itself.  Parallel mode: the
+        dispatcher, whose ``watch``/``last_sighting`` are stream-exact
+        while ``self.engine`` is only a merged snapshot.
+        """
+        return self._parallel if self._parallel is not None else self.engine
 
     @staticmethod
     def _adopt_engine(engine: StreamEngine) -> None:
@@ -89,11 +125,15 @@ class StreamingCampaign:
         campaign: Campaign,
         checkpoint_path: str | Path,
         checkpoint_every: int = 0,
+        workers: int = 0,
+        batch_rows: int = 8192,
     ) -> "StreamingCampaign":
         """Rebuild a streaming campaign from a checkpoint file.
 
         The rebuilt run continues from the first unprocessed day; the
-        engine, corpus, and counters come back exactly as written.
+        engine, corpus, and counters come back exactly as written.  The
+        worker count is an execution choice, not checkpoint state: any
+        *workers* value resumes any checkpoint.
         """
         state = json.loads(Path(checkpoint_path).read_text())
         if state.get("version") != FORMAT_VERSION:
@@ -105,6 +145,8 @@ class StreamingCampaign:
             ),
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
+            workers=workers,
+            batch_rows=batch_rows,
         )
         _restore_store(state["store"], streaming.result.store)
         progress = state["progress"]
@@ -130,11 +172,23 @@ class StreamingCampaign:
         tmp.write_text(json.dumps(state))
         tmp.replace(self.checkpoint_path)
 
+    def _refresh_engine(self) -> None:
+        """In parallel mode, re-materialize ``self.engine`` as the
+        merged view (shutting the workers down once the campaign is
+        done); single-process mode needs nothing."""
+        if self._parallel is None:
+            return
+        if self.finished:
+            self.engine = self._parallel.finalize()
+        else:
+            self.engine = self._parallel.snapshot_engine()
+
     def _on_day_complete(self, _day: int) -> None:
         if (
             self.checkpoint_every
             and self.result.days_run % self.checkpoint_every == 0
         ):
+            self._refresh_engine()
             self._write_checkpoint()
 
     def run(self, max_days: int | None = None) -> CampaignResult:
@@ -142,18 +196,27 @@ class StreamingCampaign:
 
         Delegates the per-response loop to
         :meth:`Campaign.run_streaming` -- the one ingest loop both batch
-        and streaming modes share -- with the engine as consumer.
-        *max_days* bounds how many days this call processes (the
-        interruption hook the checkpoint tests exercise).
+        and streaming modes share -- with the engine (or the parallel
+        dispatcher) as consumer.  *max_days* bounds how many days this
+        call processes (the interruption hook the checkpoint tests
+        exercise).
         """
+        consumer = self._parallel.ingest if self._parallel else self.engine.ingest
         self.campaign.run_streaming(
-            consumer=self.engine.ingest,
+            consumer=consumer,
             result=self.result,
             start_offset=self.result.days_run,
             max_days=max_days,
             on_day_complete=self._on_day_complete,
         )
-        self.engine.flush()
+        if self._parallel is not None:
+            if not self.finished:
+                self._parallel.flush()
+            # finished: _refresh_engine finalizes, which flushes itself
+            # (and is a cached no-op if a prior run already finalized).
+            self._refresh_engine()
+        else:
+            self.engine.flush()
         if self.checkpoint_path is not None:
             self._write_checkpoint()
         return self.result

@@ -109,6 +109,7 @@ def engine_state(engine: StreamEngine) -> dict:
             "num_shards": engine.config.num_shards,
             "shard_key": engine.config.shard_key.value,
             "keep_observations": engine.config.keep_observations,
+            "retain_days": engine.config.retain_days,
         },
         "current_day": engine.current_day,
         "closed_through": engine._closed_through,
@@ -142,6 +143,8 @@ def restore_engine(
         num_shards=state["config"]["num_shards"],
         shard_key=ShardKey(state["config"]["shard_key"]),
         keep_observations=state["config"]["keep_observations"],
+        # .get(): additive field, pre-retention checkpoints still load.
+        retain_days=state["config"].get("retain_days"),
     )
     engine = StreamEngine(config, origin_of=origin_of, store=store)
     engine.current_day = state["current_day"]

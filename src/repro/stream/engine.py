@@ -30,6 +30,8 @@ from repro.core.records import ObservationStore, ProbeObservation
 from repro.core.rotation_detect import RotationDetection, diff_pairs
 from repro.core.rotation_pool import RotationPoolInference
 from repro.core.tracker import AsProfile
+from repro.net.addr import IID_BITS, IID_MASK
+from repro.net.eui64 import _FFFE, _FFFE_SHIFT
 from repro.net.icmpv6 import ProbeResponse
 from repro.stream.shard import ShardKey, ShardRouter
 from repro.stream.state import (
@@ -37,6 +39,7 @@ from repro.stream.state import (
     allocation_inference_from_spans,
     merge_spans,
     pool_inference_from_spans,
+    prune_shard_days,
 )
 
 
@@ -48,15 +51,26 @@ class StreamConfig:
     :class:`ObservationStore` (needed for byte-identical batch
     equivalence and for analyses the aggregates don't cover); disable it
     for bounded-memory ingestion at scale.
+
+    ``retain_days`` bounds how many per-day rotation pair sets stay
+    memory-resident: after a day closes, anything older than the newest
+    *retain_days* days is dropped.  The live day-over-day diff needs
+    exactly 2 (the closing day and the accumulating one), so
+    ``retain_days=2`` gives a constant-memory indefinite run; ``None``
+    (the default) keeps every day for on-demand
+    :meth:`StreamEngine.rotation_between` queries.
     """
 
     num_shards: int = 8
     shard_key: ShardKey = ShardKey.PREFIX32
     keep_observations: bool = True
+    retain_days: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        if self.retain_days is not None and self.retain_days < 2:
+            raise ValueError("retain_days must be >= 2 (the live diff needs 2 days)")
 
 
 @dataclass
@@ -71,6 +85,26 @@ class Sighting:
     source: int
     day: int
     t_seconds: float | None
+
+
+def update_sighting(
+    watched: dict[int, Sighting], iid: int, source: int, day: int, t_seconds: float
+) -> None:
+    """Record an observation of a watched IID if it is the freshest.
+
+    The one freshness rule (strictly newer ``t_seconds`` wins, so the
+    first arrival keeps a tie), shared by every ingest path -- the
+    engine's, its batch fast path, and the parallel dispatcher's.
+    Callers gate on the watch set first; this only runs for watched
+    IIDs, off the hot path.
+    """
+    sighting = watched.get(iid)
+    if sighting is None:
+        watched[iid] = Sighting(source=source, day=day, t_seconds=t_seconds)
+    elif sighting.t_seconds is None or t_seconds > sighting.t_seconds:
+        sighting.source = source
+        sighting.day = day
+        sighting.t_seconds = t_seconds
 
 
 class StreamEngine:
@@ -104,6 +138,10 @@ class StreamEngine:
         # paper's unit), so origin -- and hence ASN-keyed sharding -- is
         # constant within a /48; /32-keyed sharding is coarser still.
         self._route_cache: dict[int, tuple[int, int]] = {}
+        # Batch fast path: per-/48 list of pre-resolved shard targets
+        # (bound set.add methods plus the per-AS span dicts), so the
+        # inner loop of ingest_batch touches no attributes at all.
+        self._fast_entries: dict[int, list] = {}
 
     # -- watchlist (live tracker pursuit) ---------------------------------
 
@@ -156,29 +194,132 @@ class StreamEngine:
         if self._watch_iids:
             iid = observation.source_iid
             if iid in self._watch_iids:
-                sighting = self.watched.get(iid)
-                if sighting is None:
-                    self.watched[iid] = Sighting(
-                        source=source, day=day, t_seconds=observation.t_seconds
-                    )
-                elif (
-                    sighting.t_seconds is None
-                    or observation.t_seconds > sighting.t_seconds
-                ):
-                    sighting.source = source
-                    sighting.day = day
-                    sighting.t_seconds = observation.t_seconds
+                update_sighting(self.watched, iid, source, day, observation.t_seconds)
 
     def ingest_response(self, response: ProbeResponse, day: int | None = None) -> None:
         self.ingest(ProbeObservation.from_response(response, day))
 
     def ingest_batch(self, observations: Iterable[ProbeObservation]) -> int:
-        """Bulk-apply a micro-batch; returns how many were ingested."""
-        ingest = self.ingest
+        """Bulk-apply a micro-batch; returns how many were ingested.
+
+        The measured fast path: one flat loop with every per-response
+        attribute lookup hoisted into the per-/48 entry cache (shard
+        routing, bound ``set.add`` methods, per-AS span dicts) and store
+        writes deferred to one bulk :meth:`ObservationStore.extend`.
+        State-identical to calling :meth:`ingest` per observation -- the
+        equivalence tests assert it -- just without the per-response
+        interpreter overhead.
+
+        ``repro.stream.parallel._apply_rows`` is this loop's hand-
+        inlined twin for worker processes; edits to the span/pair logic
+        must land in both (the worker-count-invariance tests pin them
+        identical).
+        """
+        shards = self.shards
+        entries = self._fast_entries
+        route_cache = self._route_cache
+        origin = self._origin_of
+        shard_of = self.router.shard_of
+        watch = self._watch_iids
+        watched = self.watched
+        store = self.store
+        keep: list[ProbeObservation] | None = [] if store is not None else None
+        days_seen = self._days_seen
+        current_day = self.current_day
         count = 0
-        for observation in observations:
-            ingest(observation)
-            count += 1
+        counts: dict[int, int] = {}
+        try:
+            for observation in observations:
+                day = observation.day
+                if day != current_day:
+                    if current_day is None:
+                        pass
+                    elif day < current_day:
+                        raise ValueError(
+                            f"stream went backwards: day {day} after day {current_day}"
+                        )
+                    else:
+                        # self.current_day still holds the old day here,
+                        # exactly as in the per-observation path.
+                        self._close_days_through(day - 1)
+                    current_day = day
+                    self.current_day = day
+                    days_seen.add(day)
+                source = observation.source
+                net48 = source >> 80
+                entry = entries.get(net48)
+                if entry is None:
+                    route = route_cache.get(net48)
+                    if route is None:
+                        asn = (origin(source) or 0) if origin else 0
+                        route = route_cache[net48] = (shard_of(source), asn)
+                    shard = shards[route[0]]
+                    # Span dicts start as None: they are created on the
+                    # first EUI-64 response, matching ShardState.observe.
+                    entry = entries[net48] = [
+                        route[0],
+                        shard.sources.add,
+                        shard.eui_sources.add,
+                        shard.eui_iids.add,
+                        None,
+                        None,
+                        shard.pairs_by_day,
+                        shard,
+                        route[1],
+                    ]
+                count += 1
+                sid = entry[0]
+                counts[sid] = counts.get(sid, 0) + 1
+                entry[1](source)
+                if keep is not None:
+                    keep.append(observation)
+                iid = source & IID_MASK
+                if (iid >> _FFFE_SHIFT) & 0xFFFF == _FFFE:  # is_eui64_iid
+                    entry[2](source)
+                    entry[3](iid)
+                    target = observation.target
+                    alloc = entry[4]
+                    if alloc is None:
+                        shard = entry[7]
+                        asn = entry[8]
+                        alloc = shard.alloc_spans.get(asn)
+                        if alloc is None:
+                            alloc = shard.alloc_spans[asn] = {}
+                        entry[4] = alloc
+                        pool = shard.pool_spans.get(asn)
+                        if pool is None:
+                            pool = shard.pool_spans[asn] = {}
+                        entry[5] = pool
+                    else:
+                        pool = entry[5]
+                    t64 = target >> IID_BITS
+                    span = alloc.get((iid, day))
+                    if span is None:
+                        alloc[(iid, day)] = [t64, t64]
+                    elif t64 < span[0]:
+                        span[0] = t64
+                    elif t64 > span[1]:
+                        span[1] = t64
+                    s64 = source >> IID_BITS
+                    span = pool.get(iid)
+                    if span is None:
+                        pool[iid] = [s64, s64]
+                    elif s64 < span[0]:
+                        span[0] = s64
+                    elif s64 > span[1]:
+                        span[1] = s64
+                    pairs = entry[6].get(day)
+                    if pairs is None:
+                        pairs = entry[6][day] = set()
+                    pairs.add((target, source))
+                if watch and iid in watch:
+                    update_sighting(watched, iid, source, day, observation.t_seconds)
+        finally:
+            self.responses_ingested += count
+            for sid, shard_count in counts.items():
+                shards[sid].n_observations += shard_count
+            if keep:
+                store.extend(keep)
         return count
 
     def ingest_responses(
@@ -222,6 +363,9 @@ class StreamEngine:
                 self.live_detection.rotating_prefixes |= detection.rotating_prefixes
                 self.live_detection.stable_pairs += detection.stable_pairs
             self._closed_through = closed
+        retain = self.config.retain_days
+        if retain is not None and self._closed_through is not None:
+            self.prune_pair_days(self._closed_through - retain + 2)
 
     def flush(self) -> RotationDetection:
         """Close the in-progress day and return the cumulative detection."""
@@ -229,8 +373,21 @@ class StreamEngine:
             self._close_days_through(self.current_day)
         return self.live_detection
 
+    def prune_pair_days(self, threshold: int) -> None:
+        """Drop per-day pair sets for days older than *threshold*.
+
+        The bounded-memory half of ``retain_days``; a pruned day reads
+        as empty to :meth:`rotation_between`, while :attr:`live_detection`
+        already holds its contribution.
+        """
+        prune_shard_days(self.shards, threshold)
+
     def rotation_between(self, day_a: int, day_b: int) -> RotationDetection:
-        """On-demand diff of two retained days (batch-identical)."""
+        """On-demand diff of two retained days (batch-identical).
+
+        With ``retain_days`` set, days older than the retention window
+        have been dropped and diff as empty snapshots.
+        """
         return diff_pairs(self._pairs_on(day_a), self._pairs_on(day_b))
 
     # -- merged-shard queries ----------------------------------------------

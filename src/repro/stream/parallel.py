@@ -1,0 +1,615 @@
+"""Multiprocess streaming ingestion: sharded workers behind one dispatcher.
+
+The single-process :class:`~repro.stream.engine.StreamEngine` already
+partitions its hot-path state into shards that never share mutable
+state.  This module cashes that contract in: a
+:class:`ParallelStreamEngine` runs N worker processes, each owning the
+shards the scramble in :func:`~repro.stream.shard.shard_index` maps to
+it, and routes batched observation chunks to them over pipes.
+Observations travel as flat ``(day, target, source, asn)`` tuples --
+exactly the fields the workers read, batched to amortize the IPC and
+pickling cost that per-object transfer would pay on every response.
+
+Division of labour:
+
+* the **dispatcher** (the caller's process) flattens observations,
+  resolves each source /48's origin AS once through the memoized
+  routing cache, tracks stream-order state that must not be sharded --
+  day progression, watchlist sightings, the optional observation store
+  -- and runs day-over-day rotation diffs on pair sets collected from
+  the workers whenever a day closes;
+* each **worker** folds its chunks into plain
+  :class:`~repro.stream.state.ShardState` aggregates with the same
+  fused loop the engine's batch path uses, and ships those states back
+  on request.
+
+The merge step (:meth:`ParallelStreamEngine.snapshot_engine` /
+:meth:`~ParallelStreamEngine.finalize`) folds worker partials -- plus
+any checkpoint-restored base state -- into a fresh
+:class:`StreamEngine` with :func:`~repro.stream.state.merge_shard_state`.
+Because every aggregate commutes, the merged engine is *byte-identical*
+(same :func:`~repro.stream.checkpoint.engine_state`, hence the same
+checkpoint JSON) to a single-process engine fed the same stream: the
+single-process engine is exactly the degenerate one-worker case.
+Worker-count invariance is equivalence-tested at N = 1, 2, 4.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Callable, Iterable
+
+from repro.core.records import ObservationStore, ProbeObservation
+from repro.core.rotation_detect import RotationDetection, diff_pairs
+from repro.net.addr import IID_BITS, IID_MASK
+from repro.net.eui64 import _FFFE, _FFFE_SHIFT
+from repro.net.icmpv6 import ProbeResponse
+from repro.stream.engine import Sighting, StreamConfig, StreamEngine, update_sighting
+from repro.stream.shard import ShardKey, shard_index
+from repro.stream.state import ShardState, merge_shard_state, prune_shard_days
+
+
+# -- worker process --------------------------------------------------------
+
+
+def _apply_rows(rows: list[tuple], shards: list[ShardState], entries: dict,
+                counts: dict[int, int], asn_keyed: bool, num_shards: int) -> None:
+    """Fold one chunk of flat rows into the worker's shard aggregates.
+
+    This is ``StreamEngine.ingest_batch``'s fused inner loop minus the
+    concerns the dispatcher keeps (day progression, watchlist, store):
+    workers only ever see rows for shards they own, and the origin AS
+    arrives pre-resolved in the row.  The two loops are deliberately
+    hand-inlined twins -- a shared per-row helper would reintroduce the
+    call overhead they exist to remove -- and any edit to the span/pair
+    logic must land in both; the worker-count-invariance tests pin them
+    byte-identical on every shared corpus.
+    """
+    for day, target, source, asn in rows:
+        net48 = source >> 80
+        entry = entries.get(net48)
+        if entry is None:
+            sid = shard_index(asn if asn_keyed else source >> 96, num_shards)
+            shard = shards[sid]
+            entry = entries[net48] = [
+                sid,
+                shard.sources.add,
+                shard.eui_sources.add,
+                shard.eui_iids.add,
+                None,
+                None,
+                shard.pairs_by_day,
+                shard,
+                asn,
+            ]
+        sid = entry[0]
+        counts[sid] = counts.get(sid, 0) + 1
+        entry[1](source)
+        iid = source & IID_MASK
+        if (iid >> _FFFE_SHIFT) & 0xFFFF != _FFFE:  # not an EUI-64 IID
+            continue
+        entry[2](source)
+        entry[3](iid)
+        alloc = entry[4]
+        if alloc is None:
+            shard = entry[7]
+            row_asn = entry[8]
+            alloc = shard.alloc_spans.get(row_asn)
+            if alloc is None:
+                alloc = shard.alloc_spans[row_asn] = {}
+            entry[4] = alloc
+            pool = shard.pool_spans.get(row_asn)
+            if pool is None:
+                pool = shard.pool_spans[row_asn] = {}
+            entry[5] = pool
+        else:
+            pool = entry[5]
+        t64 = target >> IID_BITS
+        span = alloc.get((iid, day))
+        if span is None:
+            alloc[(iid, day)] = [t64, t64]
+        elif t64 < span[0]:
+            span[0] = t64
+        elif t64 > span[1]:
+            span[1] = t64
+        s64 = source >> IID_BITS
+        span = pool.get(iid)
+        if span is None:
+            pool[iid] = [s64, s64]
+        elif s64 < span[0]:
+            span[0] = s64
+        elif s64 > span[1]:
+            span[1] = s64
+        pairs = entry[6].get(day)
+        if pairs is None:
+            pairs = entry[6][day] = set()
+        pairs.add((target, source))
+
+
+def _worker_main(conn, num_shards: int, asn_keyed: bool) -> None:
+    """Worker loop: apply row chunks, answer state and pair requests.
+
+    Messages arrive in dispatch order on a dedicated pipe, so a reply to
+    ``day_pairs``/``state`` always reflects every chunk sent before the
+    request -- the ordering guarantee the dispatcher's day-close and
+    snapshot barriers rely on.
+    """
+    shards = [ShardState(shard_id=i) for i in range(num_shards)]
+    entries: dict[int, list] = {}
+    counts: dict[int, int] = {}
+    try:
+        while True:
+            message = conn.recv()
+            tag = message[0]
+            if tag == "rows":
+                _apply_rows(message[1], shards, entries, counts, asn_keyed, num_shards)
+            elif tag == "day_pairs":
+                day = message[1]
+                pairs: set[tuple[int, int]] = set()
+                for shard in shards:
+                    day_pairs = shard.pairs_by_day.get(day)
+                    if day_pairs:
+                        pairs |= day_pairs
+                conn.send(("pairs", pairs))
+            elif tag == "prune":
+                prune_shard_days(shards, message[1])
+            elif tag == "ping":
+                conn.send(("pong",))
+            elif tag in ("state", "stop"):
+                for sid, count in counts.items():
+                    shards[sid].n_observations = count
+                conn.send(("state", shards))
+                if tag == "stop":
+                    return
+            else:
+                conn.send(("error", f"unknown message tag {tag!r}"))
+                return
+    except (EOFError, KeyboardInterrupt):
+        pass
+    except Exception as exc:  # ship the failure to the dispatcher
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (OSError, BrokenPipeError):
+            pass
+    finally:
+        conn.close()
+
+
+# -- dispatcher ------------------------------------------------------------
+
+
+class ParallelStreamEngine:
+    """Drop-in multiprocess ingestion front-end for :class:`StreamEngine`.
+
+    Accepts the same observation stream and watchlist calls as the
+    single-process engine; materialize the merged view on demand:
+
+    * :meth:`snapshot_engine` -- merged :class:`StreamEngine` of
+      everything ingested so far; workers keep running (the live-query
+      and periodic-checkpoint hook);
+    * :meth:`finalize` -- close the in-progress day, merge, and shut the
+      workers down (the end-of-stream hook).
+
+    Pass a checkpoint-restored engine as *base* to resume: workers
+    start empty and the base state is folded in at every merge.
+    ``num_workers=1`` is the degenerate case the equivalence tests pin
+    against the single-process engine.
+    """
+
+    def __init__(
+        self,
+        config: StreamConfig | None = None,
+        origin_of: Callable[[int], int | None] | None = None,
+        *,
+        num_workers: int = 2,
+        batch_rows: int = 8192,
+        store: ObservationStore | None = None,
+        base: StreamEngine | None = None,
+    ) -> None:
+        self.config = config or StreamConfig()
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if batch_rows <= 0:
+            raise ValueError("batch_rows must be positive")
+        if self.config.shard_key is ShardKey.ASN and origin_of is None:
+            raise ValueError("ASN sharding requires an origin_of callable")
+        if base is not None and base.config != self.config:
+            raise ValueError(
+                "base engine config does not match: "
+                f"{base.config} != {self.config}"
+            )
+        self.num_workers = num_workers
+        self.batch_rows = batch_rows
+        self._origin_of = origin_of
+        self._asn_keyed = self.config.shard_key is ShardKey.ASN
+        self._base = base
+        self._route_cache: dict[int, tuple[int, int]] = {}
+        self._buffers: list[list[tuple]] = [[] for _ in range(num_workers)]
+        self._conns: list = []
+        self._procs: list = []
+        self._merged: StreamEngine | None = None
+        self._open = True
+
+        # Stream-order state the dispatcher owns (never sharded).
+        if base is not None:
+            self.current_day: int | None = base.current_day
+            self._closed_through: int | None = base._closed_through
+            self._days_seen: set[int] = set(base._days_seen)
+            self._watch_iids: set[int] = set(base._watch_iids)
+            self.watched: dict[int, Sighting] = {
+                iid: Sighting(source=s.source, day=s.day, t_seconds=s.t_seconds)
+                for iid, s in base.watched.items()
+            }
+            self.live_detection = RotationDetection(
+                changed_pairs=set(base.live_detection.changed_pairs),
+                rotating_prefixes=set(base.live_detection.rotating_prefixes),
+                stable_pairs=base.live_detection.stable_pairs,
+            )
+            self.responses_ingested = base.responses_ingested
+        else:
+            self.current_day = None
+            self._closed_through = None
+            self._days_seen = set()
+            self._watch_iids = set()
+            self.watched = {}
+            self.live_detection = RotationDetection()
+            self.responses_ingested = 0
+        # Merged pairs of the most recently closed scanned day, kept so
+        # the next close diffs without re-asking the workers.
+        self._closed_pairs: tuple[int, set[tuple[int, int]]] | None = None
+
+        if store is not None:
+            self.store: ObservationStore | None = store
+        elif base is not None and base.store is not None:
+            self.store = base.store
+        else:
+            self.store = ObservationStore() if self.config.keep_observations else None
+
+        self._start_workers()
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _start_workers(self) -> None:
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        for _ in range(self.num_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self.config.num_shards, self._asn_keyed),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+
+    def _check_open(self) -> None:
+        if not self._open:
+            raise RuntimeError("parallel engine is finalized/closed")
+
+    def _recv(self, conn, expect: str):
+        reply = conn.recv()
+        if reply[0] == "error":
+            self.close()
+            raise RuntimeError(f"stream worker failed: {reply[1]}")
+        if reply[0] != expect:
+            self.close()
+            raise RuntimeError(f"unexpected worker reply {reply[0]!r}")
+        return reply[1] if len(reply) > 1 else None
+
+    def close(self) -> None:
+        """Hard-stop the workers (no merge).  Idempotent."""
+        self._open = False
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for process in self._procs:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5)
+        self._conns = []
+        self._procs = []
+
+    def __enter__(self) -> "ParallelStreamEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        if getattr(self, "_procs", None):
+            self.close()
+
+    # -- watchlist ---------------------------------------------------------
+
+    def watch(self, iid: int, initial_address: int | None = None) -> None:
+        """Same contract as :meth:`StreamEngine.watch` (dispatcher-side,
+        so sightings resolve in exact stream order at no IPC cost)."""
+        self._watch_iids.add(iid)
+        if iid not in self.watched and initial_address is not None:
+            self.watched[iid] = Sighting(
+                source=initial_address, day=self.current_day or 0, t_seconds=None
+            )
+
+    def last_sighting(self, iid: int) -> Sighting | None:
+        return self.watched.get(iid)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(self, observation: ProbeObservation) -> None:
+        """Route one observation; the per-response consumer fast path.
+
+        Campaign drivers hand the dispatcher one response at a time, so
+        this avoids the batch prologue: one day check, one route-cache
+        probe, one buffer append.
+        """
+        day = observation.day
+        if day != self.current_day:
+            # Delegate the cold path (first day, day close, backwards
+            # error) to the batch loop.
+            self.ingest_batch((observation,))
+            return
+        self._check_open()
+        if self._closed_pairs is not None and self._closed_pairs[0] == day:
+            # This day was closed and cached by flush(); new rows for it
+            # must invalidate the cache (see ingest_batch).
+            self._closed_pairs = None
+        source = observation.source
+        route = self._route_cache.get(source >> 80)
+        if route is None:
+            asn = (self._origin_of(source) or 0) if self._origin_of else 0
+            route = self._route_cache[source >> 80] = (
+                shard_index(
+                    asn if self._asn_keyed else source >> 96,
+                    self.config.num_shards,
+                ) % self.num_workers,
+                asn,
+            )
+        buffer = self._buffers[route[0]]
+        buffer.append((day, observation.target, source, route[1]))
+        if len(buffer) >= self.batch_rows:
+            self._conns[route[0]].send(("rows", buffer))
+            self._buffers[route[0]] = []
+        if self.store is not None:
+            self.store.add(observation)
+        self.responses_ingested += 1
+        if self._watch_iids:
+            iid = source & IID_MASK
+            if iid in self._watch_iids:
+                update_sighting(self.watched, iid, source, day, observation.t_seconds)
+
+    def ingest_response(self, response: ProbeResponse, day: int | None = None) -> None:
+        self.ingest_batch((ProbeObservation.from_response(response, day),))
+
+    def ingest_responses(
+        self, responses: Iterable[ProbeResponse], day: int | None = None
+    ) -> int:
+        return self.ingest_batch(
+            ProbeObservation.from_response(r, day) for r in responses
+        )
+
+    def ingest_batch(self, observations: Iterable[ProbeObservation]) -> int:
+        """Flatten, route, and enqueue a batch; returns how many rows.
+
+        Per observation the dispatcher does exactly: one dict probe for
+        the /48 route (origin AS + owning worker), one tuple append, and
+        -- only when a watchlist or store is active -- the bookkeeping
+        that must see stream order.  Everything else happens in the
+        workers.
+        """
+        self._check_open()
+        buffers = self._buffers
+        conns = self._conns
+        limit = self.batch_rows
+        num_workers = self.num_workers
+        num_shards = self.config.num_shards
+        route_cache = self._route_cache
+        origin = self._origin_of
+        asn_keyed = self._asn_keyed
+        watch = self._watch_iids
+        watched = self.watched
+        days_seen = self._days_seen
+        store = self.store
+        keep: list[ProbeObservation] | None = [] if store is not None else None
+        current_day = self.current_day
+        if self._closed_pairs is not None and self._closed_pairs[0] == current_day:
+            # flush() closed and cached the current day's pairs; rows
+            # arriving for that same day would make the cache stale for
+            # the next day-over-day diff.
+            self._closed_pairs = None
+        count = 0
+        try:
+            for observation in observations:
+                day = observation.day
+                if day != current_day:
+                    if current_day is None:
+                        pass
+                    elif day < current_day:
+                        raise ValueError(
+                            f"stream went backwards: day {day} after day {current_day}"
+                        )
+                    else:
+                        # A later day appeared: everything up to day-1
+                        # is complete.  Flush so the workers hold those
+                        # days in full, then run the close protocol.
+                        self.current_day = current_day
+                        self._flush_buffers()
+                        self._close_through(day - 1)
+                    current_day = day
+                    self.current_day = day
+                    days_seen.add(day)
+                source = observation.source
+                net48 = source >> 80
+                route = route_cache.get(net48)
+                if route is None:
+                    asn = (origin(source) or 0) if origin else 0
+                    worker = shard_index(
+                        asn if asn_keyed else source >> 96, num_shards
+                    ) % num_workers
+                    route = route_cache[net48] = (worker, asn)
+                buffer = buffers[route[0]]
+                buffer.append((day, observation.target, source, route[1]))
+                if len(buffer) >= limit:
+                    conns[route[0]].send(("rows", buffer))
+                    buffers[route[0]] = []
+                if keep is not None:
+                    keep.append(observation)
+                count += 1
+                if watch:
+                    iid = source & IID_MASK
+                    if iid in watch:
+                        update_sighting(
+                            watched, iid, source, day, observation.t_seconds
+                        )
+        finally:
+            # Mirror StreamEngine.ingest_batch: rows processed before a
+            # mid-batch error stay accounted, matching the per-
+            # observation path's behavior on the same stream.
+            self.current_day = current_day
+            self.responses_ingested += count
+            if keep:
+                store.extend(keep)
+        return count
+
+    def _flush_buffers(self) -> None:
+        for worker, buffer in enumerate(self._buffers):
+            if buffer:
+                self._conns[worker].send(("rows", buffer))
+                self._buffers[worker] = []
+
+    def barrier(self) -> None:
+        """Block until every worker has applied everything sent so far."""
+        self._check_open()
+        self._flush_buffers()
+        for conn in self._conns:
+            conn.send(("ping",))
+        for conn in self._conns:
+            self._recv(conn, "pong")
+
+    # -- live rotation detection (dispatcher-side day closes) --------------
+
+    def _merged_day_pairs(self, day: int) -> set[tuple[int, int]]:
+        """Pairs of *day* across all workers plus any resumed base state."""
+        for conn in self._conns:
+            conn.send(("day_pairs", day))
+        pairs: set[tuple[int, int]] = set()
+        for conn in self._conns:
+            pairs |= self._recv(conn, "pairs")
+        if self._base is not None:
+            pairs |= self._base._pairs_on(day)
+        return pairs
+
+    def _close_through(self, day: int) -> None:
+        """The dispatcher's replica of ``StreamEngine._close_days_through``.
+
+        Identical day-pairing rules and the same :func:`diff_pairs`, but
+        over pair sets collected from the workers; caching the last
+        closed day's merged pairs keeps it to one collection per close.
+        """
+        start = (
+            self._closed_through + 1
+            if self._closed_through is not None
+            else self.current_day
+        )
+        days_seen = self._days_seen
+        for closed in range(start, day + 1):
+            previous = closed - 1
+            if previous in days_seen and closed in days_seen:
+                if self._closed_pairs is not None and self._closed_pairs[0] == previous:
+                    previous_pairs = self._closed_pairs[1]
+                else:
+                    previous_pairs = self._merged_day_pairs(previous)
+                closed_pairs = self._merged_day_pairs(closed)
+                detection = diff_pairs(previous_pairs, closed_pairs)
+                self.live_detection.changed_pairs |= detection.changed_pairs
+                self.live_detection.rotating_prefixes |= detection.rotating_prefixes
+                self.live_detection.stable_pairs += detection.stable_pairs
+                self._closed_pairs = (closed, closed_pairs)
+            self._closed_through = closed
+        retain = self.config.retain_days
+        if retain is not None and self._closed_through is not None:
+            for conn in self._conns:
+                conn.send(("prune", self._closed_through - retain + 2))
+
+    def flush(self) -> RotationDetection:
+        """Close the in-progress day; the parallel ``StreamEngine.flush``."""
+        self._check_open()
+        self._flush_buffers()
+        if self.current_day is not None and self._closed_through != self.current_day:
+            self._close_through(self.current_day)
+        return self.live_detection
+
+    # -- merge -------------------------------------------------------------
+
+    def _fold(self, worker_states: list[list[ShardState]]) -> StreamEngine:
+        engine = StreamEngine(self.config, origin_of=self._origin_of, store=self.store)
+        if self.store is None:
+            engine.store = None
+        if self._base is not None:
+            for shard in self._base.shards:
+                merge_shard_state(engine.shards[shard.shard_id], shard)
+        for shards in worker_states:
+            for shard in shards:
+                if shard.n_observations:
+                    merge_shard_state(engine.shards[shard.shard_id], shard)
+        retain = self.config.retain_days
+        if retain is not None and self._closed_through is not None:
+            # A resumed base may hold pair days the live run has since
+            # pruned; apply the current threshold to the merged view.
+            engine.prune_pair_days(self._closed_through - retain + 2)
+        engine.current_day = self.current_day
+        engine._closed_through = self._closed_through
+        engine._days_seen = set(self._days_seen)
+        engine.responses_ingested = self.responses_ingested
+        engine._watch_iids = set(self._watch_iids)
+        engine.watched = {
+            iid: Sighting(source=s.source, day=s.day, t_seconds=s.t_seconds)
+            for iid, s in self.watched.items()
+        }
+        engine.live_detection = RotationDetection(
+            changed_pairs=set(self.live_detection.changed_pairs),
+            rotating_prefixes=set(self.live_detection.rotating_prefixes),
+            stable_pairs=self.live_detection.stable_pairs,
+        )
+        return engine
+
+    def snapshot_engine(self) -> StreamEngine:
+        """Merged view of everything ingested so far; workers keep running.
+
+        Byte-identical (same ``engine_state``) to a single-process
+        engine fed the same observations -- including the still-open
+        day, which stays unclosed exactly as it would live.
+        """
+        self._check_open()
+        self._flush_buffers()
+        for conn in self._conns:
+            conn.send(("state",))
+        states = [self._recv(conn, "state") for conn in self._conns]
+        return self._fold(states)
+
+    def finalize(self) -> StreamEngine:
+        """Close the final day, merge, and shut down.  Idempotent.
+
+        Equivalent to ``engine.ingest_batch(...); engine.flush()`` on a
+        single-process engine.
+        """
+        if self._merged is not None:
+            return self._merged
+        self._check_open()
+        self.flush()
+        for conn in self._conns:
+            conn.send(("stop",))
+        states = [self._recv(conn, "state") for conn in self._conns]
+        merged = self._fold(states)
+        self._open = False
+        for conn in self._conns:
+            conn.close()
+        for process in self._procs:
+            process.join(timeout=10)
+        self._conns = []
+        self._procs = []
+        self._merged = merged
+        return merged

@@ -15,7 +15,7 @@ from __future__ import annotations
 import enum
 from typing import Callable
 
-from repro.net.addr import IID_BITS
+from repro.net.addr import IID_MASK
 
 _NET32_SHIFT = 96  # bits below a /32 network
 
@@ -30,6 +30,20 @@ class ShardKey(enum.Enum):
 def net32_of(address: int) -> int:
     """The /32 network number containing *address*."""
     return address >> _NET32_SHIFT
+
+
+def shard_index(partition_key: int, num_shards: int) -> int:
+    """The shard owning *partition_key*, for any routing participant.
+
+    Exposed standalone so multiprocess workers can place rows without
+    instantiating a router (they receive pre-resolved keys): every
+    participant that scrambles the same key the same way agrees on the
+    owning shard, which is what makes worker partial states mergeable
+    back into the single-process layout.
+    """
+    # splitmix-style scramble so sequential /32s spread evenly.
+    x = (partition_key * 0x9E3779B97F4A7C15) & IID_MASK
+    return (x >> 32) % num_shards
 
 
 class ShardRouter:
@@ -63,6 +77,4 @@ class ShardRouter:
 
     def shard_of(self, source: int) -> int:
         """Which shard owns *source*'s aggregates."""
-        # splitmix-style scramble so sequential /32s spread evenly.
-        x = (self.partition_key(source) * 0x9E3779B97F4A7C15) & ((1 << IID_BITS) - 1)
-        return (x >> 32) % self.num_shards
+        return shard_index(self.partition_key(source), self.num_shards)

@@ -63,6 +63,51 @@ def merge_spans(into: dict, other: dict) -> None:
                 mine[1] = span[1]
 
 
+def prune_shard_days(shards: "list[ShardState]", threshold: int) -> None:
+    """Drop every shard's pair sets for days older than *threshold*.
+
+    The bounded-memory primitive behind ``StreamConfig.retain_days``,
+    shared by the engine's close path and the parallel workers so both
+    prune identically.
+    """
+    for shard in shards:
+        pairs_by_day = shard.pairs_by_day
+        for day in [d for d in pairs_by_day if d < threshold]:
+            del pairs_by_day[day]
+
+
+def merge_shard_state(into: "ShardState", part: "ShardState") -> None:
+    """Fold a partial shard state into *into* (*part* is left untouched).
+
+    Every aggregate commutes -- counts add, sets union, spans min/max --
+    so folding any partition of a response stream reproduces the state a
+    single consumer of the whole stream would hold.  This is the merge
+    step of the multiprocess backend: each worker accumulates partials
+    for the shards it owns, and the dispatcher folds them (plus any
+    checkpoint-restored base state) back into one engine view.
+    """
+    into.n_observations += part.n_observations
+    into.sources |= part.sources
+    into.eui_sources |= part.eui_sources
+    into.eui_iids |= part.eui_iids
+    for asn, spans in part.alloc_spans.items():
+        mine = into.alloc_spans.get(asn)
+        if mine is None:
+            mine = into.alloc_spans[asn] = {}
+        merge_spans(mine, spans)
+    for asn, spans in part.pool_spans.items():
+        mine = into.pool_spans.get(asn)
+        if mine is None:
+            mine = into.pool_spans[asn] = {}
+        merge_spans(mine, spans)
+    for day, pairs in part.pairs_by_day.items():
+        mine = into.pairs_by_day.get(day)
+        if mine is None:
+            into.pairs_by_day[day] = set(pairs)
+        else:
+            mine |= pairs
+
+
 @dataclass
 class ShardState:
     """All incremental aggregates owned by one shard.

@@ -67,6 +67,69 @@ class TestRoutingTable:
         assert len(rib) == 3
 
 
+class TestOriginCache:
+    """origin_of memoizes per covering /48; every mutation invalidates."""
+
+    def test_cache_hit_returns_same_answer(self):
+        rib = RoutingTable()
+        rib.advertise(Prefix.parse("2001:16b8::/32"), 8881)
+        addr = parse_addr("2001:16b8:1d01::1")
+        assert rib.origin_of(addr) == 8881
+        assert rib._origin_cache  # populated
+        assert rib.origin_of(addr) == 8881  # served from cache
+        assert rib.origin_of(addr + 1) == 8881  # same /48, same slot
+        assert len(rib._origin_cache) == 1
+
+    def test_unrouted_negative_result_cached(self):
+        rib = RoutingTable()
+        rib.advertise(Prefix.parse("2001:16b8::/32"), 8881)
+        addr = parse_addr("2a00::1")
+        assert rib.origin_of(addr) is None
+        assert rib.origin_of(addr) is None
+        assert len(rib._origin_cache) == 1  # the one negative slot
+
+    def test_invalidated_on_more_specific_insert(self):
+        """A cached /32 answer must not survive a later /33 covering it."""
+        rib = RoutingTable()
+        rib.advertise(Prefix.parse("2001:16b8::/32"), 8881)
+        addr = parse_addr("2001:16b8:8000::1")
+        assert rib.origin_of(addr) == 8881
+        rib.advertise(Prefix.parse("2001:16b8:8000::/33"), 64512)
+        assert rib.origin_of(addr) == 64512
+
+    def test_invalidated_on_withdraw(self):
+        rib = RoutingTable()
+        rib.advertise(Prefix.parse("2001:16b8::/32"), 8881)
+        rib.advertise(Prefix.parse("2001:16b8:8000::/33"), 64512)
+        addr = parse_addr("2001:16b8:8000::1")
+        assert rib.origin_of(addr) == 64512
+        rib.withdraw(Prefix.parse("2001:16b8:8000::/33"))
+        assert rib.origin_of(addr) == 8881
+
+    def test_routes_longer_than_48_bypass_cache(self):
+        """/48 cache slots would alias distinct /56 routes; the table
+        must fall back to uncached bit-walks and stay correct."""
+        rib = RoutingTable()
+        rib.advertise(Prefix.parse("2001:16b8::/32"), 8881)
+        rib.advertise(Prefix.parse("2001:16b8:1:ff00::/56"), 64512)
+        inside = parse_addr("2001:16b8:1:ff42::1")
+        outside = parse_addr("2001:16b8:1:1::1")  # same /48, different /56
+        assert rib.origin_of(inside) == 64512
+        assert rib.origin_of(outside) == 8881
+        assert not rib._origin_cache
+
+    def test_withdraw_keeps_bypass_conservative(self):
+        """max_plen is an upper bound: withdrawing the /56 must not
+        re-enable /48 caching (the bound is not recomputed), and
+        lookups stay correct either way."""
+        rib = RoutingTable()
+        rib.advertise(Prefix.parse("2001:16b8::/32"), 8881)
+        rib.advertise(Prefix.parse("2001:16b8:1:ff00::/56"), 64512)
+        rib.withdraw(Prefix.parse("2001:16b8:1:ff00::/56"))
+        assert rib.origin_of(parse_addr("2001:16b8:1:ff42::1")) == 8881
+        assert not rib._origin_cache
+
+
 class TestAsRegistry:
     def test_bundled_records(self):
         reg = AsRegistry()

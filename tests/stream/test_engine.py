@@ -184,6 +184,146 @@ class TestLiveRotationDetection:
         assert not live.changed_pairs and not live.rotating_prefixes
 
 
+class TestFusedBatchPath:
+    """ingest_batch is a hand-fused fast path; it must stay observably
+    identical to the per-observation loop it replaced."""
+
+    @pytest.mark.parametrize("shard_key", [ShardKey.PREFIX32, ShardKey.ASN])
+    @pytest.mark.parametrize("keep_observations", [True, False])
+    def test_state_identical_to_per_observation(self, shard_key, keep_observations):
+        internet, store = run_small_campaign()
+        config = StreamConfig(
+            num_shards=4, shard_key=shard_key, keep_observations=keep_observations
+        )
+        reference = StreamEngine(config, origin_of=internet.rib.origin_of)
+        for observation in store:
+            reference.ingest(observation)
+        reference.flush()
+        batched = StreamEngine(config, origin_of=internet.rib.origin_of)
+        batched.ingest_batch(iter(store))
+        batched.flush()
+        assert engine_state(batched) == engine_state(reference)
+        if keep_observations:
+            assert list(batched.store) == list(reference.store)
+
+    def test_watchlist_identical_to_per_observation(self):
+        _internet, store = run_small_campaign()
+        watch = sorted(store.eui64_iids())[:3]
+        reference = StreamEngine(StreamConfig(num_shards=2))
+        batched = StreamEngine(StreamConfig(num_shards=2))
+        for iid in watch:
+            reference.watch(iid)
+            batched.watch(iid)
+        for observation in store:
+            reference.ingest(observation)
+        batched.ingest_batch(iter(store))
+        for iid in watch:
+            assert batched.last_sighting(iid) == reference.last_sighting(iid)
+
+    def test_mixed_per_observation_and_batch_calls(self):
+        internet, store = run_small_campaign()
+        corpus = list(store)
+        half = len(corpus) // 2
+        mixed = StreamEngine(StreamConfig(num_shards=3), origin_of=internet.rib.origin_of)
+        for observation in corpus[:half]:
+            mixed.ingest(observation)
+        mixed.ingest_batch(corpus[half:])
+        mixed.flush()
+        batched = StreamEngine(StreamConfig(num_shards=3), origin_of=internet.rib.origin_of)
+        batched.ingest_batch(corpus)
+        batched.flush()
+        assert engine_state(mixed) == engine_state(batched)
+
+    def test_batch_rejects_backwards_days(self):
+        engine = StreamEngine(StreamConfig(num_shards=1))
+        with pytest.raises(ValueError, match="backwards"):
+            engine.ingest_batch(
+                [
+                    ProbeObservation(day=3, t_seconds=0.0, target=1, source=2),
+                    ProbeObservation(day=2, t_seconds=1.0, target=1, source=2),
+                ]
+            )
+        # The observation preceding the bad one was still ingested.
+        assert engine.responses_ingested == 1
+
+
+class TestBoundedRotationWindows:
+    def _eui_obs(self, day, sub, n=4):
+        base = (0x20010DB8 << 96) | (sub << 72)
+        return [
+            ProbeObservation(
+                day=day,
+                t_seconds=day * 86_400.0 + i,
+                target=base | i,
+                source=base | (0x0219C6FFFE000000 + i),
+            )
+            for i in range(n)
+        ]
+
+    def _resident_days(self, engine):
+        days = set()
+        for shard in engine.shards:
+            days |= set(shard.pairs_by_day)
+        return days
+
+    def test_memory_resident_day_count_stays_constant(self):
+        """The satellite guarantee: an indefinite run with retain_days=2
+        never holds more than 2 days of pair sets."""
+        engine = StreamEngine(StreamConfig(num_shards=4, retain_days=2,
+                                           keep_observations=False))
+        for day in range(100):
+            engine.ingest_batch(self._eui_obs(day, sub=day % 7))
+            assert len(self._resident_days(engine)) <= 2
+        engine.flush()
+        assert self._resident_days(engine) == {99}
+
+    def test_detection_identical_to_unbounded(self):
+        bounded = StreamEngine(StreamConfig(num_shards=4, retain_days=2,
+                                            keep_observations=False))
+        unbounded = StreamEngine(StreamConfig(num_shards=4, keep_observations=False))
+        for day in range(30):
+            observations = self._eui_obs(day, sub=day % 5)
+            bounded.ingest_batch(observations)
+            unbounded.ingest_batch(list(observations))
+        bounded.flush()
+        unbounded.flush()
+        assert bounded.live_detection.changed_pairs == \
+            unbounded.live_detection.changed_pairs
+        assert bounded.live_detection.rotating_prefixes == \
+            unbounded.live_detection.rotating_prefixes
+        assert bounded.live_detection.stable_pairs == \
+            unbounded.live_detection.stable_pairs
+
+    def test_pruned_day_reads_empty(self):
+        engine = StreamEngine(StreamConfig(num_shards=2, retain_days=2,
+                                           keep_observations=False))
+        for day in range(5):
+            engine.ingest_batch(self._eui_obs(day, sub=day))
+        assert not engine.rotation_between(0, 1).changed_pairs  # both pruned
+        assert engine._pairs_on(4)  # current day retained
+
+    def test_retain_days_config_roundtrips(self):
+        engine = StreamEngine(StreamConfig(num_shards=2, retain_days=3,
+                                           keep_observations=False))
+        engine.ingest_batch(self._eui_obs(0, sub=1))
+        restored = restore_engine(json.loads(json.dumps(engine_state(engine))))
+        assert restored.config.retain_days == 3
+        assert engine_state(restored) == engine_state(engine)
+
+    def test_pre_retention_checkpoint_loads(self):
+        """Checkpoints written before the retain_days field still load."""
+        engine = StreamEngine(StreamConfig(num_shards=1, keep_observations=False))
+        engine.ingest_batch(self._eui_obs(0, sub=1))
+        state = json.loads(json.dumps(engine_state(engine)))
+        del state["config"]["retain_days"]
+        restored = restore_engine(state)
+        assert restored.config.retain_days is None
+
+    def test_invalid_retain_days(self):
+        with pytest.raises(ValueError, match="retain_days"):
+            StreamConfig(retain_days=1)
+
+
 class TestWatchlist:
     def test_sightings_track_freshest(self):
         _internet, store, engine_unused = fill_engine()
