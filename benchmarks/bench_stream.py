@@ -34,6 +34,7 @@ from repro.scan.zmap import ScanResult
 from repro.stream.campaign import StreamingCampaign
 from repro.stream.checkpoint import engine_state
 from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.feeds import SightingRecord, sighting_feed
 from repro.stream.parallel import ParallelStreamEngine
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
@@ -256,6 +257,51 @@ def test_parallel_worker_scaling(benchmark, context):
         assert speedup >= 2.5, f"4-worker speedup {speedup:.2f}x < 2.5x"
     else:
         print(f"  ({cpus} CPU(s): 2.5x scaling assertion needs >= 5, recorded only)")
+
+
+def test_passive_feed_throughput(benchmark, context):
+    """The feed adapter layer vs. raw batch ingestion.
+
+    A passive mirror of the campaign corpus rides through
+    ``sighting_feed`` + ``ingest_feed``; equal capability means the
+    resulting engine must be byte-identical to the active
+    ``ingest_batch`` run, so the measured delta is pure adapter
+    overhead (record conversion + the day-order sort).
+    """
+    corpus = list(context.campaign_result.store)
+    config = StreamConfig(num_shards=8, keep_observations=False)
+    records = [SightingRecord.from_observation(o) for o in corpus]
+
+    active = StreamEngine(config, origin_of=context.origin_of)
+    t0 = time.perf_counter()
+    active.ingest_batch(corpus)
+    active.flush()
+    active_seconds = time.perf_counter() - t0
+
+    def ingest_mirror():
+        engine = StreamEngine(config, origin_of=context.origin_of)
+        engine.ingest_feed(sighting_feed(records))
+        engine.flush()
+        return engine
+
+    mirror = benchmark.pedantic(ingest_mirror, rounds=1, iterations=1)
+    feed_seconds = benchmark.stats.stats.total
+    assert engine_state(mirror) == engine_state(active)  # equal capability
+
+    print(
+        f"\npassive mirror feed: {len(corpus)} records in {feed_seconds:.3f}s "
+        f"({len(corpus) / feed_seconds:,.0f} records/s) vs. active batch "
+        f"{len(corpus) / active_seconds:,.0f} responses/s -- byte-identical state"
+    )
+    record_bench(
+        "passive_feed",
+        {
+            "responses": len(corpus),
+            "seconds": round(feed_seconds, 4),
+            "responses_per_s": round(len(corpus) / feed_seconds),
+            "active_batch_responses_per_s": round(len(corpus) / active_seconds),
+        },
+    )
 
 
 def test_origin_of_cache_microbench(benchmark, context):

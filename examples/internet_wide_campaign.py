@@ -5,18 +5,20 @@ Internet: the seed/expand/density/rotation pipeline, the daily probing
 campaign, and the headline analyses (Table 1, homogeneity, allocation
 sizes, rotation pools, per-IID prefix counts, pathologies).
 
-Run: ``python examples/internet_wide_campaign.py [small|default]``
+Run: ``python examples/internet_wide_campaign.py [tiny|small|default]``
+(tiny is the smoke-test size the example tests use).
 """
 
 import sys
 
 from repro.experiments import fig4, fig5, fig7, fig8, fig11_12, headline, table1
 from repro.experiments.context import get_context
-from repro.experiments.scale import DEFAULT, SMALL
+from repro.experiments.scale import DEFAULT, SMALL, TINY
 
 
 def main(argv: list[str]) -> int:
-    scale = DEFAULT if (len(argv) > 1 and argv[1] == "default") else SMALL
+    arg = argv[1] if len(argv) > 1 else "small"
+    scale = {"default": DEFAULT, "tiny": TINY}.get(arg, SMALL)
     context = get_context(scale)
 
     print(headline.run(context).render())

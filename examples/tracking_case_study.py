@@ -7,19 +7,21 @@ Reproduces the paper's end-to-end attack on the full scaled scenario:
 3. pick ten EUI-64 IIDs (one per country, pathologies excluded), and
 4. hunt each daily for a week inside the inferred search bounds.
 
-Run: ``python examples/tracking_case_study.py [small|default]``
-(small takes ~2 minutes; default is the full scaled reproduction).
+Run: ``python examples/tracking_case_study.py [tiny|small|default]``
+(small takes ~2 minutes; default is the full scaled reproduction;
+tiny is the smoke-test size the example tests use).
 """
 
 import sys
 
 from repro.experiments import tracking
 from repro.experiments.context import get_context
-from repro.experiments.scale import DEFAULT, SMALL
+from repro.experiments.scale import DEFAULT, SMALL, TINY
 
 
 def main(argv: list[str]) -> int:
-    scale = DEFAULT if (len(argv) > 1 and argv[1] == "default") else SMALL
+    arg = argv[1] if len(argv) > 1 else "small"
+    scale = {"default": DEFAULT, "tiny": TINY}.get(arg, SMALL)
     print(f"scale: {scale.name} (campaign {scale.campaign_days} days, "
           f"tracking {scale.tracking_days} days)")
 

@@ -47,8 +47,19 @@ from repro.simnet.builder import (
     build_paper_internet,
 )
 from repro.simnet.internet import SimInternet
+from repro.simnet.vantage import FlowTap
 from repro.stream.campaign import StreamingCampaign
 from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.feeds import (
+    MixedFeed,
+    SightingRecord,
+    flow_feed,
+    hitlist_feed,
+    ingest_feed,
+    observation_feed,
+    sighting_feed,
+    tap_feed,
+)
 from repro.stream.parallel import ParallelStreamEngine
 from repro.stream.tracker import LivePursuit
 
@@ -61,8 +72,10 @@ __all__ = [
     "CampaignConfig",
     "DeviceTracker",
     "DiscoveryPipeline",
+    "FlowTap",
     "InternetSpec",
     "LivePursuit",
+    "MixedFeed",
     "ObservationStore",
     "OuiRegistry",
     "ParallelStreamEngine",
@@ -75,6 +88,7 @@ __all__ = [
     "ScanConfig",
     "ScanStream",
     "SearchSpaceBound",
+    "SightingRecord",
     "SimInternet",
     "StreamConfig",
     "StreamEngine",
@@ -84,12 +98,18 @@ __all__ = [
     "build_internet",
     "build_paper_internet",
     "eui64_iid_to_mac",
+    "flow_feed",
     "format_addr",
     "format_mac",
+    "hitlist_feed",
     "infer_allocation_plen",
     "infer_rotation_pool_plen",
+    "ingest_feed",
     "is_eui64_iid",
     "mac_to_eui64_iid",
+    "observation_feed",
     "parse_addr",
     "parse_mac",
+    "sighting_feed",
+    "tap_feed",
 ]

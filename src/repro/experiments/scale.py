@@ -31,6 +31,18 @@ class Scale:
             raise ValueError(f"scale {self.name!r} has non-positive parameters")
 
 
+# Smoke tests: just enough world for every stage to produce output.
+# The example smoke suite runs each script at this scale so examples
+# cannot rot unnoticed without costing CI a full small-scale run each.
+TINY = Scale(
+    name="tiny",
+    n_tail_ases=2,
+    coverage_48s=24,
+    campaign_days=3,
+    tracking_days=2,
+    fig10_days=1,
+)
+
 # Fast: benchmarks and CI. A few hundred thousand simulated probes.
 SMALL = Scale(
     name="small",

@@ -30,10 +30,12 @@ from repro.simnet.rotation import (
     RotationPolicy,
     ShuffleRotation,
 )
+from repro.simnet.vantage import FlowTap
 
 __all__ = [
     "AddressingMode",
     "CpeDevice",
+    "FlowTap",
     "HOURS_PER_DAY",
     "IncrementRotation",
     "InternetSpec",

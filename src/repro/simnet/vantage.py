@@ -1,0 +1,117 @@
+"""Passive vantage points: what an observer sees without sending probes.
+
+A :class:`FlowTap` models a provider-side flow collector (an IXP or
+transit tap, a NetFlow feed bought from a carrier): it logs source
+addresses of customer traffic, with no probing and no choice of
+targets.  Two knobs bound what the vantage sees:
+
+* ``coverage`` -- the fraction of the provider's customers whose
+  traffic crosses the tap at all.  Membership is decided per device by
+  a deterministic hash threshold, so raising coverage strictly *adds*
+  devices: the vantage sets are nested, which is what lets experiments
+  sweep coverage against tracking success monotonically.
+* ``sample_rate`` -- the per-(device, day) probability that a covered
+  device's traffic is actually logged that day (sampled NetFlow,
+  devices that stayed quiet).  Sampling is decided independently of
+  coverage, again by deterministic hash, so the same device emits on
+  the same days at every coverage level.
+
+The tap records the CPE's *WAN address* at observation time -- router-
+originated or NATed traffic a provider-side collector attributes to the
+customer line.  For EUI-64 CPE that address carries the stable IID: the
+"one bad apple" of Saidi et al., and the reason a purely passive
+observer defeats prefix rotation.  Records are plain ``(source, day,
+t_seconds)`` tuples; :mod:`repro.stream.feeds` adapts them into the
+streaming engine's observation format (this layer deliberately knows
+nothing about the attacker's stack).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.simnet.clock import HOURS_PER_DAY, seconds
+from repro.simnet.internet import SimInternet
+from repro.util import unit_float
+
+_COVER_SALT = 0xBADA
+_SAMPLE_SALT = 0x5EED
+_JITTER_SALT = 0x71E
+
+
+class FlowTap:
+    """A passive provider-side vantage over one AS's customer traffic."""
+
+    def __init__(
+        self,
+        internet: SimInternet,
+        asn: int,
+        coverage: float = 1.0,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+        observe_hour: float = 20.0,
+    ) -> None:
+        if not 0.0 <= coverage <= 1.0:
+            raise ValueError(f"coverage must be in [0, 1], got {coverage}")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        if not 0.0 <= observe_hour < HOURS_PER_DAY:
+            raise ValueError("observe_hour must be within a day")
+        provider = internet.provider_of_asn(asn)
+        if provider is None:
+            raise ValueError(f"AS{asn} not in this internet")
+        self.internet = internet
+        self.provider = provider
+        self.coverage = coverage
+        self.sample_rate = sample_rate
+        self.seed = seed
+        self.observe_hour = observe_hour
+
+    def covers(self, device_id: int) -> bool:
+        """Whether *device_id*'s traffic crosses this tap at all.
+
+        Threshold on a per-device hash: nested across coverage values
+        (a device covered at 0.3 is covered at every higher setting).
+        """
+        return unit_float(device_id, self.seed, _COVER_SALT) < self.coverage
+
+    def emits_on(self, device_id: int, day: int) -> bool:
+        """Whether a covered device's traffic gets logged on *day*."""
+        return (
+            unit_float(device_id, day ^ self.seed, _SAMPLE_SALT) < self.sample_rate
+        )
+
+    def sightings_on(self, day: int) -> list[tuple[int, int, float]]:
+        """``(source, day, t_seconds)`` tap records for one day.
+
+        One record per covered, sampled, online customer: its CPE WAN
+        address at a per-(device, day) jittered evening hour.  The
+        jitter keeps record times distinct (freshness comparisons never
+        tie), is independent of coverage and sampling, and is clamped
+        to the remainder of the day so a record tagged *day* never
+        carries the next day's rotated address or timestamp.
+        """
+        jitter_span = min(1.0, HOURS_PER_DAY - self.observe_hour)
+        records: list[tuple[int, int, float]] = []
+        for pool in self.provider.pools:
+            for customer, device in enumerate(pool.devices):
+                if not self.covers(device.device_id):
+                    continue
+                if not self.emits_on(device.device_id, day):
+                    continue
+                jitter = jitter_span * unit_float(
+                    device.device_id, day ^ self.seed, _JITTER_SALT
+                )
+                t_hours = day * HOURS_PER_DAY + self.observe_hour + jitter
+                if not device.is_online(t_hours):
+                    continue
+                records.append(
+                    (pool.wan_address_of(customer, t_hours), day, seconds(t_hours))
+                )
+        records.sort(key=lambda record: (record[1], record[2]))
+        return records
+
+    def records(self, days: Iterable[int]) -> Iterator[tuple[int, int, float]]:
+        """Day-major tap records over *days* (ascending days expected)."""
+        for day in days:
+            yield from self.sightings_on(day)

@@ -19,9 +19,15 @@ Layout:
 * :mod:`repro.stream.parallel` -- :class:`ParallelStreamEngine`, the
   multiprocess backend: sharded worker processes fed flat-tuple chunks,
   merged back into a byte-identical engine view;
+* :mod:`repro.stream.feeds` -- passive-feed adapters: flow logs,
+  hitlist sightings, provider flow taps, and generic timestamped
+  records as observation streams, plus :class:`MixedFeed` day-order
+  interleaving of active and passive sources (the Saidi et al. "one
+  bad apple" ingestion path);
 * :mod:`repro.stream.campaign` -- :class:`StreamingCampaign`, batch-
   identical campaign execution with periodic checkpoints (opts into the
-  parallel backend via ``workers=N``);
+  parallel backend via ``workers=N``, passive vantage via
+  ``passive_feeds=[...]``);
 * :mod:`repro.stream.tracker` -- :class:`LivePursuit`, the day-major
   streaming tracker;
 * :mod:`repro.stream.checkpoint` -- JSON serialization of engine state.
@@ -35,23 +41,41 @@ from repro.stream.checkpoint import (
     save_engine,
 )
 from repro.stream.engine import Sighting, StreamConfig, StreamEngine
+from repro.stream.feeds import (
+    MixedFeed,
+    SightingRecord,
+    flow_feed,
+    hitlist_feed,
+    ingest_feed,
+    observation_feed,
+    sighting_feed,
+    tap_feed,
+)
 from repro.stream.parallel import ParallelStreamEngine
 from repro.stream.shard import ShardKey, ShardRouter, shard_index
 from repro.stream.tracker import LivePursuit, PursuitState
 
 __all__ = [
     "LivePursuit",
+    "MixedFeed",
     "ParallelStreamEngine",
     "PursuitState",
     "ShardKey",
     "ShardRouter",
     "Sighting",
+    "SightingRecord",
     "StreamConfig",
     "StreamEngine",
     "StreamingCampaign",
     "engine_state",
+    "flow_feed",
+    "hitlist_feed",
+    "ingest_feed",
     "load_engine",
+    "observation_feed",
     "restore_engine",
     "save_engine",
     "shard_index",
+    "sighting_feed",
+    "tap_feed",
 ]

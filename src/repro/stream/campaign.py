@@ -19,8 +19,10 @@ from __future__ import annotations
 import json
 from dataclasses import replace
 from pathlib import Path
+from typing import Iterable
 
 from repro.core.campaign import Campaign, CampaignResult
+from repro.core.records import ProbeObservation
 from repro.stream.checkpoint import (
     FORMAT_VERSION,
     _restore_store,
@@ -29,6 +31,7 @@ from repro.stream.checkpoint import (
     restore_engine,
 )
 from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.feeds import MixedFeed
 from repro.stream.parallel import ParallelStreamEngine
 
 
@@ -47,6 +50,18 @@ class StreamingCampaign:
     run stops on and at every checkpoint.  Checkpoints are byte-for-byte
     the same in both modes, so a run may freely switch worker counts --
     or drop back to single-process -- across resumes.
+
+    ``passive_feeds`` attaches passive vantage data (see
+    :mod:`repro.stream.feeds`): the feeds are interleaved with the
+    probe stream in day order -- a day's passive records are ingested
+    right after that day's scan completes (and records predating the
+    first remaining scan day go in up front), so engine state stays
+    day-monotonic and checkpoints remain mode-independent.  Passive
+    records update the *engine* only (watchlist, aggregates, rotation
+    windows); the result store and probe accounting stay scan-only.
+    Records older than the day the engine is already past (a lagging
+    feed on a resumed run) are counted in :attr:`passive_dropped` and
+    skipped; everything ingested counts in :attr:`passive_ingested`.
     """
 
     def __init__(
@@ -57,6 +72,7 @@ class StreamingCampaign:
         checkpoint_every: int = 0,
         workers: int = 0,
         batch_rows: int = 8192,
+        passive_feeds: "Iterable[Iterable[ProbeObservation]] | None" = None,
     ) -> None:
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
@@ -90,6 +106,12 @@ class StreamingCampaign:
             )
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.checkpoint_every = checkpoint_every
+        self._feed: "Iterable[ProbeObservation] | None" = (
+            iter(MixedFeed(*passive_feeds)) if passive_feeds else None
+        )
+        self._feed_pending: ProbeObservation | None = None
+        self.passive_ingested = 0
+        self.passive_dropped = 0
 
     @property
     def live_engine(self) -> "StreamEngine | ParallelStreamEngine":
@@ -127,13 +149,16 @@ class StreamingCampaign:
         checkpoint_every: int = 0,
         workers: int = 0,
         batch_rows: int = 8192,
+        passive_feeds: "Iterable[Iterable[ProbeObservation]] | None" = None,
     ) -> "StreamingCampaign":
         """Rebuild a streaming campaign from a checkpoint file.
 
         The rebuilt run continues from the first unprocessed day; the
         engine, corpus, and counters come back exactly as written.  The
         worker count is an execution choice, not checkpoint state: any
-        *workers* value resumes any checkpoint.
+        *workers* value resumes any checkpoint.  Passive feeds are
+        caller-supplied per run (vantage data is not checkpoint state);
+        records for days the checkpoint already closed are dropped.
         """
         state = json.loads(Path(checkpoint_path).read_text())
         if state.get("version") != FORMAT_VERSION:
@@ -147,6 +172,7 @@ class StreamingCampaign:
             checkpoint_every=checkpoint_every,
             workers=workers,
             batch_rows=batch_rows,
+            passive_feeds=passive_feeds,
         )
         _restore_store(state["store"], streaming.result.store)
         progress = state["progress"]
@@ -183,7 +209,50 @@ class StreamingCampaign:
         else:
             self.engine = self._parallel.snapshot_engine()
 
-    def _on_day_complete(self, _day: int) -> None:
+    def _drain_feed(
+        self, through_day: int | None, skip_drained: bool = False
+    ) -> None:
+        """Ingest passive records with day <= *through_day* (all if None).
+
+        Records are pulled lazily off the merged feed, so a feed far
+        longer than the campaign costs only what each day consumes.
+        Lagging records -- older than the day the engine is already on
+        -- are dropped (and counted), keeping the engine's day
+        monotonicity intact on resumed runs.  *skip_drained* (the
+        initial drain of a ``run()`` call) additionally drops records
+        *for* the engine's current day: any such record was already
+        drained before the checkpoint that set that day, so replaying
+        the same feed across a resume must not ingest it twice --
+        that's what keeps resumed checkpoints byte-identical to
+        uninterrupted ones.
+        """
+        if self._feed is None:
+            return
+        engine = self.live_engine
+        floor = engine.current_day
+        if skip_drained and floor is not None:
+            floor += 1
+        batch: list[ProbeObservation] = []
+        while True:
+            if self._feed_pending is not None:
+                record, self._feed_pending = self._feed_pending, None
+            else:
+                record = next(self._feed, None)
+                if record is None:
+                    self._feed = None
+                    break
+            if through_day is not None and record.day > through_day:
+                self._feed_pending = record
+                break
+            if floor is not None and record.day < floor:
+                self.passive_dropped += 1
+                continue
+            batch.append(record)
+        if batch:
+            self.passive_ingested += engine.ingest_batch(batch)
+
+    def _on_day_complete(self, day: int) -> None:
+        self._drain_feed(day)
         if (
             self.checkpoint_every
             and self.result.days_run % self.checkpoint_every == 0
@@ -201,6 +270,10 @@ class StreamingCampaign:
         call processes (the interruption hook the checkpoint tests
         exercise).
         """
+        # Passive records predating the first remaining scan day go in
+        # before any probe response, keeping day order end to end.
+        first_day = self.campaign.config.start_day + self.result.days_run
+        self._drain_feed(first_day - 1, skip_drained=True)
         consumer = self._parallel.ingest if self._parallel else self.engine.ingest
         self.campaign.run_streaming(
             consumer=consumer,
@@ -209,6 +282,11 @@ class StreamingCampaign:
             max_days=max_days,
             on_day_complete=self._on_day_complete,
         )
+        if self.finished:
+            # The campaign consumed its last scan day: whatever remains
+            # of the passive feeds (trailing sighting days included)
+            # goes in before the final flush closes the stream.
+            self._drain_feed(None)
         if self._parallel is not None:
             if not self.finished:
                 self._parallel.flush()

@@ -329,6 +329,15 @@ class StreamEngine:
             ProbeObservation.from_response(r, day) for r in responses
         )
 
+    def ingest_feed(self, feed: Iterable[ProbeObservation]) -> int:
+        """Consume a day-ordered feed (see :mod:`repro.stream.feeds`).
+
+        Active scan streams, passive vantage adapters, and
+        :class:`~repro.stream.feeds.MixedFeed` interleavings all ride
+        the fused batch path; returns how many were ingested.
+        """
+        return self.ingest_batch(feed)
+
     # -- live rotation detection ------------------------------------------
 
     def _pairs_on(self, day: int) -> set[tuple[int, int]]:

@@ -391,6 +391,11 @@ class ParallelStreamEngine:
             ProbeObservation.from_response(r, day) for r in responses
         )
 
+    def ingest_feed(self, feed: Iterable[ProbeObservation]) -> int:
+        """Consume a day-ordered feed; same contract as
+        :meth:`StreamEngine.ingest_feed`, dispatched to the workers."""
+        return self.ingest_batch(feed)
+
     def ingest_batch(self, observations: Iterable[ProbeObservation]) -> int:
         """Flatten, route, and enqueue a batch; returns how many rows.
 

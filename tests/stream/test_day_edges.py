@@ -1,0 +1,177 @@
+"""Edge cases of the engine's day handling, pinned as defined behavior.
+
+Three regions of the day state machine:
+
+* **closed days** -- any day strictly older than the stream's current
+  day raises; the current day itself stays open even after a ``flush``
+  closed it, and late rows for it count in the *next* diff (never
+  re-running the one already folded into ``live_detection``);
+* **retention boundaries** -- ``retain_days=2`` is the legal minimum
+  and keeps exactly the closing day plus the accumulating one;
+* **pruning vs. on-demand diffs** -- ``prune_pair_days`` makes pruned
+  days read as empty snapshots to ``rotation_between`` while the
+  accumulated ``live_detection`` keeps their contribution.
+"""
+
+import pytest
+
+from repro.core.records import ProbeObservation
+from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.parallel import ParallelStreamEngine
+
+EUI = 0x0219C6FFFE000001  # carries the ff:fe marker
+NET48 = 0x20010DB8 << 96
+
+
+def eui_obs(day: int, subnet: int, n: int = 3, t_offset: float = 0.0):
+    """n EUI-64 pairs in /64 ``subnet`` of the test /48 on ``day``."""
+    base = NET48 | (subnet << 72)
+    return [
+        ProbeObservation(
+            day=day,
+            t_seconds=day * 86_400.0 + t_offset + i,
+            target=base | i,
+            source=base | (EUI + (i << 44)),  # above the ff:fe marker bits
+        )
+        for i in range(n)
+    ]
+
+
+def resident_days(engine: StreamEngine) -> set[int]:
+    days: set[int] = set()
+    for shard in engine.shards:
+        days |= set(shard.pairs_by_day)
+    return days
+
+
+class TestClosedDays:
+    def test_day_older_than_current_raises_every_path(self):
+        stale = ProbeObservation(day=3, t_seconds=0.0, target=1, source=2)
+        engine = StreamEngine(StreamConfig(num_shards=1))
+        engine.ingest_batch(eui_obs(5, subnet=1))
+        with pytest.raises(ValueError, match="backwards"):
+            engine.ingest(stale)
+        with pytest.raises(ValueError, match="backwards"):
+            engine.ingest_batch([stale])
+        with ParallelStreamEngine(
+            StreamConfig(num_shards=1), num_workers=1
+        ) as parallel:
+            parallel.ingest_batch(eui_obs(5, subnet=1))
+            with pytest.raises(ValueError, match="backwards"):
+                parallel.ingest(stale)
+
+    def test_current_day_reopens_after_flush(self):
+        """flush() closes the in-progress day, but the day is not gone:
+        more rows for it are legal (defined behavior, not an error)."""
+        engine = StreamEngine(StreamConfig(num_shards=2))
+        engine.ingest_batch(eui_obs(0, subnet=1))
+        engine.flush()
+        engine.ingest_batch(eui_obs(0, subnet=2, t_offset=100.0))  # same day
+        assert engine.current_day == 0
+        assert len(engine._pairs_on(0)) == 6
+
+    def test_late_rows_count_in_next_diff_only(self):
+        """A closed day's diff is never re-run; rows arriving for the
+        still-current day after its close contribute to the *next*
+        day-over-day comparison through the day's (now larger) pair
+        snapshot."""
+        engine = StreamEngine(StreamConfig(num_shards=2))
+        engine.ingest_batch(eui_obs(0, subnet=1))
+        engine.ingest_batch(eui_obs(1, subnet=1))  # closes day 0: stable pairs
+        engine.flush()  # closes day 1 early
+        assert engine.live_detection.stable_pairs == 3
+        before = set(engine.live_detection.changed_pairs)
+
+        late = eui_obs(1, subnet=9, t_offset=500.0)  # late rows, still day 1
+        engine.ingest_batch(late)
+        # The day-0-vs-1 diff is not re-run...
+        assert engine.live_detection.changed_pairs == before
+        # ...but day 1's snapshot now includes the late pairs, so the
+        # 1-vs-2 diff sees them disappear.
+        engine.ingest_batch(eui_obs(2, subnet=1))
+        engine.flush()
+        late_pairs = {(o.target, o.source) for o in late}
+        assert late_pairs <= engine.live_detection.changed_pairs
+        assert late_pairs <= engine.rotation_between(1, 2).changed_pairs
+
+    def test_flush_idempotent(self):
+        engine = StreamEngine(StreamConfig(num_shards=1))
+        engine.ingest_batch(eui_obs(0, subnet=1) + eui_obs(1, subnet=2))
+        first = engine.flush()
+        snapshot = (
+            set(first.changed_pairs),
+            set(first.rotating_prefixes),
+            first.stable_pairs,
+        )
+        second = engine.flush()
+        assert second is first
+        assert (
+            set(second.changed_pairs),
+            set(second.rotating_prefixes),
+            second.stable_pairs,
+        ) == snapshot
+
+    def test_flush_on_empty_engine(self):
+        engine = StreamEngine(StreamConfig(num_shards=1))
+        detection = engine.flush()
+        assert not detection.changed_pairs and detection.stable_pairs == 0
+
+
+class TestRetentionBoundary:
+    def test_retain_days_one_rejected_two_is_minimum(self):
+        with pytest.raises(ValueError, match="retain_days"):
+            StreamConfig(retain_days=1)
+        assert StreamConfig(retain_days=2).retain_days == 2
+
+    def test_retain_two_keeps_closing_and_accumulating_days(self):
+        engine = StreamEngine(
+            StreamConfig(num_shards=2, retain_days=2, keep_observations=False)
+        )
+        for day in range(6):
+            engine.ingest_batch(eui_obs(day, subnet=day))
+            if day:
+                # After day N opens, day N-1 just closed: exactly the
+                # boundary pair {N-1, N} stays resident.
+                assert resident_days(engine) == {day - 1, day}
+        engine.flush()
+        assert resident_days(engine) == {5}
+
+    def test_bounded_detection_equals_unbounded_across_gaps(self):
+        bounded = StreamEngine(
+            StreamConfig(num_shards=2, retain_days=2, keep_observations=False)
+        )
+        unbounded = StreamEngine(
+            StreamConfig(num_shards=2, keep_observations=False)
+        )
+        for day in (0, 1, 4, 5, 6):  # a scan gap between 1 and 4
+            observations = eui_obs(day, subnet=day % 3)
+            bounded.ingest_batch(list(observations))
+            unbounded.ingest_batch(observations)
+        assert bounded.flush().changed_pairs == unbounded.flush().changed_pairs
+
+
+class TestPruneVsRotationBetween:
+    def test_pruned_day_reads_as_empty_snapshot(self):
+        engine = StreamEngine(StreamConfig(num_shards=2))
+        engine.ingest_batch(eui_obs(0, subnet=1))
+        engine.ingest_batch(eui_obs(1, subnet=2))
+        engine.flush()
+        live_before = set(engine.live_detection.changed_pairs)
+        on_demand = engine.rotation_between(0, 1)
+        assert on_demand.changed_pairs == live_before
+
+        engine.prune_pair_days(1)  # drop day 0
+        # Day 0 now diffs as an empty snapshot: only day 1's pairs
+        # appear, all flagged as "appeared".
+        pruned_diff = engine.rotation_between(0, 1)
+        assert pruned_diff.changed_pairs == engine._pairs_on(1)
+        assert pruned_diff.stable_pairs == 0
+        # The accumulated live detection kept day 0's contribution.
+        assert engine.live_detection.changed_pairs == live_before
+
+    def test_prune_future_threshold_empties_everything(self):
+        engine = StreamEngine(StreamConfig(num_shards=2))
+        engine.ingest_batch(eui_obs(0, subnet=1) + eui_obs(1, subnet=2))
+        engine.prune_pair_days(10)
+        assert resident_days(engine) == set()
+        assert not engine.rotation_between(0, 1).changed_pairs

@@ -1,0 +1,167 @@
+"""Seeded randomized stream-equivalence fuzzing.
+
+Every ingestion path -- per-observation, fused ``ingest_batch``, and
+the multiprocess dispatcher at any worker count -- must leave the
+engine in the *same* state for any valid stream.  The unit and world
+tests pin that on curated scenarios; this harness pins it on ~20
+randomized ones: random rotation cadences, scan gaps, shard modes and
+counts, retention windows, worker counts, chunk sizes, duplicate and
+out-of-order same-day responses, and a mid-stream snapshot point.
+The oracle is ``engine_state`` serialized to JSON -- checkpoint bytes
+-- so any divergence in any aggregate, counter, watchlist entry, or
+stored observation fails the seed that found it.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.records import ProbeObservation
+from repro.net.eui64 import is_eui64_iid, mac_to_eui64_iid
+from repro.stream.checkpoint import engine_state
+from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.parallel import ParallelStreamEngine
+from repro.stream.shard import ShardKey
+
+SEEDS = range(20)
+
+
+def origin_of(address: int) -> int:
+    """Deterministic per-/48 origin (the engines' route caches require
+    origin to be constant within a /48)."""
+    return 64512 + ((address >> 80) % 5)
+
+
+def random_corpus(rng: random.Random) -> list[ProbeObservation]:
+    """A day-major corpus from a random mini-world.
+
+    Devices hold a stable IID and move /64 on their own cadence; days
+    may be skipped entirely (scan gaps); within a day the responses are
+    shuffled (out-of-order timestamps) and some are duplicated.
+    """
+    n_days = rng.randint(3, 6)
+    first_day = rng.randint(0, 3)
+    net48s = [(0x20010DB8 << 16) + 7 * i for i in range(rng.randint(1, 3))]
+
+    devices = []
+    for _ in range(rng.randint(6, 16)):
+        if rng.random() < 0.75:
+            iid = mac_to_eui64_iid(rng.getrandbits(48))
+        else:
+            iid = rng.getrandbits(64)
+            while is_eui64_iid(iid):
+                iid = rng.getrandbits(64)
+        devices.append(
+            {
+                "iid": iid,
+                "net48": rng.choice(net48s),
+                "start": rng.randrange(1 << 16),
+                "cadence": rng.choice([1, 1, 2, 3, 10_000]),
+                "respond_p": rng.uniform(0.6, 1.0),
+            }
+        )
+
+    corpus: list[ProbeObservation] = []
+    for day in range(first_day, first_day + n_days):
+        if rng.random() < 0.15:
+            continue  # an unscanned gap day
+        day_observations = []
+        for device in devices:
+            if rng.random() > device["respond_p"]:
+                continue
+            subnet = (device["start"] + day // device["cadence"]) % (1 << 16)
+            net64 = (device["net48"] << 16) | subnet
+            observation = ProbeObservation(
+                day=day,
+                t_seconds=day * 86_400.0 + rng.uniform(0.0, 86_399.0),
+                target=(net64 << 64) | rng.getrandbits(64),
+                source=(net64 << 64) | device["iid"],
+            )
+            day_observations.append(observation)
+            if rng.random() < 0.15:  # duplicate response (same or new time)
+                duplicate = (
+                    observation
+                    if rng.random() < 0.5
+                    else ProbeObservation(
+                        day=day,
+                        t_seconds=day * 86_400.0 + rng.uniform(0.0, 86_399.0),
+                        target=observation.target,
+                        source=observation.source,
+                    )
+                )
+                day_observations.append(duplicate)
+        rng.shuffle(day_observations)  # out-of-order within the day
+        corpus.extend(day_observations)
+    return corpus
+
+
+def random_config(rng: random.Random) -> StreamConfig:
+    return StreamConfig(
+        num_shards=rng.choice([1, 2, 4, 8]),
+        shard_key=rng.choice([ShardKey.PREFIX32, ShardKey.ASN]),
+        keep_observations=rng.random() < 0.5,
+        retain_days=rng.choice([None, None, 2, 3]),
+    )
+
+
+def chunks(rng: random.Random, items: list) -> list[list]:
+    out, i = [], 0
+    while i < len(items):
+        n = rng.randint(1, 50)
+        out.append(items[i : i + n])
+        i += n
+    return out
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_checkpoint_bytes_identical_across_ingest_paths(seed):
+    rng = random.Random(seed ^ 0xF022)
+    corpus = random_corpus(rng)
+    if not corpus:  # all days happened to gap out; trivially equivalent
+        return
+    config = random_config(rng)
+    num_workers = rng.choice([1, 2, 4])
+    batch_rows = rng.choice([5, 17, 64])
+    split = rng.randrange(len(corpus) + 1)  # mid-stream snapshot point
+
+    watch = [o.source_iid for o in corpus if o.is_eui64][:2]
+
+    reference = StreamEngine(config, origin_of=origin_of)
+    batched = StreamEngine(config, origin_of=origin_of)
+    parallel = ParallelStreamEngine(
+        config, origin_of=origin_of, num_workers=num_workers, batch_rows=batch_rows
+    )
+    engines = (reference, batched, parallel)
+    for iid in watch:
+        for engine in engines:
+            engine.watch(iid)
+
+    # Phase 1: up to the snapshot point.
+    for observation in corpus[:split]:
+        reference.ingest(observation)
+    for chunk in chunks(rng, corpus[:split]):
+        batched.ingest_batch(chunk)
+    for chunk in chunks(rng, corpus[:split]):
+        parallel.ingest_batch(chunk)
+
+    # Mid-stream: the parallel snapshot and the batched engine must both
+    # match the per-observation engine, in-progress day left open.
+    mid = json.dumps(engine_state(reference))
+    assert json.dumps(engine_state(batched)) == mid
+    assert json.dumps(engine_state(parallel.snapshot_engine())) == mid
+
+    # Phase 2: the rest of the stream, then flush everything.
+    for observation in corpus[split:]:
+        reference.ingest(observation)
+    for chunk in chunks(rng, corpus[split:]):
+        batched.ingest_batch(chunk)
+    for chunk in chunks(rng, corpus[split:]):
+        parallel.ingest_batch(chunk)
+    reference.flush()
+    batched.flush()
+    merged = parallel.finalize()
+
+    final = json.dumps(engine_state(reference))
+    assert json.dumps(engine_state(batched)) == final
+    assert json.dumps(engine_state(merged)) == final

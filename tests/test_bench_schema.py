@@ -1,0 +1,60 @@
+"""Schema check for the committed BENCH_stream.json.
+
+The benchmark file is the cross-PR perf record; CI re-validates it both
+as committed (here, in tier-1) and after regenerating it in the bench
+job.  The contract: one git rev stamps the whole file (sections never
+mix revisions), and every throughput figure is a positive number.
+"""
+
+import json
+import numbers
+from pathlib import Path
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+
+# Top-level metadata keys; everything else is a benchmark section.
+META_KEYS = {"git_rev", "cpu_count", "python"}
+# At minimum these sections must be present and well-formed.
+REQUIRED_SECTIONS = {"engine_batch_ingest", "stream_vs_batch"}
+
+
+def _walk(node, path=""):
+    yield path, node
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from _walk(value, f"{path}.{key}" if path else key)
+
+
+def validate_bench(data: dict) -> None:
+    """Assert the BENCH_stream.json contract on parsed *data*."""
+    assert isinstance(data, dict), "bench file must hold one JSON object"
+    rev = data.get("git_rev")
+    assert isinstance(rev, str) and rev.strip(), "sections must carry a git rev"
+    assert isinstance(data.get("cpu_count"), int) and data["cpu_count"] > 0
+    assert isinstance(data.get("python"), str) and data["python"]
+
+    sections = {k: v for k, v in data.items() if k not in META_KEYS}
+    assert REQUIRED_SECTIONS <= set(sections), (
+        f"missing sections: {REQUIRED_SECTIONS - set(sections)}"
+    )
+    for name, section in sections.items():
+        assert isinstance(section, dict), f"section {name!r} must be an object"
+        for path, value in _walk(section, name):
+            leaf = path.rsplit(".", 1)[-1]
+            if leaf.endswith("_per_s") or leaf == "speedup":
+                assert isinstance(value, numbers.Real) and value > 0, (
+                    f"{path} must be a positive number, got {value!r}"
+                )
+            elif leaf in ("responses", "lookups"):
+                assert isinstance(value, int) and value > 0, (
+                    f"{path} must be a positive count, got {value!r}"
+                )
+            elif leaf.endswith("seconds"):
+                assert isinstance(value, numbers.Real) and value >= 0, (
+                    f"{path} must be a non-negative duration, got {value!r}"
+                )
+
+
+def test_committed_bench_file_matches_schema():
+    assert BENCH_JSON.exists(), "BENCH_stream.json must be committed at repo root"
+    validate_bench(json.loads(BENCH_JSON.read_text()))
