@@ -31,6 +31,7 @@ from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.rotation_detect import detect_rotating_prefixes
 from repro.core.rotation_pool import RotationPoolInference
 from repro.scan.zmap import ScanResult
+from repro.stream import columnar as columnar_kernel
 from repro.stream.campaign import StreamingCampaign
 from repro.stream.checkpoint import engine_state
 from repro.stream.engine import StreamConfig, StreamEngine
@@ -178,6 +179,95 @@ def test_engine_ingest_throughput(benchmark, context):
             "responses_per_s": round(len(corpus) / seconds),
         },
     )
+
+
+def test_columnar_ingest_throughput(benchmark, context):
+    """The columnar kernel vs the classic fused loop, engine-only.
+
+    Both modes run ``ingest_batch`` + ``flush`` over the same corpus
+    with the same config; the columnar engine's checkpoint bytes must
+    match the classic engine's exactly (the deferred sort-reduce is an
+    execution detail, never a result change).  A parallel engine with
+    columnar workers is measured on the same corpus and must merge to
+    the same bytes.  Without numpy the "columnar" engine *is* the
+    fallback, so the section records ``"numpy": false`` and a ~1x
+    ratio instead of asserting a speedup.
+    """
+    corpus = list(context.campaign_result.store)
+    config = StreamConfig(num_shards=8, keep_observations=False)
+    have_numpy = columnar_kernel.numpy_enabled()
+
+    def run(mode):
+        engine = StreamEngine(config, origin_of=context.origin_of, columnar=mode)
+        engine.ingest_batch(corpus)
+        engine.flush()
+        return engine
+
+    run(False)  # warm the route caches and allocator
+    if have_numpy:
+        run(True)  # warm numpy's lazy submodule imports
+    # Interleaved min-of-3 rounds: alternating the two modes cancels
+    # monotonic host drift (thermal/boost state) that back-to-back
+    # blocks would attribute to whichever mode ran later.
+    classic_seconds = columnar_seconds = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        classic = run(False)
+        classic_seconds = min(classic_seconds, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        columnar_engine = run(True)
+        columnar_seconds = min(columnar_seconds, time.perf_counter() - t0)
+    classic_state = engine_state(classic)
+    assert engine_state(columnar_engine) == classic_state  # byte-identical
+    # pytest-benchmark's table entry: one representative columnar run
+    # (the recorded JSON uses the interleaved minimums above).
+    benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+
+    parallel = ParallelStreamEngine(
+        config, origin_of=context.origin_of, num_workers=2, columnar=True
+    )
+    t0 = time.perf_counter()
+    parallel.ingest_batch(corpus)
+    parallel.barrier()
+    parallel_ingest_seconds = time.perf_counter() - t0
+    merged = parallel.finalize()
+    parallel_total_seconds = time.perf_counter() - t0
+    assert engine_state(merged) == classic_state  # byte-identical
+
+    speedup = classic_seconds / columnar_seconds
+    print(
+        f"\ncolumnar ingest on {len(corpus)} responses (numpy={have_numpy}): "
+        f"classic {len(corpus) / classic_seconds:,.0f} responses/s, "
+        f"columnar {len(corpus) / columnar_seconds:,.0f} responses/s "
+        f"({speedup:.2f}x), parallel-columnar x2 ingest "
+        f"{len(corpus) / parallel_ingest_seconds:,.0f} responses/s -- "
+        f"checkpoint bytes identical in all modes"
+    )
+    record_bench(
+        "columnar_ingest",
+        {
+            "responses": len(corpus),
+            "numpy": have_numpy,
+            "classic_seconds": round(classic_seconds, 4),
+            "classic_responses_per_s": round(len(corpus) / classic_seconds),
+            "columnar_seconds": round(columnar_seconds, 4),
+            "columnar_responses_per_s": round(len(corpus) / columnar_seconds),
+            "speedup": round(speedup, 2),
+            "parallel_columnar": {
+                "workers": 2,
+                "ingest_responses_per_s": round(
+                    len(corpus) / parallel_ingest_seconds
+                ),
+                "total_responses_per_s": round(len(corpus) / parallel_total_seconds),
+            },
+        },
+    )
+    if have_numpy:
+        # The committed baseline shows the >= 3x bar on an unloaded
+        # host; the in-run floor is 2x so a noisy shared runner flags
+        # real regressions without flaking on contention (the CI
+        # regression gate tracks the recorded number across revisions).
+        assert speedup >= 2.0, f"columnar speedup {speedup:.2f}x < 2.0x"
 
 
 def test_parallel_worker_scaling(benchmark, context):

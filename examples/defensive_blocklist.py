@@ -31,7 +31,9 @@ def main() -> int:
         internet, asn=8881, n_households=24, flows_per_day=3,
         days=train_days + eval_days, seed=42,
     )
-    day_of = lambda flow: int(flow.t_seconds // 86400.0)
+    def day_of(flow):
+        return int(flow.t_seconds // 86400.0)
+
     scenario = AbuseScenario(
         training=[f for f in flows if day_of(f) in train_days],
         evaluation=[f for f in flows if day_of(f) in eval_days],

@@ -28,8 +28,6 @@ from repro import (
     eui64_iid_to_mac,
     format_addr,
     format_mac,
-    infer_allocation_plen,
-    infer_rotation_pool_plen,
 )
 from repro.core.allocation import AllocationInference
 from repro.core.rotation_pool import RotationPoolInference

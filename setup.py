@@ -20,4 +20,9 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    # No hard dependencies: the library is stdlib-only.  numpy powers
+    # the columnar streaming kernel (repro.stream.columnar) and is
+    # optional -- without it every ingest path transparently uses the
+    # pure-Python fused loops with identical results, just slower.
+    extras_require={"fast": ["numpy"]},
 )

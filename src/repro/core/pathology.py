@@ -16,7 +16,6 @@ matrix:
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.core.records import ObservationStore

@@ -12,7 +12,7 @@ once on insert, so analyses can iterate EUI-only views cheaply.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.net.addr import IID_BITS, Prefix, iid_of

@@ -175,7 +175,9 @@ def run_blocklist_ablation(
         context.internet, asn, n_households, 3,
         train_days + eval_days, seed=context.scale.seed ^ 0xB10C,
     )
-    day_of = lambda flow: int(flow.t_seconds // 86400.0)
+    def day_of(flow):
+        return int(flow.t_seconds // 86400.0)
+
     scenario = AbuseScenario(
         training=[f for f in flows if day_of(f) in train_days],
         evaluation=[f for f in flows if day_of(f) in eval_days],

@@ -17,7 +17,6 @@ from dataclasses import dataclass, field
 
 from repro.experiments.context import ExperimentContext
 from repro.viz.ascii import render_cdf, render_table
-from repro.viz.cdf import fraction_at_or_below
 
 
 @dataclass

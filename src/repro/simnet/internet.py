@@ -17,7 +17,7 @@ tools:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.bgp.asinfo import AsRegistry
 from repro.bgp.table import RoutingTable

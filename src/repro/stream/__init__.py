@@ -13,6 +13,11 @@ Layout:
   (/32 or origin-AS keyed) so hot-path aggregates stay small and local;
 * :mod:`repro.stream.state` -- the O(1)-per-response aggregates that
   replace batch re-walks (allocation spans, pool spans, rotation pairs);
+* :mod:`repro.stream.columnar` -- the numpy sort-reduce worker kernel:
+  chunked uint64 address columns, vectorized dedup/min-max reduction,
+  Python set materialization deferred to day close or snapshot; the
+  default ``ingest_batch``/worker apply path when numpy is importable
+  (the ``[fast]`` extra), with a pure-Python fallback otherwise;
 * :mod:`repro.stream.engine` -- :class:`StreamEngine`, the single-pass
   ingestion core with always-current per-AS inferences, live rotation
   detection, and a watchlist for passive device sightings;

@@ -162,7 +162,9 @@ class StreamingCampaign:
         """
         state = json.loads(Path(checkpoint_path).read_text())
         if state.get("version") != FORMAT_VERSION:
-            raise ValueError(f"unsupported checkpoint version: {state.get('version')!r}")
+            raise ValueError(
+                f"unsupported checkpoint version: {state.get('version')!r}"
+            )
         streaming = cls(
             campaign,
             engine=restore_engine(

@@ -90,7 +90,9 @@ def _store_state(store: ObservationStore) -> list[list]:
     return [[o.day, o.t_seconds, o.target, o.source] for o in store]
 
 
-def _restore_store(rows: list[list], store: ObservationStore | None = None) -> ObservationStore:
+def _restore_store(
+    rows: list[list], store: ObservationStore | None = None
+) -> ObservationStore:
     store = store if store is not None else ObservationStore()
     store.extend(
         [
@@ -103,6 +105,7 @@ def _restore_store(rows: list[list], store: ObservationStore | None = None) -> O
 
 def engine_state(engine: StreamEngine) -> dict:
     """The engine's complete serializable state."""
+    engine.materialize()  # fold any pending columnar buffers first
     state = {
         "version": FORMAT_VERSION,
         "config": {

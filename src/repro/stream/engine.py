@@ -23,6 +23,7 @@ and newly flagged prefixes accumulate in :attr:`live_detection`.  Call
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Callable, Iterable
 
 from repro.core.allocation import AllocationInference
@@ -33,6 +34,7 @@ from repro.core.tracker import AsProfile
 from repro.net.addr import IID_BITS, IID_MASK
 from repro.net.eui64 import _FFFE, _FFFE_SHIFT
 from repro.net.icmpv6 import ProbeResponse
+from repro.stream import columnar as columnar_kernel
 from repro.stream.shard import ShardKey, ShardRouter
 from repro.stream.state import (
     ShardState,
@@ -115,6 +117,8 @@ class StreamEngine:
         config: StreamConfig | None = None,
         origin_of: Callable[[int], int | None] | None = None,
         store: ObservationStore | None = None,
+        *,
+        columnar: bool | None = None,
     ) -> None:
         self.config = config or StreamConfig()
         self._origin_of = origin_of
@@ -126,7 +130,7 @@ class StreamEngine:
             self.store = store
         else:
             self.store = ObservationStore() if self.config.keep_observations else None
-        self.live_detection = RotationDetection()
+        self.live_detection = RotationDetection()  # via the property setter
         self._watch_iids: set[int] = set()
         self.watched: dict[int, Sighting] = {}
         self.current_day: int | None = None
@@ -142,6 +146,12 @@ class StreamEngine:
         # (bound set.add methods plus the per-AS span dicts), so the
         # inner loop of ingest_batch touches no attributes at all.
         self._fast_entries: dict[int, list] = {}
+        # Columnar kernel (numpy sort-reduce per chunk, set/dict work
+        # deferred to materialize): the default ingest_batch path when
+        # numpy is importable; ``columnar=False`` forces the classic
+        # fused loop, and a missing numpy falls back to it silently.
+        # Execution detail only -- never part of checkpoint state.
+        self._acc = columnar_kernel.make_accumulator(self.config.num_shards, columnar)
 
     # -- watchlist (live tracker pursuit) ---------------------------------
 
@@ -214,7 +224,14 @@ class StreamEngine:
         inlined twin for worker processes; edits to the span/pair logic
         must land in both (the worker-count-invariance tests pin them
         identical).
+
+        With the columnar kernel active (numpy importable and
+        ``columnar`` not ``False``), batches route through the
+        sort-reduce path instead -- state-identical again, several-fold
+        faster (see ``BENCH_stream.json``'s ``columnar_ingest``).
         """
+        if self._acc is not None:
+            return self._ingest_batch_columnar(observations)
         shards = self.shards
         entries = self._fast_entries
         route_cache = self._route_cache
@@ -322,6 +339,99 @@ class StreamEngine:
                 store.extend(keep)
         return count
 
+    def _route_of(self, source: int) -> tuple[int, int]:
+        """(shard, origin AS) for a source, memoized per covering /48."""
+        route = self._route_cache.get(source >> 80)
+        if route is None:
+            asn = (self._origin_of(source) or 0) if self._origin_of else 0
+            route = self._route_cache[source >> 80] = (
+                self.router.shard_of(source),
+                asn,
+            )
+        return route
+
+    # How many observations the columnar path converts to columns at a
+    # time.  Bounds transient memory on lazy feeds (the classic loop was
+    # O(1); this is O(chunk)) while staying large enough to amortize the
+    # per-chunk numpy fixed costs.
+    _COLUMNAR_CHUNK = 16384
+
+    def _ingest_batch_columnar(self, observations: Iterable[ProbeObservation]) -> int:
+        """The columnar twin of :meth:`ingest_batch`.
+
+        The input is consumed in bounded chunks (lazy feeds are never
+        materialized whole).  Per day-run of each chunk: build uint64
+        columns (one Python pass over the observations), resolve routes
+        per unique /48, and hand the columns to the accumulator; Python
+        sets and span dicts are only touched when a day closes or state
+        is read (:meth:`materialize`).  Day progression, watchlist
+        sightings, and store writes keep the scalar path's exact
+        semantics -- including the rows-before-error accounting on a
+        backwards day (rows before the offending one are ingested, then
+        the error raises).
+        """
+        iterator = iter(observations)
+        total = 0
+        while True:
+            obs = list(islice(iterator, self._COLUMNAR_CHUNK))
+            if not obs:
+                return total
+            total += self._ingest_columns(obs)
+
+    def _ingest_columns(self, obs: list[ProbeObservation]) -> int:
+        """Ingest one materialized chunk through the columnar kernel."""
+        segments, day_column, error = columnar_kernel.day_segments(
+            [o.day for o in obs], self.current_day
+        )
+        store = self.store
+        keep: list[ProbeObservation] | None = [] if store is not None else None
+        count = 0
+        try:
+            if segments:
+                valid = obs if len(day_column) == len(obs) else obs[: len(day_column)]
+                columns = columnar_kernel.observation_columns(
+                    valid, day_column, self._route_of
+                )
+            for start, stop, day in segments:
+                if day != self.current_day:
+                    if self.current_day is not None:
+                        self._close_days_through(day - 1)
+                    self.current_day = day
+                    self._days_seen.add(day)
+                self._acc.absorb(*(c[start:stop] for c in columns))
+                if self._watch_iids:
+                    src_lo = columns[4][start:stop]
+                    for i in columnar_kernel.watch_hits(src_lo, self._watch_iids):
+                        o = obs[start + i]
+                        update_sighting(
+                            self.watched,
+                            o.source & IID_MASK,
+                            o.source,
+                            day,
+                            o.t_seconds,
+                        )
+                count += stop - start
+                if keep is not None:
+                    keep.extend(obs[start:stop])
+        finally:
+            self.responses_ingested += count
+            if keep:
+                store.extend(keep)
+        if error is not None:
+            raise ValueError(error)
+        return count
+
+    def materialize(self) -> None:
+        """Fold any pending columnar buffers into the shard states.
+
+        Cheap no-op without the kernel or with nothing buffered; every
+        state-reading path calls it, so callers never see a shard view
+        that lags the ingested stream.
+        """
+        acc = self._acc
+        if acc is not None and acc.has_pending:
+            acc.materialize(self.shards)
+
     def ingest_responses(
         self, responses: Iterable[ProbeResponse], day: int | None = None
     ) -> int:
@@ -340,7 +450,62 @@ class StreamEngine:
 
     # -- live rotation detection ------------------------------------------
 
+    @property
+    def live_detection(self) -> RotationDetection:
+        """The cumulative rotation detection, folded on first read.
+
+        Columnar day closes defer the changed-pair tuple and prefix
+        construction (:func:`~repro.stream.columnar.diff_pair_columns`);
+        reading the detection folds everything pending -- deduplicated
+        across closes -- so observers always see the complete state.
+        """
+        if self._pending_changed:
+            columnar_kernel.fold_changed(self._pending_changed, self._live_detection)
+            self._pending_changed = []
+        return self._live_detection
+
+    @live_detection.setter
+    def live_detection(self, detection: RotationDetection) -> None:
+        self._live_detection = detection
+        self._pending_changed: list = []
+
+    def _shards_have_pairs(self, *days: int) -> bool:
+        """True if any shard holds a materialized pair set for any *days*.
+
+        The columnar close path is only sound while the accumulator owns
+        every pair of the two days being diffed; per-observation ingest
+        or a mid-stream materialization (checkpoint, snapshot) moves
+        pairs into the shards, after which closes must diff full merged
+        sets again.
+        """
+        for shard in self.shards:
+            pairs_by_day = shard.pairs_by_day
+            for day in days:
+                if day in pairs_by_day:
+                    return True
+        return False
+
+    def _diff_days(self, previous: int, closed: int) -> None:
+        """Diff two scanned days into the live detection.
+
+        Columnar engines diff pair columns directly (no Python sets) as
+        long as the accumulator still owns both days' pairs; otherwise
+        -- and always for classic engines -- this is the shared
+        :func:`diff_pairs` over merged shard sets.
+        """
+        acc = self._acc
+        if acc is not None and not self._shards_have_pairs(previous, closed):
+            changed, net48s, stable = acc.diff_days(previous, closed)
+            self._pending_changed.append((changed, net48s))
+            self._live_detection.stable_pairs += stable
+            return
+        detection = diff_pairs(self._pairs_on(previous), self._pairs_on(closed))
+        self._live_detection.changed_pairs |= detection.changed_pairs
+        self._live_detection.rotating_prefixes |= detection.rotating_prefixes
+        self._live_detection.stable_pairs += detection.stable_pairs
+
     def _pairs_on(self, day: int) -> set[tuple[int, int]]:
+        self.materialize()
         pairs: set[tuple[int, int]] = set()
         for shard in self.shards:
             pairs |= shard.pairs_by_day.get(day, set())
@@ -367,13 +532,15 @@ class StreamEngine:
         for closed in range(start, day + 1):
             previous = closed - 1
             if previous in days_seen and closed in days_seen:
-                detection = diff_pairs(self._pairs_on(previous), self._pairs_on(closed))
-                self.live_detection.changed_pairs |= detection.changed_pairs
-                self.live_detection.rotating_prefixes |= detection.rotating_prefixes
-                self.live_detection.stable_pairs += detection.stable_pairs
+                self._diff_days(previous, closed)
             self._closed_through = closed
         retain = self.config.retain_days
         if retain is not None and self._closed_through is not None:
+            if self._acc is not None:
+                # Bounded-memory mode: per-row aggregate buffers must not
+                # outlive a day.  Pairs stay columnar (pruned below), so
+                # the columnar close diff keeps its fast path.
+                self._acc.fold_aggregates(self.shards)
             self.prune_pair_days(self._closed_through - retain + 2)
 
     def flush(self) -> RotationDetection:
@@ -389,6 +556,8 @@ class StreamEngine:
         as empty to :meth:`rotation_between`, while :attr:`live_detection`
         already holds its contribution.
         """
+        if self._acc is not None:
+            self._acc.drop_pair_days(threshold)
         prune_shard_days(self.shards, threshold)
 
     def rotation_between(self, day_a: int, day_b: int) -> RotationDetection:
@@ -402,6 +571,7 @@ class StreamEngine:
     # -- merged-shard queries ----------------------------------------------
 
     def _merged_alloc_spans(self, asn: int) -> dict[tuple[int, int], list[int]]:
+        self.materialize()
         merged: dict[tuple[int, int], list[int]] = {}
         for shard in self.shards:
             spans = shard.alloc_spans.get(asn)
@@ -410,6 +580,7 @@ class StreamEngine:
         return merged
 
     def _merged_pool_spans(self, asn: int) -> dict[int, list[int]]:
+        self.materialize()
         merged: dict[int, list[int]] = {}
         for shard in self.shards:
             spans = shard.pool_spans.get(asn)
@@ -419,16 +590,21 @@ class StreamEngine:
 
     def asns(self) -> list[int]:
         """Every origin AS with at least one EUI-64 observation."""
+        self.materialize()
         seen: set[int] = set()
         for shard in self.shards:
             seen.update(shard.pool_spans)
         return sorted(seen)
 
-    def allocation_inference(self, asn: int, day: int | None = None) -> AllocationInference:
+    def allocation_inference(
+        self, asn: int, day: int | None = None
+    ) -> AllocationInference:
         """Algorithm 1, as of now, from aggregates alone."""
         return allocation_inference_from_spans(asn, self._merged_alloc_spans(asn), day)
 
-    def allocation_inferences(self, day: int | None = None) -> dict[int, AllocationInference]:
+    def allocation_inferences(
+        self, day: int | None = None
+    ) -> dict[int, AllocationInference]:
         inferences = {}
         for asn in self.asns():
             if asn == 0:
@@ -474,12 +650,15 @@ class StreamEngine:
     # -- summary -----------------------------------------------------------
 
     def unique_sources(self) -> int:
+        self.materialize()
         return sum(len(s.sources) for s in self.shards)
 
     def unique_eui64_sources(self) -> int:
+        self.materialize()
         return sum(len(s.eui_sources) for s in self.shards)
 
     def eui64_iids(self) -> set[int]:
+        self.materialize()
         iids: set[int] = set()
         for shard in self.shards:
             iids |= shard.eui_iids

@@ -44,6 +44,7 @@ from repro.core.rotation_detect import RotationDetection, diff_pairs
 from repro.net.addr import IID_BITS, IID_MASK
 from repro.net.eui64 import _FFFE, _FFFE_SHIFT
 from repro.net.icmpv6 import ProbeResponse
+from repro.stream import columnar as columnar_kernel
 from repro.stream.engine import Sighting, StreamConfig, StreamEngine, update_sighting
 from repro.stream.shard import ShardKey, shard_index
 from repro.stream.state import ShardState, merge_shard_state, prune_shard_days
@@ -52,8 +53,14 @@ from repro.stream.state import ShardState, merge_shard_state, prune_shard_days
 # -- worker process --------------------------------------------------------
 
 
-def _apply_rows(rows: list[tuple], shards: list[ShardState], entries: dict,
-                counts: dict[int, int], asn_keyed: bool, num_shards: int) -> None:
+def _apply_rows(
+    rows: list[tuple],
+    shards: list[ShardState],
+    entries: dict,
+    counts: dict[int, int],
+    asn_keyed: bool,
+    num_shards: int,
+) -> None:
     """Fold one chunk of flat rows into the worker's shard aggregates.
 
     This is ``StreamEngine.ingest_batch``'s fused inner loop minus the
@@ -126,23 +133,41 @@ def _apply_rows(rows: list[tuple], shards: list[ShardState], entries: dict,
         pairs.add((target, source))
 
 
-def _worker_main(conn, num_shards: int, asn_keyed: bool) -> None:
+def _worker_main(
+    conn, num_shards: int, asn_keyed: bool, columnar: bool | None = None
+) -> None:
     """Worker loop: apply row chunks, answer state and pair requests.
 
     Messages arrive in dispatch order on a dedicated pipe, so a reply to
     ``day_pairs``/``state`` always reflects every chunk sent before the
     request -- the ordering guarantee the dispatcher's day-close and
     snapshot barriers rely on.
+
+    With the columnar kernel enabled (the default when numpy is
+    importable), chunks buffer as uint64 columns and fold into the
+    shard states lazily -- any state-observing message (``day_pairs``,
+    ``prune``, ``state``) materializes first, so replies always carry
+    plain, fully-applied :class:`ShardState` structures.
     """
     shards = [ShardState(shard_id=i) for i in range(num_shards)]
     entries: dict[int, list] = {}
     counts: dict[int, int] = {}
+    acc = columnar_kernel.make_accumulator(num_shards, columnar)
     try:
         while True:
             message = conn.recv()
             tag = message[0]
             if tag == "rows":
-                _apply_rows(message[1], shards, entries, counts, asn_keyed, num_shards)
+                if acc is not None:
+                    acc.absorb(
+                        *columnar_kernel.row_columns(
+                            message[1], asn_keyed, num_shards
+                        )
+                    )
+                else:
+                    _apply_rows(
+                        message[1], shards, entries, counts, asn_keyed, num_shards
+                    )
             elif tag == "day_pairs":
                 day = message[1]
                 pairs: set[tuple[int, int]] = set()
@@ -150,12 +175,25 @@ def _worker_main(conn, num_shards: int, asn_keyed: bool) -> None:
                     day_pairs = shard.pairs_by_day.get(day)
                     if day_pairs:
                         pairs |= day_pairs
+                if acc is not None:
+                    # Buffered pair columns convert straight to tuples;
+                    # shard sets stay unmaterialized until state is
+                    # actually requested.
+                    pairs |= acc.day_pairs_set(day)
                 conn.send(("pairs", pairs))
             elif tag == "prune":
+                if acc is not None:
+                    # Retention runs: fold per-row aggregate buffers so
+                    # they never outlive a day, then drop pruned pair
+                    # columns -- the worker's memory stays bounded.
+                    acc.fold_aggregates(shards)
+                    acc.drop_pair_days(message[1])
                 prune_shard_days(shards, message[1])
             elif tag == "ping":
                 conn.send(("pong",))
             elif tag in ("state", "stop"):
+                if acc is not None:
+                    acc.materialize(shards)
                 for sid, count in counts.items():
                     shards[sid].n_observations = count
                 conn.send(("state", shards))
@@ -193,7 +231,11 @@ class ParallelStreamEngine:
     Pass a checkpoint-restored engine as *base* to resume: workers
     start empty and the base state is folded in at every merge.
     ``num_workers=1`` is the degenerate case the equivalence tests pin
-    against the single-process engine.
+    against the single-process engine.  *columnar* selects the worker
+    apply kernel exactly like ``StreamEngine(columnar=...)``: ``None``
+    (auto) uses the numpy sort-reduce kernel when available, ``False``
+    forces the classic fused loop, and a missing numpy always falls
+    back silently.
     """
 
     def __init__(
@@ -205,6 +247,7 @@ class ParallelStreamEngine:
         batch_rows: int = 8192,
         store: ObservationStore | None = None,
         base: StreamEngine | None = None,
+        columnar: bool | None = None,
     ) -> None:
         self.config = config or StreamConfig()
         if num_workers <= 0:
@@ -220,6 +263,7 @@ class ParallelStreamEngine:
             )
         self.num_workers = num_workers
         self.batch_rows = batch_rows
+        self._columnar = columnar
         self._origin_of = origin_of
         self._asn_keyed = self.config.shard_key is ShardKey.ASN
         self._base = base
@@ -276,7 +320,12 @@ class ParallelStreamEngine:
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             process = ctx.Process(
                 target=_worker_main,
-                args=(child_conn, self.config.num_shards, self._asn_keyed),
+                args=(
+                    child_conn,
+                    self.config.num_shards,
+                    self._asn_keyed,
+                    self._columnar,
+                ),
                 daemon=True,
             )
             process.start()

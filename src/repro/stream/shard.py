@@ -19,6 +19,12 @@ from repro.net.addr import IID_MASK
 
 _NET32_SHIFT = 96  # bits below a /32 network
 
+# The splitmix64-style multiplier behind shard placement.  Exposed so the
+# columnar kernel can vectorize the identical scramble over uint64 key
+# columns (multiplication there wraps mod 2**64, matching the IID_MASK
+# truncation below) -- every routing participant must agree bit-for-bit.
+SPLITMIX64 = 0x9E3779B97F4A7C15
+
 
 class ShardKey(enum.Enum):
     """What the dispatcher hashes to pick a shard."""
@@ -42,7 +48,7 @@ def shard_index(partition_key: int, num_shards: int) -> int:
     back into the single-process layout.
     """
     # splitmix-style scramble so sequential /32s spread evenly.
-    x = (partition_key * 0x9E3779B97F4A7C15) & IID_MASK
+    x = (partition_key * SPLITMIX64) & IID_MASK
     return (x >> 32) % num_shards
 
 

@@ -50,6 +50,25 @@ def _update_span(spans: dict, key, value: int) -> None:
         span[1] = value
 
 
+def merge_span_bounds(spans: dict, key, lo: int, hi: int) -> None:
+    """Fold a pre-reduced ``[lo, hi]`` group into a span table.
+
+    The single-key counterpart of :func:`merge_spans`, used by the
+    columnar kernel: each vectorized sort-reduce yields one min/max pair
+    per (key) group, and folding it here commutes with per-observation
+    :func:`_update_span` calls -- so columnar and scalar ingestion reach
+    identical span tables in any interleaving.
+    """
+    span = spans.get(key)
+    if span is None:
+        spans[key] = [lo, hi]
+    else:
+        if lo < span[0]:
+            span[0] = lo
+        if hi > span[1]:
+            span[1] = hi
+
+
 def merge_spans(into: dict, other: dict) -> None:
     """Merge another span table into *into* (losslessly -- min/max commute)."""
     for key, span in other.items():

@@ -7,7 +7,7 @@ from repro.core.blocklist import (
     BlockPolicy,
     BlocklistEvaluator,
 )
-from repro.core.correlator import Flow, FlowCorrelator, synthesize_flows
+from repro.core.correlator import FlowCorrelator, synthesize_flows
 from repro.core.predictor import (
     IncrementModel,
     fit_increment_model,
@@ -184,7 +184,9 @@ class TestBlocklist:
     def scenario_setup(self):
         internet = build_internet(privacy_from=64, n_devices=64)
         flows = synthesize_flows(internet, 65001, 12, 3, [1, 4, 5], seed=11)
-        day_of = lambda flow: int(flow.t_seconds // 86400.0)
+        def day_of(flow):
+            return int(flow.t_seconds // 86400.0)
+
         scenario = AbuseScenario(
             training=[f for f in flows if day_of(f) == 1],
             evaluation=[f for f in flows if day_of(f) in (4, 5)],

@@ -5,16 +5,11 @@ tests drive individual stages with handcrafted preconditions, including
 failure injection (silent providers, stale seeds, empty inputs).
 """
 
-import math
-
-import pytest
-
 from repro.core.density import DensityClass
 from repro.core.pipeline import DiscoveryPipeline, PipelineConfig, PipelineResult
-from repro.net.addr import Prefix
 from repro.simnet.builder import InternetSpec, PoolSpec, ProviderSpec, build_internet
 from repro.simnet.internet import SimInternet
-from repro.simnet.rotation import IncrementRotation, NoRotation
+from repro.simnet.rotation import IncrementRotation
 
 ALWAYS = (("admin_prohibited", 1.0),)
 SILENT = (("silent", 1.0),)

@@ -5,13 +5,13 @@ import pytest
 from repro.core.pathology import analyze_pathologies
 from repro.core.records import ObservationStore, ProbeObservation
 from repro.core.tracker import AsProfile, DeviceTracker, TrackerConfig
-from repro.net.addr import IID_BITS, Prefix, iid_of, with_iid
+from repro.net.addr import IID_BITS, Prefix, with_iid
 from repro.net.eui64 import mac_to_eui64_iid
-from repro.simnet.device import AddressingMode, CpeDevice
+from repro.simnet.device import CpeDevice
 from repro.simnet.internet import SimInternet
 from repro.simnet.pool import RotationPool
 from repro.simnet.provider import Provider
-from repro.simnet.rotation import IncrementRotation, NoRotation, ShuffleRotation
+from repro.simnet.rotation import IncrementRotation, NoRotation
 
 
 def build_internet() -> SimInternet:

@@ -1,6 +1,5 @@
 """Tests for the CPE device model and rotation pool resolution."""
 
-import math
 
 import pytest
 

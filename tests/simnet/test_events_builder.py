@@ -1,6 +1,5 @@
 """Tests for scenario events and the paper-mix builder."""
 
-import math
 
 import pytest
 

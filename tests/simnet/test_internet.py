@@ -5,11 +5,11 @@ import pytest
 from repro.net.addr import Prefix, iid_of, parse_addr
 from repro.net.eui64 import addr_is_eui64, mac_to_eui64_iid
 from repro.net.icmpv6 import IcmpCode, IcmpType
-from repro.simnet.device import AddressingMode, CpeDevice, ResponsePolicy
+from repro.simnet.device import CpeDevice, ResponsePolicy
 from repro.simnet.internet import SimInternet
 from repro.simnet.pool import RotationPool
 from repro.simnet.provider import Provider
-from repro.simnet.rotation import IncrementRotation, NoRotation
+from repro.simnet.rotation import IncrementRotation
 
 
 def small_internet(**internet_kwargs) -> SimInternet:

@@ -1,0 +1,266 @@
+"""The columnar kernel: selection, fallback, and primitive correctness.
+
+The fuzz harness (``test_fuzz_equivalence.py``) pins whole-engine
+checkpoint bytes across ingestion modes; these tests cover what it
+cannot: kernel selection (auto / forced-off / forced-fallback / numpy
+genuinely absent), the vectorized primitives against their scalar
+oracles, and the pure-Python fallback agreeing with the numpy path.
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.records import ProbeObservation
+from repro.core.rotation_detect import RotationDetection, diff_pairs
+from repro.net.eui64 import is_eui64_iid, mac_to_eui64_iid
+from repro.stream import columnar
+from repro.stream.checkpoint import engine_state
+from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.shard import shard_index
+
+SRC_DIR = Path(__file__).resolve().parent.parent.parent / "src"
+
+needs_numpy = pytest.mark.skipif(
+    not columnar.numpy_enabled(), reason="numpy kernel unavailable"
+)
+
+
+def origin_of(address: int) -> int:
+    return 64512 + ((address >> 80) % 5)
+
+
+def small_corpus() -> list:
+    """A deterministic mini-corpus: EUI and non-EUI devices over 4 days,
+    with duplicates, a scan gap, and /64 movement."""
+    rng = random.Random(0xC01)
+    net48s = [(0x20010DB8 << 16) + 9 * i for i in range(3)]
+    devices = []
+    for i in range(12):
+        if i % 4 == 3:
+            iid = rng.getrandbits(64)
+            while is_eui64_iid(iid):
+                iid = rng.getrandbits(64)
+        else:
+            iid = mac_to_eui64_iid(rng.getrandbits(48))
+        devices.append((iid, net48s[i % 3], rng.randrange(1 << 12)))
+    corpus = []
+    for day in (0, 1, 3, 4):  # day 2 is an unscanned gap
+        day_obs = []
+        for iid, net48, start in devices:
+            net64 = (net48 << 16) | ((start + day) % (1 << 16))
+            for k in range(3):
+                day_obs.append(
+                    ProbeObservation(
+                        day=day,
+                        t_seconds=day * 86_400.0 + k,
+                        target=(net64 << 64) | rng.getrandbits(64),
+                        source=(net64 << 64) | iid,
+                    )
+                )
+            day_obs.append(day_obs[-1])  # exact duplicate response
+        rng.shuffle(day_obs)
+        corpus.extend(day_obs)
+    return corpus
+
+
+def reference_state(corpus) -> str:
+    engine = StreamEngine(StreamConfig(num_shards=4), origin_of=origin_of)
+    for observation in corpus:
+        engine.ingest(observation)
+    engine.flush()
+    return json.dumps(engine_state(engine))
+
+
+class TestKernelSelection:
+    def test_columnar_false_forces_classic_loop(self):
+        engine = StreamEngine(StreamConfig(num_shards=2), columnar=False)
+        assert engine._acc is None
+
+    @needs_numpy
+    def test_auto_selects_numpy_kernel(self):
+        engine = StreamEngine(StreamConfig(num_shards=2))
+        assert engine._acc is not None
+
+    def test_force_fallback_env_disables_kernel(self, monkeypatch):
+        monkeypatch.setenv(columnar.FORCE_FALLBACK_ENV, "1")
+        assert not columnar.numpy_enabled()
+        engine = StreamEngine(StreamConfig(num_shards=2), columnar=True)
+        assert engine._acc is None  # degraded silently, not an error
+
+    def test_forced_fallback_agrees_with_reference(self, monkeypatch):
+        """The pure-Python fallback run: same corpus, same bytes."""
+        corpus = small_corpus()
+        expected = reference_state(corpus)
+        monkeypatch.setenv(columnar.FORCE_FALLBACK_ENV, "1")
+        engine = StreamEngine(
+            StreamConfig(num_shards=4), origin_of=origin_of, columnar=True
+        )
+        engine.ingest_batch(corpus)
+        engine.flush()
+        assert json.dumps(engine_state(engine)) == expected
+
+    @needs_numpy
+    def test_numpy_kernel_agrees_with_reference(self):
+        corpus = small_corpus()
+        engine = StreamEngine(
+            StreamConfig(num_shards=4), origin_of=origin_of, columnar=True
+        )
+        assert engine._acc is not None
+        engine.ingest_batch(corpus)
+        engine.flush()
+        assert json.dumps(engine_state(engine)) == reference_state(corpus)
+
+    @needs_numpy
+    def test_mixed_per_observation_and_batch_ingest(self):
+        """Interleaving ingest() and ingest_batch() on one columnar
+        engine must match the reference -- the per-observation path
+        writes shard state directly, which flips later day closes onto
+        the merged-set diff."""
+        corpus = small_corpus()
+        engine = StreamEngine(
+            StreamConfig(num_shards=4), origin_of=origin_of, columnar=True
+        )
+        third = len(corpus) // 3
+        engine.ingest_batch(corpus[:third])
+        for observation in corpus[third : 2 * third]:
+            engine.ingest(observation)
+        engine.ingest_batch(corpus[2 * third :])
+        engine.flush()
+        assert json.dumps(engine_state(engine)) == reference_state(corpus)
+
+
+@needs_numpy
+class TestKernelPrimitives:
+    def test_vector_shard_index_matches_scalar(self):
+        import numpy as np
+
+        rng = random.Random(7)
+        keys = [rng.getrandbits(64) for _ in range(2000)]
+        for num_shards in (1, 2, 7, 8, 64):
+            expected = [shard_index(k, num_shards) for k in keys]
+            got = columnar.vector_shard_index(
+                np.array(keys, dtype=np.uint64), num_shards
+            )
+            assert got.tolist() == expected
+
+    def test_eui64_mask_matches_scalar(self):
+        import numpy as np
+
+        rng = random.Random(8)
+        iids = [rng.getrandbits(64) for _ in range(500)]
+        iids += [mac_to_eui64_iid(rng.getrandbits(48)) for _ in range(500)]
+        got = columnar.eui64_mask(np.array(iids, dtype=np.uint64))
+        assert got.tolist() == [is_eui64_iid(i) for i in iids]
+
+    def _pair_columns(self, pairs):
+        import numpy as np
+
+        mask = (1 << 64) - 1
+        return [
+            np.array(values, dtype=np.uint64)
+            for values in (
+                [t >> 64 for t, _ in pairs],
+                [t & mask for t, _ in pairs],
+                [s >> 64 for _, s in pairs],
+                [s & mask for _, s in pairs],
+            )
+        ]
+
+    def test_diff_pair_columns_matches_diff_pairs(self):
+        rng = random.Random(9)
+        for trial in range(20):
+            universe = [
+                (rng.getrandbits(128), rng.getrandbits(128)) for _ in range(120)
+            ]
+            pairs_a = set(rng.sample(universe, rng.randrange(len(universe))))
+            pairs_b = set(rng.sample(universe, rng.randrange(len(universe))))
+            expected = diff_pairs(pairs_a, pairs_b)
+            changed, net48s, stable, appeared = columnar.diff_pair_columns(
+                self._pair_columns(sorted(pairs_a)),
+                self._pair_columns(sorted(pairs_b)),
+            )
+            detection = RotationDetection()
+            columnar.fold_changed([(changed, net48s)], detection)
+            assert detection.changed_pairs == expected.changed_pairs
+            assert detection.rotating_prefixes == expected.rotating_prefixes
+            assert stable == expected.stable_pairs
+            assert int(appeared.sum()) == len(pairs_b - pairs_a)
+
+    def test_dedup_rows_drops_exact_duplicates_only(self):
+        rng = random.Random(10)
+        rows = [(rng.getrandbits(128), rng.getrandbits(128)) for _ in range(200)]
+        with_dups = rows + rng.sample(rows, 50)
+        rng.shuffle(with_dups)
+        cols = self._pair_columns(with_dups)
+        deduped = columnar._dedup_rows(cols)
+        mask = (1 << 64) - 1
+        got = {
+            ((int(a) << 64) | int(b), (int(c) << 64) | int(d))
+            for a, b, c, d in zip(*(c.tolist() for c in deduped))
+        }
+        assert got == set(rows)
+        assert len(deduped[0]) == len(rows)
+
+
+# The subprocess bootstrap: install a meta-path blocker so every numpy
+# import raises, *then* import this module (which pulls repro.stream in
+# its no-numpy configuration) and emit the fallback engine's state.
+_NO_NUMPY_BOOTSTRAP = """
+import sys
+
+class BlockNumpy:
+    def find_spec(self, name, path=None, target=None):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy is blocked for this test")
+        return None
+
+sys.meta_path.insert(0, BlockNumpy())
+sys.path.insert(0, {test_dir!r})
+sys.path.insert(0, {src_dir!r})
+import test_columnar
+
+test_columnar.emit_fallback_state()
+"""
+
+
+def emit_fallback_state() -> None:
+    """Subprocess body: prove the fallback runs and print its checkpoint."""
+    assert columnar.np is None, "numpy import was not blocked"
+    assert not columnar.numpy_enabled()
+    engine = StreamEngine(
+        StreamConfig(num_shards=4), origin_of=origin_of, columnar=True
+    )
+    assert engine._acc is None  # silent fallback, not an error
+    engine.ingest_batch(small_corpus())
+    engine.flush()
+    print(json.dumps(engine_state(engine)))
+
+
+def test_import_and_ingest_without_numpy_installed():
+    """End to end with numpy genuinely unimportable (not just forced).
+
+    A subprocess blocks every ``numpy`` import at the meta-path level
+    before ``repro.stream`` is first imported, ingests the
+    deterministic corpus through a ``columnar=True`` engine (which must
+    silently fall back), and prints the checkpoint JSON -- byte-compared
+    here against the per-observation reference from the (typically
+    numpy-enabled) parent.
+    """
+    code = _NO_NUMPY_BOOTSTRAP.format(
+        test_dir=str(Path(__file__).resolve().parent), src_dir=str(SRC_DIR)
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=dict(os.environ),
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == reference_state(small_corpus())

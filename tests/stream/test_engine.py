@@ -6,11 +6,16 @@ import json
 import pytest
 
 from repro.core.allocation import AllocationInference
-from repro.core.records import ObservationStore, ProbeObservation
+from repro.core.records import ProbeObservation
 from repro.core.rotation_detect import detect_rotating_prefixes
 from repro.core.rotation_pool import RotationPoolInference
 from repro.scan.zmap import ScanConfig, Zmap6
-from repro.stream.checkpoint import engine_state, load_engine, restore_engine, save_engine
+from repro.stream.checkpoint import (
+    engine_state,
+    load_engine,
+    restore_engine,
+    save_engine,
+)
 from repro.stream.engine import StreamConfig, StreamEngine
 from repro.stream.shard import ShardKey, ShardRouter, net32_of
 from repro.stream.state import ShardState, merge_spans
@@ -27,8 +32,11 @@ def run_small_campaign():
 def fill_engine(num_shards=4, shard_key=ShardKey.PREFIX32, keep_observations=True):
     internet, store = run_small_campaign()
     engine = StreamEngine(
-        StreamConfig(num_shards=num_shards, shard_key=shard_key,
-                     keep_observations=keep_observations),
+        StreamConfig(
+            num_shards=num_shards,
+            shard_key=shard_key,
+            keep_observations=keep_observations,
+        ),
         origin_of=internet.rib.origin_of,
     )
     engine.ingest_batch(iter(store))
@@ -161,9 +169,15 @@ class TestLiveRotationDetection:
         target = 0x20010DB8 << 96 | 7
 
         engine = StreamEngine(StreamConfig(num_shards=2))
-        engine.ingest(ProbeObservation(day=0, t_seconds=0.0, target=target, source=eui_source))
-        engine.ingest(ProbeObservation(day=1, t_seconds=1.0, target=target, source=plain_source))
-        engine.ingest(ProbeObservation(day=2, t_seconds=2.0, target=target, source=eui_source_b))
+        engine.ingest(
+            ProbeObservation(day=0, t_seconds=0.0, target=target, source=eui_source)
+        )
+        engine.ingest(
+            ProbeObservation(day=1, t_seconds=1.0, target=target, source=plain_source)
+        )
+        engine.ingest(
+            ProbeObservation(day=2, t_seconds=2.0, target=target, source=eui_source_b)
+        )
         live = engine.flush()
 
         assert (target, eui_source) in live.changed_pairs  # disappeared day 1
@@ -178,8 +192,12 @@ class TestLiveRotationDetection:
         eui_source = (0x20010DB8 << 96) | 0x0219C6FFFE000001
         target = 0x20010DB8 << 96 | 7
         engine = StreamEngine(StreamConfig(num_shards=1))
-        engine.ingest(ProbeObservation(day=0, t_seconds=0.0, target=target, source=eui_source))
-        engine.ingest(ProbeObservation(day=5, t_seconds=5.0, target=target, source=eui_source))
+        engine.ingest(
+            ProbeObservation(day=0, t_seconds=0.0, target=target, source=eui_source)
+        )
+        engine.ingest(
+            ProbeObservation(day=5, t_seconds=5.0, target=target, source=eui_source)
+        )
         live = engine.flush()
         assert not live.changed_pairs and not live.rotating_prefixes
 
@@ -224,12 +242,16 @@ class TestFusedBatchPath:
         internet, store = run_small_campaign()
         corpus = list(store)
         half = len(corpus) // 2
-        mixed = StreamEngine(StreamConfig(num_shards=3), origin_of=internet.rib.origin_of)
+        mixed = StreamEngine(
+            StreamConfig(num_shards=3), origin_of=internet.rib.origin_of
+        )
         for observation in corpus[:half]:
             mixed.ingest(observation)
         mixed.ingest_batch(corpus[half:])
         mixed.flush()
-        batched = StreamEngine(StreamConfig(num_shards=3), origin_of=internet.rib.origin_of)
+        batched = StreamEngine(
+            StreamConfig(num_shards=3), origin_of=internet.rib.origin_of
+        )
         batched.ingest_batch(corpus)
         batched.flush()
         assert engine_state(mixed) == engine_state(batched)
@@ -261,6 +283,7 @@ class TestBoundedRotationWindows:
         ]
 
     def _resident_days(self, engine):
+        engine.materialize()  # shard peeking bypasses the reading accessors
         days = set()
         for shard in engine.shards:
             days |= set(shard.pairs_by_day)
@@ -269,8 +292,9 @@ class TestBoundedRotationWindows:
     def test_memory_resident_day_count_stays_constant(self):
         """The satellite guarantee: an indefinite run with retain_days=2
         never holds more than 2 days of pair sets."""
-        engine = StreamEngine(StreamConfig(num_shards=4, retain_days=2,
-                                           keep_observations=False))
+        engine = StreamEngine(
+            StreamConfig(num_shards=4, retain_days=2, keep_observations=False)
+        )
         for day in range(100):
             engine.ingest_batch(self._eui_obs(day, sub=day % 7))
             assert len(self._resident_days(engine)) <= 2
@@ -278,8 +302,9 @@ class TestBoundedRotationWindows:
         assert self._resident_days(engine) == {99}
 
     def test_detection_identical_to_unbounded(self):
-        bounded = StreamEngine(StreamConfig(num_shards=4, retain_days=2,
-                                            keep_observations=False))
+        bounded = StreamEngine(
+            StreamConfig(num_shards=4, retain_days=2, keep_observations=False)
+        )
         unbounded = StreamEngine(StreamConfig(num_shards=4, keep_observations=False))
         for day in range(30):
             observations = self._eui_obs(day, sub=day % 5)
@@ -287,24 +312,32 @@ class TestBoundedRotationWindows:
             unbounded.ingest_batch(list(observations))
         bounded.flush()
         unbounded.flush()
-        assert bounded.live_detection.changed_pairs == \
-            unbounded.live_detection.changed_pairs
-        assert bounded.live_detection.rotating_prefixes == \
-            unbounded.live_detection.rotating_prefixes
-        assert bounded.live_detection.stable_pairs == \
-            unbounded.live_detection.stable_pairs
+        assert (
+            bounded.live_detection.changed_pairs
+            == unbounded.live_detection.changed_pairs
+        )
+        assert (
+            bounded.live_detection.rotating_prefixes
+            == unbounded.live_detection.rotating_prefixes
+        )
+        assert (
+            bounded.live_detection.stable_pairs
+            == unbounded.live_detection.stable_pairs
+        )
 
     def test_pruned_day_reads_empty(self):
-        engine = StreamEngine(StreamConfig(num_shards=2, retain_days=2,
-                                           keep_observations=False))
+        engine = StreamEngine(
+            StreamConfig(num_shards=2, retain_days=2, keep_observations=False)
+        )
         for day in range(5):
             engine.ingest_batch(self._eui_obs(day, sub=day))
         assert not engine.rotation_between(0, 1).changed_pairs  # both pruned
         assert engine._pairs_on(4)  # current day retained
 
     def test_retain_days_config_roundtrips(self):
-        engine = StreamEngine(StreamConfig(num_shards=2, retain_days=3,
-                                           keep_observations=False))
+        engine = StreamEngine(
+            StreamConfig(num_shards=2, retain_days=3, keep_observations=False)
+        )
         engine.ingest_batch(self._eui_obs(0, sub=1))
         restored = restore_engine(json.loads(json.dumps(engine_state(engine))))
         assert restored.config.retain_days == 3
@@ -352,8 +385,10 @@ class TestCheckpoint:
         state = json.loads(json.dumps(state))
         restored = restore_engine(state, origin_of=internet.rib.origin_of)
         assert engine_state(restored) == engine_state(engine)
-        assert restored.pool_inference(65001).per_iid_plen == \
-            engine.pool_inference(65001).per_iid_plen
+        assert (
+            restored.pool_inference(65001).per_iid_plen
+            == engine.pool_inference(65001).per_iid_plen
+        )
         assert list(restored.store) == list(engine.store)
 
     def test_save_load_file(self, tmp_path):

@@ -49,7 +49,10 @@ class TestSightingRecord:
 
     def test_mirror_round_trips_observation(self):
         observation = ProbeObservation(day=2, t_seconds=5.0, target=7, source=9)
-        assert SightingRecord.from_observation(observation).to_observation() == observation
+        assert (
+            SightingRecord.from_observation(observation).to_observation()
+            == observation
+        )
 
 
 class TestAdapters:
@@ -84,8 +87,14 @@ class TestAdapters:
         assert list(observation_feed(corpus)) == corpus
 
     def test_mixed_feed_interleaves_in_day_order(self):
-        a = [ProbeObservation(day=d, t_seconds=d * 10.0, target=1, source=1) for d in (0, 2)]
-        b = [ProbeObservation(day=d, t_seconds=d * 10.0 + 1, target=2, source=2) for d in (0, 1, 2)]
+        a = [
+            ProbeObservation(day=d, t_seconds=d * 10.0, target=1, source=1)
+            for d in (0, 2)
+        ]
+        b = [
+            ProbeObservation(day=d, t_seconds=d * 10.0 + 1, target=2, source=2)
+            for d in (0, 1, 2)
+        ]
         merged = list(MixedFeed(a, b))
         assert [o.day for o in merged] == [0, 0, 1, 2, 2]
         assert [o.source for o in merged] == [1, 2, 2, 1, 2]
@@ -133,12 +142,15 @@ class TestMirrorEquivalence:
     def test_self_sighting_feed_matches_hand_built_observations(self):
         """The self-target convention, spelled out once."""
         _internet, corpus = small_corpus()
-        records = [SightingRecord(source=o.source, day=o.day, t_seconds=o.t_seconds)
-                   for o in corpus]
+        records = [
+            SightingRecord(source=o.source, day=o.day, t_seconds=o.t_seconds)
+            for o in corpus
+        ]
         by_hand = StreamEngine(StreamConfig(num_shards=2))
         by_hand.ingest_batch(
-            ProbeObservation(day=o.day, t_seconds=o.t_seconds, target=o.source,
-                             source=o.source)
+            ProbeObservation(
+                day=o.day, t_seconds=o.t_seconds, target=o.source, source=o.source
+            )
             for o in corpus
         )
         by_hand.flush()
@@ -163,7 +175,9 @@ class TestEngineEntryPoints:
         _internet, corpus = small_corpus()
         serial = StreamEngine(StreamConfig(num_shards=2))
         assert ingest_feed(serial, corpus) == len(corpus)
-        with ParallelStreamEngine(StreamConfig(num_shards=2), num_workers=1) as parallel:
+        with ParallelStreamEngine(
+            StreamConfig(num_shards=2), num_workers=1
+        ) as parallel:
             assert ingest_feed(parallel, corpus) == len(corpus)
 
 

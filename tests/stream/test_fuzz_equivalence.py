@@ -1,15 +1,22 @@
 """Seeded randomized stream-equivalence fuzzing.
 
-Every ingestion path -- per-observation, fused ``ingest_batch``, and
-the multiprocess dispatcher at any worker count -- must leave the
-engine in the *same* state for any valid stream.  The unit and world
-tests pin that on curated scenarios; this harness pins it on ~20
-randomized ones: random rotation cadences, scan gaps, shard modes and
-counts, retention windows, worker counts, chunk sizes, duplicate and
-out-of-order same-day responses, and a mid-stream snapshot point.
-The oracle is ``engine_state`` serialized to JSON -- checkpoint bytes
--- so any divergence in any aggregate, counter, watchlist entry, or
-stored observation fails the seed that found it.
+Every ingestion path -- per-observation, the classic fused
+``ingest_batch`` loop, the columnar (numpy sort-reduce) batch kernel,
+and the multiprocess dispatcher at any worker count with either worker
+kernel -- must leave the engine in the *same* state for any valid
+stream.  The unit and world tests pin that on curated scenarios; this
+harness pins it on ~20 randomized ones: random rotation cadences, scan
+gaps, shard modes and counts, retention windows, worker counts, chunk
+sizes, duplicate and out-of-order same-day responses, and a mid-stream
+snapshot point.  The oracle is ``engine_state`` serialized to JSON --
+checkpoint bytes -- so any divergence in any aggregate, counter,
+watchlist entry, or stored observation fails the seed that found it.
+
+The parallel engine alternates its worker kernel by seed parity, so
+both the columnar and the classic multiprocess paths stay covered
+without doubling the process spawns per seed.  When numpy is absent,
+``columnar=True`` engines transparently run the pure-Python fallback
+and the harness degenerates to the (still valid) classic comparison.
 """
 
 import json
@@ -128,11 +135,16 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed):
     watch = [o.source_iid for o in corpus if o.is_eui64][:2]
 
     reference = StreamEngine(config, origin_of=origin_of)
-    batched = StreamEngine(config, origin_of=origin_of)
+    batched = StreamEngine(config, origin_of=origin_of, columnar=False)
+    columnar = StreamEngine(config, origin_of=origin_of, columnar=True)
     parallel = ParallelStreamEngine(
-        config, origin_of=origin_of, num_workers=num_workers, batch_rows=batch_rows
+        config,
+        origin_of=origin_of,
+        num_workers=num_workers,
+        batch_rows=batch_rows,
+        columnar=bool(seed % 2),
     )
-    engines = (reference, batched, parallel)
+    engines = (reference, batched, columnar, parallel)
     for iid in watch:
         for engine in engines:
             engine.watch(iid)
@@ -140,28 +152,29 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed):
     # Phase 1: up to the snapshot point.
     for observation in corpus[:split]:
         reference.ingest(observation)
-    for chunk in chunks(rng, corpus[:split]):
-        batched.ingest_batch(chunk)
-    for chunk in chunks(rng, corpus[:split]):
-        parallel.ingest_batch(chunk)
+    for engine in (batched, columnar, parallel):
+        for chunk in chunks(rng, corpus[:split]):
+            engine.ingest_batch(chunk)
 
-    # Mid-stream: the parallel snapshot and the batched engine must both
+    # Mid-stream: the parallel snapshot and both batch engines must
     # match the per-observation engine, in-progress day left open.
     mid = json.dumps(engine_state(reference))
     assert json.dumps(engine_state(batched)) == mid
+    assert json.dumps(engine_state(columnar)) == mid
     assert json.dumps(engine_state(parallel.snapshot_engine())) == mid
 
     # Phase 2: the rest of the stream, then flush everything.
     for observation in corpus[split:]:
         reference.ingest(observation)
-    for chunk in chunks(rng, corpus[split:]):
-        batched.ingest_batch(chunk)
-    for chunk in chunks(rng, corpus[split:]):
-        parallel.ingest_batch(chunk)
+    for engine in (batched, columnar, parallel):
+        for chunk in chunks(rng, corpus[split:]):
+            engine.ingest_batch(chunk)
     reference.flush()
     batched.flush()
+    columnar.flush()
     merged = parallel.finalize()
 
     final = json.dumps(engine_state(reference))
     assert json.dumps(engine_state(batched)) == final
+    assert json.dumps(engine_state(columnar)) == final
     assert json.dumps(engine_state(merged)) == final

@@ -67,12 +67,18 @@ class TestWorkerCountInvariance:
         parallel.ingest_batch(corpus)
         merged = parallel.finalize()
         assert merged.as_profiles() == reference.as_profiles()
-        assert merged.live_detection.changed_pairs == \
-            reference.live_detection.changed_pairs
-        assert merged.live_detection.rotating_prefixes == \
-            reference.live_detection.rotating_prefixes
-        assert merged.live_detection.stable_pairs == \
-            reference.live_detection.stable_pairs
+        assert (
+            merged.live_detection.changed_pairs
+            == reference.live_detection.changed_pairs
+        )
+        assert (
+            merged.live_detection.rotating_prefixes
+            == reference.live_detection.rotating_prefixes
+        )
+        assert (
+            merged.live_detection.stable_pairs
+            == reference.live_detection.stable_pairs
+        )
 
     def test_asn_sharding(self, world):
         internet, corpus = world
@@ -270,7 +276,9 @@ class TestDispatcherSemantics:
             ParallelStreamEngine(StreamConfig(shard_key=ShardKey.ASN))
 
     def test_context_manager_closes(self):
-        with ParallelStreamEngine(StreamConfig(num_shards=1), num_workers=2) as parallel:
+        with ParallelStreamEngine(
+            StreamConfig(num_shards=1), num_workers=2
+        ) as parallel:
             parallel.ingest(ProbeObservation(day=0, t_seconds=0.0, target=1, source=2))
             procs = list(parallel._procs)
         assert all(not p.is_alive() for p in procs)

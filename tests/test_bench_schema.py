@@ -1,21 +1,47 @@
-"""Schema check for the committed BENCH_stream.json.
+"""Schema and regression checks for the committed BENCH_stream.json.
 
 The benchmark file is the cross-PR perf record; CI re-validates it both
 as committed (here, in tier-1) and after regenerating it in the bench
 job.  The contract: one git rev stamps the whole file (sections never
 mix revisions), and every throughput figure is a positive number.
+
+The regression gate compares the working-tree file's key throughput
+figures against a baseline -- ``$BENCH_BASELINE_JSON`` when set (the
+bench CI job points it at the committed copy it saved before
+regenerating), otherwise ``git show HEAD:BENCH_stream.json`` -- and
+fails on a >30% drop.  On an unmodified checkout the comparison is
+trivially against itself, so tier-1 stays green locally while a bench
+regeneration on the same host gets a real check.
 """
 
 import json
 import numbers
+import os
+import subprocess
 from pathlib import Path
+
+import pytest
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
 
 # Top-level metadata keys; everything else is a benchmark section.
 META_KEYS = {"git_rev", "cpu_count", "python"}
 # At minimum these sections must be present and well-formed.
-REQUIRED_SECTIONS = {"engine_batch_ingest", "stream_vs_batch"}
+REQUIRED_SECTIONS = {"engine_batch_ingest", "stream_vs_batch", "columnar_ingest"}
+
+# Throughput figures the regression gate tracks (dotted paths), and how
+# much of a drop versus the baseline is tolerated before CI fails.  The
+# speedup entry is a within-run ratio, so it stays meaningful even when
+# the baseline was recorded on different hardware; the 30% tolerance on
+# the absolute figures absorbs ordinary cross-host and runner-noise
+# deltas while still catching order-of-magnitude rots.
+GATED_METRICS = (
+    "engine_batch_ingest.responses_per_s",
+    "columnar_ingest.columnar_responses_per_s",
+    "columnar_ingest.classic_responses_per_s",
+    "columnar_ingest.speedup",
+)
+REGRESSION_TOLERANCE = 0.30
 
 
 def _walk(node, path=""):
@@ -58,3 +84,76 @@ def validate_bench(data: dict) -> None:
 def test_committed_bench_file_matches_schema():
     assert BENCH_JSON.exists(), "BENCH_stream.json must be committed at repo root"
     validate_bench(json.loads(BENCH_JSON.read_text()))
+
+
+# -- throughput regression gate -------------------------------------------
+
+
+def _dig(data: dict, dotted: str):
+    node = data
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def load_baseline() -> dict | None:
+    """The figures to regress against.
+
+    ``$BENCH_BASELINE_JSON`` wins (CI saves the committed file there
+    before the bench regenerates it); otherwise the committed copy at
+    HEAD.  ``None`` when neither is available (fresh repo, no git).
+    """
+    env_path = os.environ.get("BENCH_BASELINE_JSON")
+    if env_path:
+        return json.loads(Path(env_path).read_text())
+    try:
+        show = subprocess.run(
+            ["git", "show", "HEAD:BENCH_stream.json"],
+            capture_output=True,
+            text=True,
+            cwd=BENCH_JSON.parent,
+            timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if show.returncode != 0:
+        return None
+    try:
+        return json.loads(show.stdout)
+    except ValueError:
+        return None
+
+
+def check_regressions(current: dict, baseline: dict) -> list[str]:
+    """Gated metrics that regressed beyond tolerance; empty means pass.
+
+    A metric missing from the baseline (older revision) or from the
+    current file (benchmark not run, e.g. the no-numpy leg never
+    records a columnar figure it can't produce) is skipped rather than
+    failed -- the gate polices regressions, not coverage.
+    """
+    failures = []
+    for metric in GATED_METRICS:
+        base = _dig(baseline, metric)
+        now = _dig(current, metric)
+        if not isinstance(base, numbers.Real) or not isinstance(now, numbers.Real):
+            continue
+        floor = base * (1.0 - REGRESSION_TOLERANCE)
+        if now < floor:
+            failures.append(
+                f"{metric}: {now:,.0f}/s is below {floor:,.0f}/s "
+                f"(baseline {base:,.0f}/s - {REGRESSION_TOLERANCE:.0%})"
+            )
+    return failures
+
+
+def test_throughput_not_regressed_beyond_tolerance():
+    assert BENCH_JSON.exists(), "BENCH_stream.json must be committed at repo root"
+    current = json.loads(BENCH_JSON.read_text())
+    baseline = load_baseline()
+    if baseline is None:
+        pytest.skip("no baseline available (no $BENCH_BASELINE_JSON and no git)")
+    failures = check_regressions(current, baseline)
+    assert not failures, "throughput regressed:\n" + "\n".join(failures)

@@ -16,12 +16,11 @@ from repro.core.records import ObservationStore
 from repro.core.rotation_pool import RotationPoolInference
 from repro.core.timeseries import iid_trajectory
 from repro.core.tracker import AsProfile, DeviceTracker, TrackerConfig
-from repro.net.addr import Prefix, iid_of
+from repro.net.addr import iid_of
 from repro.net.eui64 import is_eui64_iid
 from repro.scan.targets import one_target_per_subnet
 from repro.scan.zmap import ScanConfig, Zmap6
 from repro.simnet.builder import InternetSpec, PoolSpec, ProviderSpec, build_internet
-from repro.simnet.device import AddressingMode
 from repro.simnet.rotation import IncrementRotation
 
 ALWAYS = (("admin_prohibited", 1.0),)

@@ -1,6 +1,5 @@
 """Tests for shared utilities, the simulation clock, and bundled data."""
 
-import math
 
 import pytest
 from hypothesis import given
