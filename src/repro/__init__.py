@@ -48,11 +48,19 @@ from repro.simnet.builder import (
 )
 from repro.simnet.internet import SimInternet
 from repro.simnet.vantage import FlowTap
+from repro.store import (
+    ColumnBatch,
+    ColumnarBackend,
+    ObjectBackend,
+    SqliteBackend,
+    StoreBackend,
+)
 from repro.stream.campaign import StreamingCampaign
 from repro.stream.engine import StreamConfig, StreamEngine
 from repro.stream.feeds import (
     MixedFeed,
     SightingRecord,
+    dedup_feed,
     flow_feed,
     hitlist_feed,
     ingest_feed,
@@ -70,12 +78,15 @@ __all__ = [
     "AsProfile",
     "Campaign",
     "CampaignConfig",
+    "ColumnBatch",
+    "ColumnarBackend",
     "DeviceTracker",
     "DiscoveryPipeline",
     "FlowTap",
     "InternetSpec",
     "LivePursuit",
     "MixedFeed",
+    "ObjectBackend",
     "ObservationStore",
     "OuiRegistry",
     "ParallelStreamEngine",
@@ -90,6 +101,8 @@ __all__ = [
     "SearchSpaceBound",
     "SightingRecord",
     "SimInternet",
+    "SqliteBackend",
+    "StoreBackend",
     "StreamConfig",
     "StreamEngine",
     "StreamingCampaign",
@@ -97,6 +110,7 @@ __all__ = [
     "Zmap6",
     "build_internet",
     "build_paper_internet",
+    "dedup_feed",
     "eui64_iid_to_mac",
     "flow_feed",
     "format_addr",

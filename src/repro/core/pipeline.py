@@ -189,12 +189,17 @@ class DiscoveryPipeline:
         scanner = Zmap6(
             self.internet, ScanConfig(rate_pps=config.rate_pps, seed=config.seed)
         )
-        scan = scanner.scan(targets, start_seconds=seconds(config.expansion_hour))
-        result.probes_sent += scan.probes_sent
-        result.store.add_responses(scan.responses, day=0)
-        for response in scan.responses:
-            if is_eui64_iid(iid_of(response.source)):
-                result.expanded_48s.add(Prefix.containing(response.target, 48))
+        # The widest scan of the pipeline rides the columnar path end to
+        # end: the scanner emits flat column batches, the store appends
+        # them without building observation objects, and the EUI test
+        # reads the IID column directly.
+        stream = scanner.stream(targets, start_seconds=seconds(config.expansion_hour))
+        for batch in stream.column_batches(day=0):
+            result.store.extend_columns(batch)
+            for tgt_hi, src_lo in zip(batch.tgt_hi, batch.src_lo):
+                if is_eui64_iid(src_lo):
+                    result.expanded_48s.add(Prefix((tgt_hi >> 16) << 80, 48))
+        result.probes_sent += stream.probes_sent
 
     # -- stage 3: density (Section 4.2) --------------------------------------
 

@@ -2,23 +2,32 @@
 
 A :class:`ProbeObservation` is one responsive probe -- what zmap logs.
 The :class:`ObservationStore` accumulates them across scans and days and
-builds the indices every analysis in the paper needs: per-IID histories,
+serves every query the paper's analyses need: per-IID histories,
 per-day snapshots, and per-IID target maps (for Algorithm 1).
 
-Only EUI-64 handling is special: stores classify each response source
-once on insert, so analyses can iterate EUI-only views cheaply.
+Since the storage redesign the store is a thin facade over a pluggable
+:class:`~repro.store.backend.StoreBackend` (see :mod:`repro.store`):
+the corpus travels as :class:`~repro.store.batch.ColumnBatch` flat
+columns, backends swap between native column storage, the classic
+object layout, and an append-only sqlite file, and checkpoint bytes are
+identical whichever backend holds the rows.  The historical API --
+``ObservationStore()``, ``add``/``extend``, iteration yielding
+:class:`ProbeObservation` -- is preserved verbatim on top of it.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.net.addr import IID_BITS, Prefix, iid_of
 from repro.net.eui64 import is_eui64_iid
 from repro.net.icmpv6 import ProbeResponse
 from repro.simnet.clock import day_of, hours
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.backend import StoreBackend, StoreStats
+    from repro.store.batch import ColumnBatch
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,108 +66,194 @@ class ProbeObservation:
 
 
 class ObservationStore:
-    """Accumulates observations and serves the paper's standard queries.
+    """Facade over a pluggable backend; the single insert choke point.
 
-    All inserts flow through :meth:`extend`, which maintains every index
-    incrementally -- per-IID histories, the EUI-64 IID set, and per-day
-    slices -- so batch loading and streaming ingestion share one storage
-    layer with identical results.
+    All inserts still flow through :meth:`extend` (or its columnar twin
+    :meth:`extend_columns`); single-observation :meth:`add` calls batch
+    through a small pending buffer so the per-response streaming path
+    no longer pays a one-element bulk insert each time.  Every read
+    drains the buffer first, so queries always see the full stream.
+
+    *backend* picks the storage layout -- an instance, a registered
+    name (``"object"`` / ``"columnar"`` / ``"sqlite"``), or ``None``
+    for the environment-governed default (columnar under the ``[fast]``
+    install, object on stdlib-only, ``$REPRO_STORE_BACKEND`` to force).
     """
 
-    def __init__(self) -> None:
-        self._observations: list[ProbeObservation] = []
-        self._by_iid: dict[int, list[ProbeObservation]] = defaultdict(list)
-        self._by_day: dict[int, list[ProbeObservation]] = defaultdict(list)
-        self._eui_iids: set[int] = set()
+    #: Single ``add`` calls buffered before one bulk backend append.
+    ADD_BUFFER_ROWS = 512
+
+    def __init__(self, backend: "StoreBackend | str | None" = None) -> None:
+        if backend is None or isinstance(backend, str):
+            from repro.store import make_backend
+
+            backend = make_backend(backend)
+        self.backend = backend
+        self._pending: list[ProbeObservation] = []
 
     def __len__(self) -> int:
-        return len(self._observations)
+        return self.backend.rows + len(self._pending)
 
     def __iter__(self) -> Iterator[ProbeObservation]:
-        return iter(self._observations)
+        self._flush()
+        for chunk in self.backend.scan_observations():
+            yield from chunk
+
+    def _flush(self) -> None:
+        """Drain the ``add`` buffer into the backend (order-preserving)."""
+        if self._pending:
+            pending, self._pending = self._pending, []
+            self.backend.append_observations(pending)
 
     def add(self, observation: ProbeObservation) -> None:
-        self.extend((observation,))
+        """Insert one observation (buffered; see :attr:`ADD_BUFFER_ROWS`)."""
+        self._pending.append(observation)
+        if len(self._pending) >= self.ADD_BUFFER_ROWS:
+            self._flush()
 
     def extend(self, observations: Iterable[ProbeObservation]) -> int:
-        """Bulk insert with incremental index maintenance.
+        """Bulk insert; the fast path of batch loading and streaming.
 
-        The fast path of both batch loading (one call per scan) and
-        streaming ingestion (one call per micro-batch).  Each IID is
-        classified once per observation instead of once per index.
         Returns how many observations were added.
         """
         batch = observations if isinstance(observations, list) else list(observations)
-        self._observations.extend(batch)
-        by_iid = self._by_iid
-        by_day = self._by_day
-        eui_iids = self._eui_iids
-        for observation in batch:
-            iid = iid_of(observation.source)
-            by_iid[iid].append(observation)
-            by_day[observation.day].append(observation)
-            if iid not in eui_iids and is_eui64_iid(iid):
-                eui_iids.add(iid)
-        return len(batch)
+        self._flush()
+        return self.backend.append_observations(batch)
+
+    def extend_columns(self, batch: "ColumnBatch") -> int:
+        """Bulk insert a :class:`ColumnBatch`; zero conversion on
+        column-native backends.  Returns rows added."""
+        self._flush()
+        return self.backend.append_columns(batch)
 
     def add_responses(
         self, responses: Iterable[ProbeResponse], day: int | None = None
     ) -> int:
         """Ingest a scan's responses; returns how many were added."""
+        if getattr(self.backend, "prefers_columns", True):
+            from repro.store.batch import ColumnBatch
+
+            return self.extend_columns(ColumnBatch.from_responses(responses, day))
         return self.extend(
             [ProbeObservation.from_response(response, day) for response in responses]
         )
+
+    # -- column views (the streaming engines' hand-off) ---------------------
+
+    def scan_columns(self, chunk_rows: int | None = None) -> "Iterator[ColumnBatch]":
+        """The whole corpus as bounded column chunks, insertion order."""
+        self._flush()
+        if chunk_rows is None:
+            return self.backend.scan_columns()
+        return self.backend.scan_columns(chunk_rows)
+
+    def day_slice(self, day: int) -> "ColumnBatch":
+        """Columns of every observation on *day*, insertion order."""
+        self._flush()
+        return self.backend.day_slice(day)
+
+    def iid_history(self, iid: int) -> "ColumnBatch":
+        """Columns of every observation sourced by *iid*, insertion order."""
+        self._flush()
+        return self.backend.iid_history(iid)
+
+    def stats(self) -> "StoreStats":
+        self._flush()
+        return self.backend.stats()
+
+    # -- checkpoint rows -----------------------------------------------------
+
+    def snapshot_rows(self) -> list[list]:
+        """The canonical checkpoint rows (backend-independent bytes)."""
+        self._flush()
+        return self.backend.snapshot()
+
+    def restore_rows(self, rows: list[list]) -> int:
+        """Load checkpoint rows (incremental on disk-backed stores)."""
+        self._flush()
+        return self.backend.restore(rows)
+
+    def close(self) -> None:
+        """Flush and release backend resources (files, connections)."""
+        self._flush()
+        self.backend.close()
 
     # -- summary counters (the Section 4/5 headline numbers) ---------------
 
     def unique_sources(self) -> set[int]:
         """Distinct responding addresses ("134M unique IPv6 addresses")."""
-        return {o.source for o in self._observations}
+        self._flush()
+        return self.backend.unique_sources()
 
     def unique_eui64_sources(self) -> set[int]:
         """Distinct EUI-64 responding addresses ("110M unique EUI-64")."""
-        return {o.source for o in self._observations if o.is_eui64}
+        self._flush()
+        return self.backend.unique_eui64_sources()
 
     def eui64_iids(self) -> set[int]:
         """Distinct EUI-64 IIDs ("9M distinct IIDs")."""
-        return set(self._eui_iids)
+        self._flush()
+        return self.backend.eui_iids()
 
     # -- per-IID histories ---------------------------------------------------
 
     def observations_of_iid(self, iid: int) -> list[ProbeObservation]:
-        return list(self._by_iid.get(iid, ()))
+        self._flush()
+        fast = getattr(self.backend, "iid_observations", None)
+        if fast is not None:
+            return fast(iid)
+        return self.backend.iid_history(iid).observations()
 
     def net64s_of_iid(self, iid: int) -> set[int]:
         """Distinct /64s an IID was seen in (Figure 8's quantity)."""
-        return {o.source_net64 for o in self._by_iid.get(iid, ())}
+        self._flush()
+        fast = getattr(self.backend, "iid_observations", None)
+        if fast is not None:
+            return {o.source >> IID_BITS for o in fast(iid)}
+        return set(self.backend.iid_history(iid).src_hi)
 
     def days_of_iid(self, iid: int) -> set[int]:
-        return {o.day for o in self._by_iid.get(iid, ())}
+        self._flush()
+        fast = getattr(self.backend, "iid_observations", None)
+        if fast is not None:
+            return {o.day for o in fast(iid)}
+        return set(self.backend.iid_history(iid).day)
 
     def eui64_histories(self) -> Iterator[tuple[int, list[ProbeObservation]]]:
         """(iid, observations) for every EUI-64 IID."""
-        for iid in self._eui_iids:
-            yield iid, self._by_iid[iid]
+        self._flush()
+        for iid in self.backend.eui_iids():
+            yield iid, self.observations_of_iid(iid)
 
     # -- filtered views ------------------------------------------------------
 
     def on_day(self, day: int) -> list[ProbeObservation]:
-        return list(self._by_day.get(day, ()))
+        self._flush()
+        fast = getattr(self.backend, "day_observations", None)
+        if fast is not None:
+            return fast(day)
+        return self.backend.day_slice(day).observations()
 
     def days(self) -> list[int]:
         """Every day with at least one observation, ascending."""
-        return sorted(self._by_day)
+        self._flush()
+        return self.backend.days()
 
     def eui64_only(self) -> list[ProbeObservation]:
-        return [o for o in self._observations if o.is_eui64]
+        return [o for o in self if o.is_eui64]
 
     def in_prefix(self, prefix: Prefix) -> list[ProbeObservation]:
         """Observations whose *response source* falls inside *prefix*."""
-        return [o for o in self._observations if o.source in prefix]
+        return [o for o in self if o.source in prefix]
 
     def targets_of_iid_on_day(self, iid: int, day: int) -> list[int]:
         """Targets that elicited *iid* on *day* (Algorithm 1's input)."""
-        return [o.target for o in self._by_iid.get(iid, ()) if o.day == day]
+        history = self.iid_history(iid)
+        return [
+            (hi << 64) | lo
+            for d, hi, lo in zip(history.day, history.tgt_hi, history.tgt_lo)
+            if d == day
+        ]
 
     def group_eui64_by_asn(self, origin_of) -> dict[int, list[ProbeObservation]]:
         """EUI-64 observations grouped by origin AS of the response.
@@ -166,10 +261,13 @@ class ObservationStore:
         *origin_of* is typically ``RoutingTable.origin_of``; unrouted
         responses group under ASN 0.
         """
-        groups: dict[int, list[ProbeObservation]] = defaultdict(list)
-        for observation in self._observations:
+        groups: dict[int, list[ProbeObservation]] = {}
+        for observation in self:
             if not observation.is_eui64:
                 continue
             asn = origin_of(observation.source) or 0
-            groups[asn].append(observation)
-        return dict(groups)
+            group = groups.get(asn)
+            if group is None:
+                group = groups[asn] = []
+            group.append(observation)
+        return groups

@@ -20,10 +20,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Protocol, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Protocol, Sequence
 
 from repro.net.icmpv6 import ProbeResponse
 from repro.scan.permutation import MultiplicativeCycle
+from repro.simnet.clock import day_of, hours
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.batch import ColumnBatch
 
 
 class ProbeNetwork(Protocol):
@@ -136,6 +140,38 @@ class ScanStream:
     def duration_seconds(self) -> float:
         """Simulated time occupied by the probes processed so far."""
         return self.probes_sent * self._interval
+
+    def column_batches(
+        self, day: int | None = None, batch_rows: int = 4096
+    ) -> "Iterator[ColumnBatch]":
+        """Drain the scan as :class:`~repro.store.batch.ColumnBatch` chunks.
+
+        The scanner's native columnar emission: responses land directly
+        in flat day/hi/lo buffers (no per-response observation objects),
+        sized for the streaming engines' ``ingest_columns`` and the
+        stores' ``extend_columns``.  *day* pins the campaign day (one
+        scan belongs to one day); ``None`` derives it per response from
+        the probe timestamp.  Probe order, loss decisions, and
+        accounting are exactly those of plain iteration -- this is the
+        same underlying probe loop, chunked.
+        """
+        from repro.store.batch import ColumnBatch
+
+        batch = ColumnBatch()
+        append = batch.append
+        for response in self._iterator:
+            append(
+                day if day is not None else day_of(hours(response.time)),
+                response.time,
+                response.target,
+                response.source,
+            )
+            if len(batch) >= batch_rows:
+                yield batch
+                batch = ColumnBatch()
+                append = batch.append
+        if len(batch):
+            yield batch
 
     def result(self) -> ScanResult:
         """Drain the remaining probes and package a :class:`ScanResult`."""

@@ -1,0 +1,139 @@
+"""Pluggable columnar observation storage.
+
+Every layer of the reproduction funnels observations through
+:class:`~repro.core.records.ObservationStore`; this package is what
+that store became -- a thin facade over a :class:`StoreBackend`, with
+the corpus travelling as :class:`ColumnBatch` flat buffers instead of
+per-row Python objects.
+
+The pieces
+----------
+
+:class:`ColumnBatch`
+    One batch of observations as six parallel columns (day, timestamp,
+    and the target/source addresses split into uint64 hi/lo halves).
+    The scanner emits it, every backend appends and scans it, the
+    streaming engines ingest it without per-row conversion, and the
+    multiprocess dispatcher ships it to workers as-is.
+
+:class:`StoreBackend`
+    The protocol a corpus holder implements: ``append_columns`` /
+    ``append_observations`` (both currencies, one of them native),
+    ``scan_columns`` / ``scan_observations`` (bounded chunks, insertion
+    order), ``day_slice`` and ``iid_history`` (indexed slices),
+    ``days`` / ``eui_iids`` / ``unique_sources`` /
+    ``unique_eui64_sources`` / ``stats`` (incremental counters), and
+    ``snapshot`` / ``restore`` (the canonical checkpoint rows
+    ``[[day, t_seconds, target, source], ...]``).  Snapshot rows are
+    the byte-identity contract: an engine checkpoint serializes the
+    same JSON whichever backend holds the corpus.
+
+Backends
+--------
+
+* :class:`ColumnarBackend` -- native column lists plus per-day/per-IID
+  row indexes; the default whenever the numpy kernel is enabled (the
+  ``[fast]`` install), because the engines then re-read the corpus with
+  zero per-row Python work.
+* :class:`ObjectBackend` -- the classic observation-object layout;
+  stdlib-only default, byte-compatible with the pre-redesign store.
+* :class:`SqliteBackend` -- append-only disk store for corpora larger
+  than RAM, with incremental checkpoints (each commit writes only the
+  rows appended since the last one) and incremental resume (restore
+  appends only the rows the file doesn't already hold).
+
+``REPRO_STORE_BACKEND`` (``object`` / ``columnar`` / ``sqlite``)
+overrides the default for every store that doesn't pass an explicit
+backend -- the hook the CI sqlite leg uses to run the whole tier-1
+suite against the disk backend.
+
+Adding a backend
+----------------
+
+Implement the :class:`StoreBackend` protocol (duck typing is enough;
+the protocol is ``runtime_checkable`` for sanity asserts).  The
+invariants the equivalence suite will hold you to:
+
+1. insertion order is preserved everywhere -- scans, slices, snapshot;
+2. ``snapshot()`` equals ``ColumnBatch.rows()`` of the concatenated
+   ``scan_columns()`` output, value-exact (``0`` stays int, ``0.0``
+   stays float);
+3. ``restore(snapshot())`` onto a fresh backend reproduces the corpus;
+4. counters (``rows``, ``stats``, ``eui_iids``) stay correct without
+   re-walking the corpus.
+
+Then pass an instance to ``ObservationStore(backend=...)`` -- nothing
+else in the codebase needs to know it exists.  Register a name in
+:func:`make_backend` only if the env-var override should reach it.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.store.backend import (
+    SCAN_CHUNK_ROWS,
+    ColumnarBackend,
+    ObjectBackend,
+    StoreBackend,
+    StoreStats,
+)
+from repro.store.batch import ColumnBatch
+from repro.store.sqlite import SqliteBackend
+
+#: Environment override for the default backend of every
+#: :class:`~repro.core.records.ObservationStore` constructed without an
+#: explicit backend.  Unset: columnar when numpy is enabled, else object.
+BACKEND_ENV = "REPRO_STORE_BACKEND"
+
+_BACKENDS = {
+    "object": ObjectBackend,
+    "columnar": ColumnarBackend,
+    "sqlite": SqliteBackend,
+}
+
+
+def default_backend_name() -> str:
+    """The backend every plain ``ObservationStore()`` gets.
+
+    ``$REPRO_STORE_BACKEND`` wins; otherwise columnar exactly when the
+    streaming kernel would also run columnar (one switch governs both),
+    falling back to the object layout on stdlib-only installs.
+    """
+    override = os.environ.get(BACKEND_ENV)
+    if override:
+        if override not in _BACKENDS:
+            raise ValueError(
+                f"{BACKEND_ENV}={override!r}: unknown backend"
+                f" (expected one of {sorted(_BACKENDS)})"
+            )
+        return override
+    from repro.stream.columnar import numpy_enabled
+
+    return "columnar" if numpy_enabled() else "object"
+
+
+def make_backend(kind: str | None = None) -> StoreBackend:
+    """Instantiate a backend by name (default: :func:`default_backend_name`)."""
+    name = kind or default_backend_name()
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown store backend {name!r} (expected one of {sorted(_BACKENDS)})"
+        ) from None
+    return factory()
+
+
+__all__ = [
+    "BACKEND_ENV",
+    "SCAN_CHUNK_ROWS",
+    "ColumnBatch",
+    "ColumnarBackend",
+    "ObjectBackend",
+    "SqliteBackend",
+    "StoreBackend",
+    "StoreStats",
+    "default_backend_name",
+    "make_backend",
+]

@@ -22,7 +22,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.core.campaign import Campaign, CampaignResult
-from repro.core.records import ProbeObservation
+from repro.core.records import ObservationStore, ProbeObservation
 from repro.stream.checkpoint import (
     FORMAT_VERSION,
     _restore_store,
@@ -73,6 +73,7 @@ class StreamingCampaign:
         workers: int = 0,
         batch_rows: int = 8192,
         passive_feeds: "Iterable[Iterable[ProbeObservation]] | None" = None,
+        store: "ObservationStore | None" = None,
     ) -> None:
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
@@ -82,6 +83,21 @@ class StreamingCampaign:
             raise ValueError("workers must be >= 0")
         self.campaign = campaign
         self.result = CampaignResult(targets_per_day=len(campaign.targets))
+        if store is not None:
+            # The corpus on a caller-chosen backend -- e.g. an
+            # ObservationStore over SqliteBackend so an internet-scale
+            # corpus lives on disk and checkpoints commit only the
+            # delta since the previous one.  Must be empty on a fresh
+            # run; resume() reattaches partially filled stores.
+            if len(store) > 0:
+                raise ValueError(
+                    "store already holds observations; pass it through "
+                    "StreamingCampaign.resume to reattach a corpus"
+                )
+            # Release the default store the result built (under a
+            # disk-backed default that is a temp file + connection).
+            self.result.store.close()
+            self.result.store = store
         if engine is None:
             engine = StreamEngine(
                 StreamConfig(keep_observations=False),
@@ -150,6 +166,7 @@ class StreamingCampaign:
         workers: int = 0,
         batch_rows: int = 8192,
         passive_feeds: "Iterable[Iterable[ProbeObservation]] | None" = None,
+        store: "ObservationStore | None" = None,
     ) -> "StreamingCampaign":
         """Rebuild a streaming campaign from a checkpoint file.
 
@@ -159,6 +176,12 @@ class StreamingCampaign:
         *workers* value resumes any checkpoint.  Passive feeds are
         caller-supplied per run (vantage data is not checkpoint state);
         records for days the checkpoint already closed are dropped.
+
+        *store* reattaches a caller-owned corpus -- typically an
+        :class:`ObservationStore` over a
+        :class:`~repro.store.sqlite.SqliteBackend` file from the
+        interrupted run: rows the file already holds are verified and
+        skipped, so the disk-backed resume replays nothing.
         """
         state = json.loads(Path(checkpoint_path).read_text())
         if state.get("version") != FORMAT_VERSION:
@@ -176,6 +199,11 @@ class StreamingCampaign:
             batch_rows=batch_rows,
             passive_feeds=passive_feeds,
         )
+        if store is not None:
+            # Release the default store the constructor built (under a
+            # disk-backed default that is a temp file + connection).
+            streaming.result.store.close()
+            streaming.result.store = store
         _restore_store(state["store"], streaming.result.store)
         progress = state["progress"]
         streaming.result.probes_sent = progress["probes_sent"]

@@ -19,7 +19,7 @@ import json
 from pathlib import Path
 from typing import Callable
 
-from repro.core.records import ObservationStore, ProbeObservation
+from repro.core.records import ObservationStore
 from repro.core.rotation_detect import RotationDetection
 from repro.net.addr import Prefix
 from repro.stream.engine import Sighting, StreamConfig, StreamEngine
@@ -87,19 +87,25 @@ def _restore_shard(state: dict) -> ShardState:
 
 
 def _store_state(store: ObservationStore) -> list[list]:
-    return [[o.day, o.t_seconds, o.target, o.source] for o in store]
+    """The corpus as canonical checkpoint rows.
+
+    Delegated to the store's backend: all backends serialize the same
+    ``[day, t_seconds, target, source]`` rows in insertion order, so
+    checkpoint bytes never depend on the storage layout.
+    """
+    return store.snapshot_rows()
 
 
 def _restore_store(
     rows: list[list], store: ObservationStore | None = None
 ) -> ObservationStore:
+    """Load checkpoint rows into *store* (a fresh one when ``None``).
+
+    Disk-backed stores restore incrementally: rows their file already
+    holds are verified and skipped, not re-inserted.
+    """
     store = store if store is not None else ObservationStore()
-    store.extend(
-        [
-            ProbeObservation(day=day, t_seconds=t, target=target, source=source)
-            for day, t, target, source in rows
-        ]
-    )
+    store.restore_rows(rows)
     return store
 
 

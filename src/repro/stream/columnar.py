@@ -152,6 +152,107 @@ def observation_columns(batch: list, day_column, route_of):
     return sid_u[inverse], day_column, asn_u[inverse], src_hi, src_lo, tgt_hi, tgt_lo
 
 
+def _batch_address_arrays(batch):
+    """uint64 address arrays plus the unique-source-/48 grouping.
+
+    The shared core of the :class:`ColumnBatch` kernel entry points:
+    each column becomes a uint64 array with one C-level ``np.array``
+    call (the batch already holds flat hi/lo buffers -- no per-row
+    attribute walks or shifts), and the unique-/48 ``first_idx`` /
+    ``inverse`` mapping lets callers resolve routes once per /48 and
+    broadcast back over the rows, exactly as
+    :func:`observation_columns` does for object batches.
+    """
+    src_hi = np.array(batch.src_hi, dtype=np.uint64)
+    src_lo = np.array(batch.src_lo, dtype=np.uint64)
+    tgt_hi = np.array(batch.tgt_hi, dtype=np.uint64)
+    tgt_lo = np.array(batch.tgt_lo, dtype=np.uint64)
+    _net48, first_idx, inverse = np.unique(
+        src_hi >> np.uint64(16), return_index=True, return_inverse=True
+    )
+    return src_hi, src_lo, tgt_hi, tgt_lo, first_idx, inverse
+
+
+def column_batch_arrays(batch, day_column, route_of):
+    """Kernel columns for a :class:`~repro.store.batch.ColumnBatch`.
+
+    The zero-conversion twin of :func:`observation_columns`.
+    *route_of(source)* -> ``(shard, asn)`` is consulted once per unique
+    source /48; *day_column* is the validated array from
+    :func:`day_segments` and *batch* must already be truncated to its
+    length.
+    """
+    src_hi, src_lo, tgt_hi, tgt_lo, first_idx, inverse = _batch_address_arrays(batch)
+    sid_u = np.empty(len(first_idx), dtype=np.int64)
+    asn_u = np.empty(len(first_idx), dtype=np.int64)
+    batch_hi = batch.src_hi
+    batch_lo = batch.src_lo
+    for j, i in enumerate(first_idx.tolist()):
+        sid_u[j], asn_u[j] = route_of((batch_hi[i] << 64) | batch_lo[i])
+    return sid_u[inverse], day_column, asn_u[inverse], src_hi, src_lo, tgt_hi, tgt_lo
+
+
+def dispatch_batch_arrays(batch, route_of):
+    """Worker-routing columns for a :class:`ColumnBatch` at the dispatcher.
+
+    Like :func:`column_batch_arrays` but keeps only the origin AS of
+    each row's route (worker placement is re-derived vectorially by
+    :func:`worker_of_rows`, and shard placement happens worker-side,
+    exactly as with flat rows).  *route_of(source)* is the dispatcher's
+    memoized per-/48 resolver.  Returns ``(asn, src_hi, src_lo,
+    tgt_hi, tgt_lo)`` with *asn* as an int64 row column.
+    """
+    src_hi, src_lo, tgt_hi, tgt_lo, first_idx, inverse = _batch_address_arrays(batch)
+    asn_u = np.empty(len(first_idx), dtype=np.int64)
+    batch_hi = batch.src_hi
+    batch_lo = batch.src_lo
+    for j, i in enumerate(first_idx.tolist()):
+        asn_u[j] = route_of((batch_hi[i] << 64) | batch_lo[i])[1]
+    return asn_u[inverse], src_hi, src_lo, tgt_hi, tgt_lo
+
+
+def worker_of_rows(asn, src_hi, asn_keyed: bool, num_shards: int, num_workers: int):
+    """Owning-worker index per row, matching the scalar dispatcher.
+
+    The scalar path computes ``shard_index(key) % num_workers`` per
+    /48; :func:`vector_shard_index` is elementwise-identical to
+    ``shard_index``, so both paths place every row on the same worker.
+    """
+    key = asn.astype(np.uint64) if asn_keyed else src_hi >> np.uint64(32)
+    return vector_shard_index(key, num_shards) % np.uint64(num_workers)
+
+
+def absorb_worker_columns(acc, columns, asn_keyed: bool, num_shards: int) -> None:
+    """Fold one ``cols`` message into a worker's accumulator.
+
+    *columns* is the pickled ``(day, asn, src_hi, src_lo, tgt_hi,
+    tgt_lo)`` array tuple; shard placement is the vectorized scramble
+    over pre-resolved origin AS (or the source /32), exactly as
+    :func:`row_columns` does for flat rows.
+    """
+    day, asn, src_hi, src_lo, tgt_hi, tgt_lo = columns
+    key = asn.astype(np.uint64) if asn_keyed else src_hi >> np.uint64(32)
+    sid = vector_shard_index(key, num_shards).astype(np.int64)
+    acc.absorb(sid, day, asn, src_hi, src_lo, tgt_hi, tgt_lo)
+
+
+def worker_columns_to_rows(columns) -> list[tuple]:
+    """``cols`` message -> flat ``(day, target, source, asn)`` rows.
+
+    The fallback bridge for a worker running the classic fused loop
+    while the dispatcher ships columns: plain Python ints only (numpy
+    scalars must never leak into shard sets -- they would not survive
+    checkpoint JSON serialization).
+    """
+    day, asn, src_hi, src_lo, tgt_hi, tgt_lo = (
+        c.tolist() if hasattr(c, "tolist") else list(c) for c in columns
+    )
+    return [
+        (d, (thi << 64) | tlo, (shi << 64) | slo, a)
+        for d, a, shi, slo, thi, tlo in zip(day, asn, src_hi, src_lo, tgt_hi, tgt_lo)
+    ]
+
+
 def row_columns(rows: list, asn_keyed: bool, num_shards: int):
     """Columns for worker flat rows ``(day, target, source, asn)``.
 
@@ -176,8 +277,8 @@ def watch_hits(src_lo, watch_iids: set) -> list:
 
 
 def _combine64(hi, lo) -> list:
-    """``(hi << 64) | lo`` per row, as Python ints (object-array math)."""
-    return ((hi.astype(object) << 64) | lo.astype(object)).tolist()
+    """``(hi << 64) | lo`` per row, as Python ints."""
+    return [(h << 64) | l for h, l in zip(hi.tolist(), lo.tolist())]
 
 
 _MIX1 = 0x9E3779B97F4A7C15

@@ -48,6 +48,7 @@ same checkpoint as the active run, in serial and parallel modes alike.
 from __future__ import annotations
 
 import heapq
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -99,6 +100,46 @@ def _feed_key(observation: ProbeObservation) -> tuple[int, float]:
     return (observation.day, observation.t_seconds)
 
 
+def dedup_feed(
+    feed: Iterable[ProbeObservation], window: int
+) -> Iterator[ProbeObservation]:
+    """Drop repeat sightings within a bounded trailing window.
+
+    A chatty passive tap replays the same ``(src_addr, day)`` sighting
+    every time the flow re-fires, multiplying identical rows through
+    the store path.  This wrapper remembers the last *window* distinct
+    ``(day, target, source)`` keys -- for the self-sighting convention
+    that *is* ``(src_addr, day)`` -- and drops any observation whose
+    key is still in the window, regardless of its timestamp (day-
+    granular logs re-emit with jitter).  Memory is bounded by *window*
+    keys whatever the feed length; a repeat older than the window is
+    re-admitted, costing only a redundant (idempotent) aggregate
+    insert, never correctness.
+
+    Every adapter in this module takes a ``dedup_window`` argument that
+    applies this wrapper after its day-order sort.
+    """
+    if window <= 0:
+        raise ValueError("dedup_window must be positive")
+    seen: OrderedDict[tuple[int, int, int], None] = OrderedDict()
+    for observation in feed:
+        key = (observation.day, observation.target, observation.source)
+        if key in seen:
+            continue
+        seen[key] = None
+        if len(seen) > window:
+            seen.popitem(last=False)
+        yield observation
+
+
+def _maybe_dedup(
+    observations: list[ProbeObservation], dedup_window: int | None
+) -> Iterator[ProbeObservation]:
+    if dedup_window is None:
+        return iter(observations)
+    return dedup_feed(observations, dedup_window)
+
+
 def observation_feed(
     observations: Iterable[ProbeObservation],
 ) -> Iterator[ProbeObservation]:
@@ -108,6 +149,7 @@ def observation_feed(
 
 def sighting_feed(
     records: Iterable["SightingRecord | tuple"],
+    dedup_window: int | None = None,
 ) -> Iterator[ProbeObservation]:
     """Generic passive records -> day-ordered observation feed.
 
@@ -116,7 +158,8 @@ def sighting_feed(
     the rows a :class:`~repro.simnet.vantage.FlowTap` emits.  Records
     are sorted by ``(day, time)`` -- passive logs rarely arrive
     globally ordered -- with the sort stable, so equal-keyed records
-    keep their input order.
+    keep their input order.  *dedup_window* bounds repeat suppression
+    (see :func:`dedup_feed`).
     """
     observations = [
         (
@@ -125,16 +168,20 @@ def sighting_feed(
         for record in records
     ]
     observations.sort(key=_feed_key)
-    return iter(observations)
+    return _maybe_dedup(observations, dedup_window)
 
 
-def flow_feed(flows: Iterable[Flow]) -> Iterator[ProbeObservation]:
+def flow_feed(
+    flows: Iterable[Flow], dedup_window: int | None = None
+) -> Iterator[ProbeObservation]:
     """A flow log -> day-ordered observation feed.
 
     Each :class:`~repro.core.correlator.Flow` becomes a self-sighting of
     its source address on the day its timestamp falls in.  Privacy-mode
     client flows contribute address counts only; the feed matters the
     moment a flow's source carries a stable (EUI-64) IID.
+    *dedup_window* collapses a host's repeat flows within a day (see
+    :func:`dedup_feed`).
     """
     observations = [
         ProbeObservation(
@@ -146,29 +193,37 @@ def flow_feed(flows: Iterable[Flow]) -> Iterator[ProbeObservation]:
         for flow in flows
     ]
     observations.sort(key=_feed_key)
-    return iter(observations)
+    return _maybe_dedup(observations, dedup_window)
 
 
 def hitlist_feed(
     entries: Iterable[tuple[int, int]],
+    dedup_window: int | None = None,
 ) -> Iterator[ProbeObservation]:
     """``(address, day)`` hitlist sightings -> day-ordered feed.
 
     The shape of a responsive-address hitlist re-verified daily: no
     timestamps, no targets, just which addresses were alive on which
-    day.
+    day.  *dedup_window* drops re-verifications of the same address on
+    the same day (see :func:`dedup_feed`).
     """
     observations = [
         SightingRecord(source=address, day=day).to_observation()
         for address, day in entries
     ]
     observations.sort(key=_feed_key)
-    return iter(observations)
+    return _maybe_dedup(observations, dedup_window)
 
 
-def tap_feed(tap, days: Iterable[int]) -> Iterator[ProbeObservation]:
-    """A :class:`~repro.simnet.vantage.FlowTap`'s records over *days*."""
-    return sighting_feed(tap.records(days))
+def tap_feed(
+    tap, days: Iterable[int], dedup_window: int | None = None
+) -> Iterator[ProbeObservation]:
+    """A :class:`~repro.simnet.vantage.FlowTap`'s records over *days*.
+
+    Provider taps are the chattiest vantage (every flow re-fires the
+    same sighting), so this is where *dedup_window* earns its keep.
+    """
+    return sighting_feed(tap.records(days), dedup_window=dedup_window)
 
 
 class MixedFeed:

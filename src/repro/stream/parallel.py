@@ -168,6 +168,25 @@ def _worker_main(
                     _apply_rows(
                         message[1], shards, entries, counts, asn_keyed, num_shards
                     )
+            elif tag == "cols":
+                # Column hand-off: the dispatcher already split the
+                # addresses into uint64 arrays, so the columnar worker
+                # absorbs them as-is (shard placement is the vectorized
+                # scramble); a classic-kernel worker bridges back to
+                # flat rows.
+                if acc is not None:
+                    columnar_kernel.absorb_worker_columns(
+                        acc, message[1], asn_keyed, num_shards
+                    )
+                else:
+                    _apply_rows(
+                        columnar_kernel.worker_columns_to_rows(message[1]),
+                        shards,
+                        entries,
+                        counts,
+                        asn_keyed,
+                        num_shards,
+                    )
             elif tag == "day_pairs":
                 day = message[1]
                 pairs: set[tuple[int, int]] = set()
@@ -407,16 +426,7 @@ class ParallelStreamEngine:
             # must invalidate the cache (see ingest_batch).
             self._closed_pairs = None
         source = observation.source
-        route = self._route_cache.get(source >> 80)
-        if route is None:
-            asn = (self._origin_of(source) or 0) if self._origin_of else 0
-            route = self._route_cache[source >> 80] = (
-                shard_index(
-                    asn if self._asn_keyed else source >> 96,
-                    self.config.num_shards,
-                ) % self.num_workers,
-                asn,
-            )
+        route = self._route_of(source)
         buffer = self._buffers[route[0]]
         buffer.append((day, observation.target, source, route[1]))
         if len(buffer) >= self.batch_rows:
@@ -458,11 +468,8 @@ class ParallelStreamEngine:
         buffers = self._buffers
         conns = self._conns
         limit = self.batch_rows
-        num_workers = self.num_workers
-        num_shards = self.config.num_shards
         route_cache = self._route_cache
-        origin = self._origin_of
-        asn_keyed = self._asn_keyed
+        resolve_route = self._resolve_route
         watch = self._watch_iids
         watched = self.watched
         days_seen = self._days_seen
@@ -499,11 +506,7 @@ class ParallelStreamEngine:
                 net48 = source >> 80
                 route = route_cache.get(net48)
                 if route is None:
-                    asn = (origin(source) or 0) if origin else 0
-                    worker = shard_index(
-                        asn if asn_keyed else source >> 96, num_shards
-                    ) % num_workers
-                    route = route_cache[net48] = (worker, asn)
+                    route = route_cache[net48] = resolve_route(source)
                 buffer = buffers[route[0]]
                 buffer.append((day, observation.target, source, route[1]))
                 if len(buffer) >= limit:
@@ -526,6 +529,117 @@ class ParallelStreamEngine:
             self.responses_ingested += count
             if keep:
                 store.extend(keep)
+        return count
+
+    def _resolve_route(self, source: int) -> tuple[int, int]:
+        """(owning worker, origin AS) for *source* -- the one derivation.
+
+        Every dispatch path -- per-response, flat-row batch, and column
+        batch -- must place a /48's rows on the same worker, so the
+        scramble and the unrouted-AS convention live here only.
+        """
+        asn = (self._origin_of(source) or 0) if self._origin_of else 0
+        worker = shard_index(
+            asn if self._asn_keyed else source >> 96, self.config.num_shards
+        ) % self.num_workers
+        return (worker, asn)
+
+    def _route_of(self, source: int) -> tuple[int, int]:
+        """:meth:`_resolve_route`, memoized per covering /48."""
+        net48 = source >> 80
+        route = self._route_cache.get(net48)
+        if route is None:
+            route = self._route_cache[net48] = self._resolve_route(source)
+        return route
+
+    def ingest_columns(self, batch) -> int:
+        """Dispatch a :class:`~repro.store.batch.ColumnBatch` to the workers.
+
+        The zero-copy hand-off: per day segment the rows are split by
+        owning worker with one vectorized scramble and shipped as flat
+        uint64 arrays -- no per-row tuples are built on either side of
+        the pipe.  Day closes, watchlist sightings, store writes, and
+        mid-batch backwards-day accounting keep :meth:`ingest_batch`'s
+        exact semantics (the fuzz harness pins the merged state
+        byte-identical).  Without numpy the batch lazily degrades to
+        the flat-row path.
+        """
+        self._check_open()
+        if not len(batch):
+            return 0
+        if not columnar_kernel.numpy_enabled():
+            return self.ingest_batch(iter(batch))
+        segments, day_column, error = columnar_kernel.day_segments(
+            batch.day, self.current_day
+        )
+        store = self.store
+        valid = batch
+        count = 0
+        try:
+            if segments:
+                if len(day_column) != len(batch):
+                    valid = batch.slice(0, len(day_column))
+                asn, src_hi, src_lo, tgt_hi, tgt_lo = (
+                    columnar_kernel.dispatch_batch_arrays(valid, self._route_of)
+                )
+                worker_rows = columnar_kernel.worker_of_rows(
+                    asn,
+                    src_hi,
+                    self._asn_keyed,
+                    self.config.num_shards,
+                    self.num_workers,
+                )
+            for start, stop, day in segments:
+                if day != self.current_day:
+                    if self.current_day is not None:
+                        self._flush_buffers()
+                        self._close_through(day - 1)
+                    self.current_day = day
+                    self._days_seen.add(day)
+                if self._closed_pairs is not None and self._closed_pairs[0] == day:
+                    # flush() closed and cached this day; new rows make
+                    # the cached pair set stale (see ingest_batch).
+                    self._closed_pairs = None
+                segment = slice(start, stop)
+                seg_worker = worker_rows[segment]
+                for w in range(self.num_workers):
+                    mask = seg_worker == w
+                    if not mask.any():
+                        continue
+                    self._conns[w].send(
+                        (
+                            "cols",
+                            (
+                                day_column[segment][mask],
+                                asn[segment][mask],
+                                src_hi[segment][mask],
+                                src_lo[segment][mask],
+                                tgt_hi[segment][mask],
+                                tgt_lo[segment][mask],
+                            ),
+                        )
+                    )
+                if self._watch_iids:
+                    for i in columnar_kernel.watch_hits(
+                        src_lo[segment], self._watch_iids
+                    ):
+                        row = start + i
+                        update_sighting(
+                            self.watched,
+                            valid.src_lo[row],
+                            (valid.src_hi[row] << 64) | valid.src_lo[row],
+                            day,
+                            valid.t_seconds[row],
+                        )
+                count += stop - start
+        finally:
+            self.responses_ingested += count
+            if count and store is not None:
+                store.extend_columns(
+                    valid if count == len(valid) else valid.slice(0, count)
+                )
+        if error is not None:
+            raise ValueError(error)
         return count
 
     def _flush_buffers(self) -> None:

@@ -1,0 +1,343 @@
+"""The StoreBackend contract, cross-backend equivalence, and sqlite
+incremental checkpoint/resume.
+
+Every backend must hold the same corpus the same way the old
+object-list store did: insertion order everywhere, value-exact snapshot
+rows, and engine checkpoints that do not depend on the storage layout.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.records import ObservationStore, ProbeObservation
+from repro.net.addr import with_iid
+from repro.net.eui64 import is_eui64_iid, mac_to_eui64_iid
+from repro.store import (
+    BACKEND_ENV,
+    ColumnarBackend,
+    ColumnBatch,
+    ObjectBackend,
+    SqliteBackend,
+    StoreBackend,
+    default_backend_name,
+    make_backend,
+)
+from repro.stream.checkpoint import engine_state, restore_engine
+from repro.stream.engine import StreamConfig, StreamEngine
+
+EUI = mac_to_eui64_iid(0x3810D5AABBCC)
+
+BACKENDS = ["object", "columnar", "sqlite"]
+
+
+def fresh_backend(kind: str, tmp_path):
+    if kind == "sqlite":
+        tmp_path.mkdir(parents=True, exist_ok=True)
+        return SqliteBackend(tmp_path / "store.sqlite")
+    return make_backend(kind)
+
+
+def obs(day, target, source, t=0.0):
+    return ProbeObservation(day=day, t_seconds=t, target=target, source=source)
+
+
+def sample_corpus(n=200, seed=7):
+    """A deterministic mixed corpus: EUI and privacy IIDs, repeat
+    visitors across days, duplicates, non-monotone timestamps."""
+    rng = random.Random(seed)
+    iids = [mac_to_eui64_iid(rng.getrandbits(48)) for _ in range(6)]
+    iids += [rng.getrandbits(64) | (1 << 63) for _ in range(3)]
+    corpus = []
+    for i in range(n):
+        day = i // 50
+        net64 = 0x20010DB8_0000_0000 + (i % 7) * 0x10000 + day
+        iid = iids[i % len(iids)]
+        corpus.append(
+            obs(
+                day,
+                with_iid(net64, rng.getrandbits(64)),
+                with_iid(net64, iid),
+                t=day * 86_400.0 + rng.uniform(0, 86_399),
+            )
+        )
+        if i % 13 == 0:
+            corpus.append(corpus[-1])  # exact duplicate row
+    return corpus
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+class TestBackendContract:
+    def test_satisfies_protocol(self, kind, tmp_path):
+        assert isinstance(fresh_backend(kind, tmp_path), StoreBackend)
+
+    def test_insertion_order_and_views(self, kind, tmp_path):
+        corpus = sample_corpus()
+        store = ObservationStore(fresh_backend(kind, tmp_path))
+        # Mixed currencies: singles, object batches, column batches.
+        for observation in corpus[:10]:
+            store.add(observation)
+        store.extend(corpus[10:100])
+        store.extend_columns(ColumnBatch.from_observations(corpus[100:]))
+
+        assert len(store) == len(corpus)
+        assert list(store) == corpus
+        assert store.days() == sorted({o.day for o in corpus})
+        for day in store.days():
+            expected = [o for o in corpus if o.day == day]
+            assert store.on_day(day) == expected
+            assert store.day_slice(day).observations() == expected
+        for iid in {o.source_iid for o in corpus}:
+            expected = [o for o in corpus if o.source_iid == iid]
+            assert store.observations_of_iid(iid) == expected
+            assert store.iid_history(iid).sources() == [o.source for o in expected]
+            assert store.net64s_of_iid(iid) == {o.source_net64 for o in expected}
+            assert store.days_of_iid(iid) == {o.day for o in expected}
+
+    def test_counters_and_sets(self, kind, tmp_path):
+        corpus = sample_corpus()
+        store = ObservationStore(fresh_backend(kind, tmp_path))
+        store.extend(corpus)
+        assert store.unique_sources() == {o.source for o in corpus}
+        assert store.unique_eui64_sources() == {
+            o.source for o in corpus if o.is_eui64
+        }
+        assert store.eui64_iids() == {o.source_iid for o in corpus if o.is_eui64}
+        stats = store.stats()
+        assert stats.backend == kind
+        assert stats.rows == len(corpus)
+        assert stats.eui_rows == sum(1 for o in corpus if o.is_eui64)
+        assert stats.days == len(store.days())
+
+    def test_scan_chunks_cover_corpus_in_order(self, kind, tmp_path):
+        corpus = sample_corpus()
+        store = ObservationStore(fresh_backend(kind, tmp_path))
+        store.extend(corpus)
+        chunks = list(store.scan_columns(chunk_rows=37))
+        assert all(len(c) <= 37 for c in chunks)
+        assert ColumnBatch.concat(chunks).observations() == corpus
+
+    def test_snapshot_rows_and_restore_round_trip(self, kind, tmp_path):
+        corpus = sample_corpus()
+        store = ObservationStore(fresh_backend(kind, tmp_path))
+        store.extend(corpus)
+        rows = store.snapshot_rows()
+        assert rows == [[o.day, o.t_seconds, o.target, o.source] for o in corpus]
+        restored = ObservationStore(fresh_backend(kind, tmp_path / "restored"))
+        restored.restore_rows(rows)
+        assert restored.snapshot_rows() == rows
+        assert list(restored) == corpus
+
+    def test_restore_converges_on_checkpoint(self, kind, tmp_path):
+        """restore() must land exactly on the checkpoint rows whatever
+        the backend already held -- prefix kept, suffix discarded,
+        divergence rejected -- on every backend alike."""
+        corpus = sample_corpus(n=60)
+        rows = [[o.day, o.t_seconds, o.target, o.source] for o in corpus]
+        backend = fresh_backend(kind, tmp_path)
+        backend.append_observations(corpus)
+        # Held suffix beyond the checkpoint: verified, then discarded.
+        assert backend.restore(rows[:30]) == 0
+        assert backend.rows == 30
+        assert backend.snapshot() == rows[:30]
+        assert backend.eui_iids() == {
+            o.source_iid for o in corpus[:30] if o.is_eui64
+        }
+        # Held prefix: kept, only the tail appends.
+        assert backend.restore(rows) == len(rows) - 30
+        assert backend.snapshot() == rows
+        # Divergence anywhere in the shared prefix: rejected -- at the
+        # boundary and (the subtler case) at an early row behind an
+        # agreeing boundary.
+        bad = [list(r) for r in rows]
+        bad[-1] = [99, 0.0, 1, 2]
+        with pytest.raises(ValueError, match="not the same corpus"):
+            backend.restore(bad)
+        bad_early = [list(r) for r in rows]
+        bad_early[0] = [0, 0.0, 1, 2]
+        with pytest.raises(ValueError, match="at row 0"):
+            backend.restore(bad_early)
+
+    def test_value_types_survive_snapshot(self, kind, tmp_path):
+        """int days stay int, float timestamps stay float -- the JSON
+        byte-identity contract across backends."""
+        store = ObservationStore(fresh_backend(kind, tmp_path))
+        source = with_iid(0x10, EUI)
+        store.extend([obs(0, 1, source, t=0.0), obs(1, 2, 3, t=5)])
+        dumped = json.dumps(store.snapshot_rows())
+        assert dumped == f"[[0, 0.0, 1, {source}], [1, 5, 2, 3]]"
+
+
+def test_ingest_columns_empty_batch_is_noop():
+    engine = StreamEngine(StreamConfig(num_shards=2))
+    assert engine.ingest_columns(ColumnBatch()) == 0
+    assert engine.responses_ingested == 0
+    from repro.stream.parallel import ParallelStreamEngine
+
+    with ParallelStreamEngine(StreamConfig(num_shards=2), num_workers=1) as parallel:
+        assert parallel.ingest_columns(ColumnBatch()) == 0
+        assert parallel.responses_ingested == 0
+
+
+def test_add_batches_through_pending_buffer(tmp_path):
+    """Satellite: ``add`` buffers instead of a 1-element extend each."""
+    calls = []
+
+    class CountingBackend(ObjectBackend):
+        def append_observations(self, observations):
+            calls.append(len(observations))
+            return super().append_observations(observations)
+
+    store = ObservationStore(CountingBackend())
+    for i in range(ObservationStore.ADD_BUFFER_ROWS + 10):
+        store.add(obs(0, i, with_iid(0x10, EUI)))
+    assert calls == [ObservationStore.ADD_BUFFER_ROWS]  # one bulk append
+    assert len(store) == ObservationStore.ADD_BUFFER_ROWS + 10  # pending counted
+    assert len(list(store)) == ObservationStore.ADD_BUFFER_ROWS + 10  # read flushes
+    assert calls == [ObservationStore.ADD_BUFFER_ROWS, 10]
+
+
+def test_env_override_selects_backend(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "object")
+    assert default_backend_name() == "object"
+    assert isinstance(ObservationStore().backend, ObjectBackend)
+    monkeypatch.setenv(BACKEND_ENV, "columnar")
+    assert isinstance(ObservationStore().backend, ColumnarBackend)
+    monkeypatch.setenv(BACKEND_ENV, "bogus")
+    with pytest.raises(ValueError, match="bogus"):
+        ObservationStore()
+
+
+def origin_of(address: int) -> int:
+    return 64512 + ((address >> 80) % 5)
+
+
+def test_engine_checkpoints_identical_across_backends(tmp_path):
+    """The acceptance bar: same stream, any backend, same checkpoint
+    bytes -- via per-observation, batch, and column ingestion."""
+    corpus = sample_corpus(n=300)
+    config = StreamConfig(num_shards=4)
+    states = {}
+    for kind in BACKENDS:
+        engine = StreamEngine(
+            config,
+            origin_of=origin_of,
+            store=ObservationStore(fresh_backend(kind, tmp_path / kind)),
+        )
+        engine.watch(EUI)
+        for observation in corpus[:40]:
+            engine.ingest(observation)
+        engine.ingest_batch(corpus[40:150])
+        engine.ingest_columns(ColumnBatch.from_observations(corpus[150:]))
+        engine.flush()
+        states[kind] = json.dumps(engine_state(engine))
+    assert states["object"] == states["columnar"] == states["sqlite"]
+
+
+def test_sqlite_incremental_checkpoint_counts(tmp_path):
+    backend = SqliteBackend(tmp_path / "inc.sqlite")
+    corpus = sample_corpus(n=120)
+    backend.append_columns(ColumnBatch.from_observations(corpus[:80]))
+    assert backend.appended_since_checkpoint == 80
+    assert backend.checkpoint() == 80  # first delta: everything
+    assert backend.appended_since_checkpoint == 0
+    assert backend.checkpointed_rows() == 80
+    backend.append_columns(ColumnBatch.from_observations(corpus[80:]))
+    assert backend.checkpoint() == len(corpus) - 80  # only the tail
+    assert backend.checkpointed_rows() == len(corpus)
+    assert backend.checkpoint() == 0  # nothing new -> empty delta
+
+
+def test_sqlite_mid_stream_resume_byte_identical(tmp_path):
+    """Incremental resume: reattach the sqlite file mid-stream and end
+    with the exact bytes of an uninterrupted run."""
+    corpus = sample_corpus(n=260)
+    split = 130
+    config = StreamConfig(num_shards=4)
+
+    reference = StreamEngine(config, origin_of=origin_of)
+    reference.ingest_batch(corpus)
+    reference.flush()
+    final = json.dumps(engine_state(reference))
+
+    db = tmp_path / "campaign.sqlite"
+    first = StreamEngine(
+        config, origin_of=origin_of, store=ObservationStore(SqliteBackend(db))
+    )
+    first.ingest_batch(corpus[:split])
+    state = engine_state(first)  # snapshot: commits the sqlite delta
+    # Crash: drop the engine without closing; committed rows persist.
+    del first
+
+    reattached = ObservationStore(SqliteBackend(db))
+    assert len(reattached) == split  # the file already holds phase 1
+    appended = reattached.restore_rows(state["store"])
+    assert appended == 0  # incremental resume replays nothing
+    resumed = restore_engine(state, origin_of=origin_of, store=reattached)
+    resumed.ingest_batch(corpus[split:])
+    resumed.flush()
+    assert json.dumps(engine_state(resumed)) == final
+
+
+def test_sqlite_restore_discards_uncheckpointed_suffix(tmp_path):
+    """A run that kept ingesting after its last checkpoint commits on
+    close; resuming from that checkpoint must drop the suffix (the
+    resumed stream replays those responses), not dead-end."""
+    corpus = sample_corpus(n=40)
+    rows = [[o.day, o.t_seconds, o.target, o.source] for o in corpus]
+    backend = SqliteBackend(tmp_path / "a.sqlite")
+    backend.append_observations(corpus)
+    backend.close()  # commits everything, checkpointed or not
+    reattached = SqliteBackend(tmp_path / "a.sqlite")
+    assert reattached.rows == len(corpus)
+    assert reattached.restore(rows[:20]) == 0  # nothing appended...
+    assert reattached.rows == 20  # ...and the suffix is gone
+    assert reattached.snapshot() == rows[:20]
+    assert reattached.eui_iids() == {
+        o.source_iid for o in corpus[:20] if o.is_eui64
+    }
+    # The resumed stream re-appends the replayed responses cleanly.
+    reattached.append_observations(corpus[20:])
+    assert reattached.snapshot() == rows
+
+
+def test_sqlite_restore_rejects_mismatched_file(tmp_path):
+    corpus = sample_corpus(n=40)
+    backend = SqliteBackend(tmp_path / "a.sqlite")
+    backend.append_observations(corpus)
+    backend.checkpoint()
+    rows = [[o.day, o.t_seconds, o.target, o.source] for o in corpus]
+    bad_short = [list(r) for r in rows[:20]]
+    bad_short[-1] = [99, 0.0, 1, 2]
+    with pytest.raises(ValueError, match="not the same corpus"):
+        backend.restore(bad_short)  # boundary row disagrees (shorter)
+    bad_long = [list(r) for r in rows]
+    bad_long[-1] = [99, 0.0, 1, 2]
+    bad_long.append([99, 1.0, 3, 4])
+    with pytest.raises(ValueError, match="not the same corpus"):
+        backend.restore(bad_long)  # boundary row disagrees (longer)
+
+
+def test_sqlite_close_removes_owned_tempfile():
+    backend = SqliteBackend()  # no path: throwaway temp file
+    path = backend.path
+    assert path.exists()
+    backend.append_observations([obs(0, 1, with_iid(0x10, EUI))])
+    backend.close()
+    assert not path.exists()
+
+
+def test_eui_classification_matches_scalar_oracle(tmp_path):
+    rng = random.Random(3)
+    iids = [mac_to_eui64_iid(rng.getrandbits(48)) for _ in range(4)]
+    iids += [rng.getrandbits(64) for _ in range(4)]
+    corpus = [
+        obs(0, 1, with_iid(0x10 + i, rng.choice(iids))) for i in range(64)
+    ]
+    for kind in BACKENDS:
+        store = ObservationStore(fresh_backend(kind, tmp_path / f"e-{kind}"))
+        store.extend(corpus)
+        assert store.eui64_iids() == {
+            o.source_iid for o in corpus if is_eui64_iid(o.source_iid)
+        }, kind

@@ -23,6 +23,7 @@ from repro.stream.engine import StreamConfig, StreamEngine
 from repro.stream.feeds import (
     MixedFeed,
     SightingRecord,
+    dedup_feed,
     flow_feed,
     hitlist_feed,
     ingest_feed,
@@ -31,6 +32,61 @@ from repro.stream.feeds import (
     tap_feed,
 )
 from repro.stream.parallel import ParallelStreamEngine
+
+
+class TestDedupWindow:
+    """The chatty-tap guard: bounded suppression of repeat sightings."""
+
+    def test_repeats_within_window_dropped(self):
+        records = [(0xA, 1), (0xB, 1), (0xA, 1), (0xA, 1), (0xB, 1), (0xA, 2)]
+        observations = list(sighting_feed(records, dedup_window=8))
+        # One row per distinct (source, day): the day-2 re-sighting stays.
+        assert [(o.source, o.day) for o in observations] == [
+            (0xA, 1),
+            (0xB, 1),
+            (0xA, 2),
+        ]
+
+    def test_repeat_with_different_timestamp_still_dropped(self):
+        records = [
+            SightingRecord(source=0xA, day=1, t_seconds=90_000.0),
+            SightingRecord(source=0xA, day=1, t_seconds=95_000.0),
+        ]
+        assert len(list(sighting_feed(records, dedup_window=4))) == 1
+
+    def test_window_is_bounded(self):
+        # Two distinct keys alternating with window=1: every repeat has
+        # been evicted by the other key, so nothing is suppressed --
+        # memory stays bounded at the cost of re-admitting old repeats.
+        records = [(0xA, 1), (0xB, 1), (0xA, 1), (0xB, 1)]
+        assert len(list(sighting_feed(records, dedup_window=1))) == 4
+        # Window=2 holds both keys: repeats vanish.
+        assert len(list(sighting_feed(records, dedup_window=2))) == 2
+
+    def test_store_rows_not_multiplied(self):
+        engine = StreamEngine(StreamConfig(num_shards=2))
+        chatty = [(0xCAFE, 0)] * 50 + [(0xCAFE, 1)] * 50
+        engine.ingest_feed(sighting_feed(chatty, dedup_window=16))
+        engine.flush()
+        assert len(engine.store) == 2  # one row per (source, day)
+        assert engine.responses_ingested == 2
+
+    def test_mirror_feed_targets_distinguish_rows(self):
+        # Target-preserving records dedup on the full row, so a mirror
+        # of an active scan (distinct targets, same source) is intact.
+        records = [
+            SightingRecord(source=0xA, day=1, t_seconds=1.0, target=t)
+            for t in (1, 2, 3)
+        ]
+        assert len(list(sighting_feed(records, dedup_window=8))) == 3
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError, match="dedup_window"):
+            list(dedup_feed(iter([]), 0))
+
+    def test_adapters_expose_dedup_window(self):
+        flows_like = hitlist_feed([(0xA, 1), (0xA, 1)], dedup_window=4)
+        assert len(list(flows_like)) == 1
 
 
 def small_corpus():

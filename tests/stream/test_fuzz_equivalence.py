@@ -17,6 +17,14 @@ both the columnar and the classic multiprocess paths stay covered
 without doubling the process spawns per seed.  When numpy is absent,
 ``columnar=True`` engines transparently run the pure-Python fallback
 and the harness degenerates to the (still valid) classic comparison.
+
+Since the storage redesign the harness is also the cross-backend
+oracle: corpus-keeping engines each hold their store on a *different*
+:class:`~repro.store.backend.StoreBackend` (object / columnar / an
+sqlite file), and odd seeds feed the columnar engine through
+``ingest_columns`` (``ColumnBatch`` hand-off) and the parallel engine
+through its column dispatch -- so identical checkpoint bytes prove
+layout- and currency-independence, not just kernel equivalence.
 """
 
 import json
@@ -24,8 +32,9 @@ import random
 
 import pytest
 
-from repro.core.records import ProbeObservation
+from repro.core.records import ObservationStore, ProbeObservation
 from repro.net.eui64 import is_eui64_iid, mac_to_eui64_iid
+from repro.store import ColumnBatch, SqliteBackend, make_backend
 from repro.stream.checkpoint import engine_state
 from repro.stream.engine import StreamConfig, StreamEngine
 from repro.stream.parallel import ParallelStreamEngine
@@ -122,7 +131,7 @@ def chunks(rng: random.Random, items: list) -> list[list]:
 
 
 @pytest.mark.parametrize("seed", SEEDS)
-def test_checkpoint_bytes_identical_across_ingest_paths(seed):
+def test_checkpoint_bytes_identical_across_ingest_paths(seed, tmp_path):
     rng = random.Random(seed ^ 0xF022)
     corpus = random_corpus(rng)
     if not corpus:  # all days happened to gap out; trivially equivalent
@@ -131,33 +140,62 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed):
     num_workers = rng.choice([1, 2, 4])
     batch_rows = rng.choice([5, 17, 64])
     split = rng.randrange(len(corpus) + 1)  # mid-stream snapshot point
+    # Two independent axes, all four combinations over the seed range:
+    # odd seeds drive the ColumnBatch hand-off paths, and the worker
+    # kernel alternates on a different parity -- so column dispatch
+    # also lands on classic-kernel workers (the cols->rows bridge).
+    columns = bool(seed % 2)
+    worker_kernel = bool((seed // 2) % 2)
 
     watch = [o.source_iid for o in corpus if o.is_eui64][:2]
 
-    reference = StreamEngine(config, origin_of=origin_of)
-    batched = StreamEngine(config, origin_of=origin_of, columnar=False)
-    columnar = StreamEngine(config, origin_of=origin_of, columnar=True)
+    def backend_store(kind):
+        """Corpus-keeping engines each hold a different store layout."""
+        if not config.keep_observations:
+            return None
+        if kind == "sqlite":
+            return ObservationStore(SqliteBackend(tmp_path / "fuzz.sqlite"))
+        return ObservationStore(make_backend(kind))
+
+    reference = StreamEngine(
+        config, origin_of=origin_of, store=backend_store("object")
+    )
+    batched = StreamEngine(
+        config, origin_of=origin_of, columnar=False, store=backend_store("columnar")
+    )
+    columnar = StreamEngine(
+        config, origin_of=origin_of, columnar=True, store=backend_store("sqlite")
+    )
     parallel = ParallelStreamEngine(
         config,
         origin_of=origin_of,
         num_workers=num_workers,
         batch_rows=batch_rows,
-        columnar=bool(seed % 2),
+        columnar=worker_kernel,
+        store=backend_store(("object", "columnar")[seed % 2]),
     )
     engines = (reference, batched, columnar, parallel)
     for iid in watch:
         for engine in engines:
             engine.watch(iid)
 
+    def feed(engine, chunk):
+        """Columns for the column-capable engines on odd seeds."""
+        if columns and engine in (columnar, parallel):
+            engine.ingest_columns(ColumnBatch.from_observations(chunk))
+        else:
+            engine.ingest_batch(chunk)
+
     # Phase 1: up to the snapshot point.
     for observation in corpus[:split]:
         reference.ingest(observation)
     for engine in (batched, columnar, parallel):
         for chunk in chunks(rng, corpus[:split]):
-            engine.ingest_batch(chunk)
+            feed(engine, chunk)
 
     # Mid-stream: the parallel snapshot and both batch engines must
-    # match the per-observation engine, in-progress day left open.
+    # match the per-observation engine, in-progress day left open --
+    # and the serialized store rows must not depend on the backend.
     mid = json.dumps(engine_state(reference))
     assert json.dumps(engine_state(batched)) == mid
     assert json.dumps(engine_state(columnar)) == mid
@@ -168,7 +206,7 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed):
         reference.ingest(observation)
     for engine in (batched, columnar, parallel):
         for chunk in chunks(rng, corpus[split:]):
-            engine.ingest_batch(chunk)
+            feed(engine, chunk)
     reference.flush()
     batched.flush()
     columnar.flush()
@@ -178,3 +216,47 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed):
     assert json.dumps(engine_state(batched)) == final
     assert json.dumps(engine_state(columnar)) == final
     assert json.dumps(engine_state(merged)) == final
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_sqlite_incremental_resume_mid_stream(seed, tmp_path):
+    """Randomized incremental-checkpoint resume: checkpoint mid-stream
+    with the corpus on a sqlite file, reattach the same file, finish
+    the stream, and land on the uninterrupted run's exact bytes."""
+    from repro.stream.checkpoint import restore_engine
+
+    rng = random.Random(seed ^ 0x51E1)
+    corpus = random_corpus(rng)
+    if not corpus:
+        return
+    config = random_config(rng)
+    if not config.keep_observations:
+        config = StreamConfig(
+            num_shards=config.num_shards,
+            shard_key=config.shard_key,
+            keep_observations=True,
+            retain_days=config.retain_days,
+        )
+    split = rng.randrange(len(corpus) + 1)
+
+    reference = StreamEngine(config, origin_of=origin_of)
+    reference.ingest_batch(corpus)
+    reference.flush()
+    final = json.dumps(engine_state(reference))
+
+    db = tmp_path / "resume.sqlite"
+    first = StreamEngine(
+        config, origin_of=origin_of, store=ObservationStore(SqliteBackend(db))
+    )
+    for chunk in chunks(rng, corpus[:split]):
+        first.ingest_batch(chunk)
+    state = engine_state(first)  # commits the sqlite delta as a side effect
+    del first  # "crash" -- only committed rows survive in the file
+
+    reattached = ObservationStore(SqliteBackend(db))
+    assert reattached.restore_rows(state["store"]) == 0  # nothing replayed
+    resumed = restore_engine(state, origin_of=origin_of, store=reattached)
+    for chunk in chunks(rng, corpus[split:]):
+        resumed.ingest_columns(ColumnBatch.from_observations(chunk))
+    resumed.flush()
+    assert json.dumps(engine_state(resumed)) == final

@@ -27,7 +27,12 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
 # Top-level metadata keys; everything else is a benchmark section.
 META_KEYS = {"git_rev", "cpu_count", "python"}
 # At minimum these sections must be present and well-formed.
-REQUIRED_SECTIONS = {"engine_batch_ingest", "stream_vs_batch", "columnar_ingest"}
+REQUIRED_SECTIONS = {
+    "engine_batch_ingest",
+    "stream_vs_batch",
+    "columnar_ingest",
+    "store_backends",
+}
 
 # Throughput figures the regression gate tracks (dotted paths), and how
 # much of a drop versus the baseline is tolerated before CI fails.  The
@@ -40,6 +45,10 @@ GATED_METRICS = (
     "columnar_ingest.columnar_responses_per_s",
     "columnar_ingest.classic_responses_per_s",
     "columnar_ingest.speedup",
+    "store_backends.object.append_rows_per_s",
+    "store_backends.columnar.append_rows_per_s",
+    "store_backends.columnar.scan_rows_per_s",
+    "store_backends.sqlite.append_rows_per_s",
 )
 REGRESSION_TOLERANCE = 0.30
 
