@@ -288,6 +288,78 @@ def test_columnar_ingest_throughput(benchmark, context):
         assert speedup >= 2.0, f"columnar speedup {speedup:.2f}x < 2.0x"
 
 
+def test_telemetry_overhead(benchmark, context):
+    """Enabled-telemetry cost on the columnar ingest hot path.
+
+    The ``repro.obs`` contract: disabled telemetry is one ``is not
+    None`` check per batch (unmeasurable), and *enabled* telemetry --
+    registry, pre-bound instrument bundles, an event log -- stays
+    within 5% of the untelemetered columnar ingest rate, because every
+    instrument update happens at batch/day granularity, never per row.
+    Interleaved min-of-5 rounds cancel host drift the same way the
+    columnar-vs-classic comparison does.  Checkpoint bytes must be
+    identical with telemetry on and off (telemetry is execution state,
+    never result state).
+    """
+    import io
+
+    from repro.obs import Telemetry
+
+    corpus = list(context.campaign_result.store)
+    config = StreamConfig(num_shards=8, keep_observations=False)
+    corpus_store = ObservationStore("columnar")
+    corpus_store.extend(corpus)
+    column_chunks = list(corpus_store.scan_columns())
+
+    def run(telemetry):
+        engine = StreamEngine(
+            config, origin_of=context.origin_of, columnar=True, telemetry=telemetry
+        )
+        for batch in column_chunks:
+            engine.ingest_columns(batch)
+        engine.flush()
+        return engine
+
+    run(None)  # warm caches and lazy imports
+    run(Telemetry(events=io.StringIO()))
+    disabled_seconds = enabled_seconds = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        disabled = run(None)
+        disabled_seconds = min(disabled_seconds, time.perf_counter() - t0)
+        telemetry = Telemetry(events=io.StringIO())
+        t0 = time.perf_counter()
+        enabled = run(telemetry)
+        enabled_seconds = min(enabled_seconds, time.perf_counter() - t0)
+    assert engine_state(enabled) == engine_state(disabled)  # byte-identical
+    counters = telemetry.snapshot()["counters"]
+    assert counters["repro_stream_responses_total"] == len(corpus)
+    # pytest-benchmark's table entry: one representative enabled run.
+    benchmark.pedantic(
+        lambda: run(Telemetry(events=io.StringIO())), rounds=1, iterations=1
+    )
+
+    overhead_pct = (enabled_seconds / disabled_seconds - 1.0) * 100.0
+    print(
+        f"\ntelemetry overhead on {len(corpus)} responses (columnar ingest): "
+        f"disabled {len(corpus) / disabled_seconds:,.0f} responses/s, "
+        f"enabled {len(corpus) / enabled_seconds:,.0f} responses/s "
+        f"({overhead_pct:+.2f}%) -- checkpoint bytes identical"
+    )
+    record_bench(
+        "telemetry_overhead",
+        {
+            "responses": len(corpus),
+            "disabled_seconds": round(disabled_seconds, 4),
+            "disabled_responses_per_s": round(len(corpus) / disabled_seconds),
+            "enabled_seconds": round(enabled_seconds, 4),
+            "enabled_responses_per_s": round(len(corpus) / enabled_seconds),
+            "enabled_overhead_pct": round(overhead_pct, 2),
+        },
+    )
+    assert overhead_pct <= 5.0, f"telemetry overhead {overhead_pct:.2f}% > 5%"
+
+
 def test_store_backend_throughput(benchmark, context):
     """The three StoreBackends on one corpus: append and full-scan rates.
 

@@ -44,6 +44,9 @@ from repro.stream.feeds import (
     sighting_feed,
     tap_feed,
 )
+from repro.util import get_logger
+
+log = get_logger("repro.examples.one_bad_apple")
 
 DAYS = [3, 4, 5, 6]
 
@@ -51,7 +54,7 @@ DAYS = [3, 4, 5, 6]
 def main() -> None:
     internet = build_world(seed=7, n_devices=24)
     targets = watch_targets(internet, anchor_day=DAYS[0] - 1)
-    print(f"world: AS{ASN}, {len(targets)} EUI-64 CPE, daily /56 rotation")
+    log.info("world: AS%d, %d EUI-64 CPE, daily /56 rotation", ASN, len(targets))
 
     # 2. Passive-only tracking: the tap sees WAN addresses, never probes.
     tap = FlowTap(internet, ASN, coverage=0.6, sample_rate=0.9, seed=7)

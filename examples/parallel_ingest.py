@@ -37,6 +37,9 @@ from repro import (
 )
 from repro.simnet.rotation import IncrementRotation
 from repro.stream.checkpoint import engine_state
+from repro.util import get_logger
+
+log = get_logger("repro.examples.parallel_ingest")
 
 
 def build_world():
@@ -69,7 +72,7 @@ def main() -> None:
     corpus = list(build_campaign(internet).run().store)
     origin_of = internet.rib.origin_of
     config = StreamConfig(num_shards=8, keep_observations=False)
-    print(f"corpus: {len(corpus)} responses")
+    log.info("corpus: %d responses", len(corpus))
 
     # 2-3. Parallel ingestion, then the byte-identity check against a
     #      single-process engine.

@@ -33,6 +33,9 @@ from repro.core.allocation import AllocationInference
 from repro.core.rotation_pool import RotationPoolInference
 from repro.scan.targets import one_target_per_subnet
 from repro.simnet.rotation import IncrementRotation
+from repro.util import get_logger
+
+log = get_logger("repro.examples.quickstart")
 
 
 def main() -> None:
@@ -54,7 +57,7 @@ def main() -> None:
     internet = build_internet(spec)
     provider = internet.providers[0]
     pool = provider.pools[0]
-    print(f"built {provider.describe()}: {pool.n_customers} customers")
+    log.info("built %s: %d customers", provider.describe(), pool.n_customers)
 
     # 2. Probe one target per /56 across the pool, daily for four days.
     rng = random.Random(7)

@@ -17,13 +17,16 @@ import sys
 from repro.experiments import tracking
 from repro.experiments.context import get_context
 from repro.experiments.scale import DEFAULT, SMALL, TINY
+from repro.util import get_logger
+
+log = get_logger("repro.examples.tracking_case_study")
 
 
 def main(argv: list[str]) -> int:
     arg = argv[1] if len(argv) > 1 else "small"
     scale = {"default": DEFAULT, "tiny": TINY}.get(arg, SMALL)
-    print(f"scale: {scale.name} (campaign {scale.campaign_days} days, "
-          f"tracking {scale.tracking_days} days)")
+    log.info("scale: %s (campaign %d days, tracking %d days)",
+             scale.name, scale.campaign_days, scale.tracking_days)
 
     context = get_context(scale)
     print(f"discovered {len(context.pipeline_result.rotating_48s)} rotating "

@@ -90,6 +90,16 @@ class ObservationStore:
             backend = make_backend(backend)
         self.backend = backend
         self._pending: list[ProbeObservation] = []
+        # Telemetry bundle (repro.obs): execution state only, never
+        # serialized; None keeps every path at one attribute check.
+        self._obs = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Label this store's latency/row metrics with its backend name."""
+        from repro.obs.instruments import StoreInstruments
+
+        name = getattr(self.backend, "name", type(self.backend).__name__)
+        self._obs = StoreInstruments(telemetry, name)
 
     def __len__(self) -> int:
         return self.backend.rows + len(self._pending)
@@ -103,7 +113,13 @@ class ObservationStore:
         """Drain the ``add`` buffer into the backend (order-preserving)."""
         if self._pending:
             pending, self._pending = self._pending, []
-            self.backend.append_observations(pending)
+            obs = self._obs
+            if obs is None:
+                self.backend.append_observations(pending)
+            else:
+                with obs.append_seconds.time():
+                    self.backend.append_observations(pending)
+                obs.append_rows.value += len(pending)
 
     def add(self, observation: ProbeObservation) -> None:
         """Insert one observation (buffered; see :attr:`ADD_BUFFER_ROWS`)."""
@@ -118,13 +134,25 @@ class ObservationStore:
         """
         batch = observations if isinstance(observations, list) else list(observations)
         self._flush()
-        return self.backend.append_observations(batch)
+        obs = self._obs
+        if obs is None:
+            return self.backend.append_observations(batch)
+        with obs.append_seconds.time():
+            added = self.backend.append_observations(batch)
+        obs.append_rows.value += added
+        return added
 
     def extend_columns(self, batch: "ColumnBatch") -> int:
         """Bulk insert a :class:`ColumnBatch`; zero conversion on
         column-native backends.  Returns rows added."""
         self._flush()
-        return self.backend.append_columns(batch)
+        obs = self._obs
+        if obs is None:
+            return self.backend.append_columns(batch)
+        with obs.append_seconds.time():
+            added = self.backend.append_columns(batch)
+        obs.append_rows.value += added
+        return added
 
     def add_responses(
         self, responses: Iterable[ProbeResponse], day: int | None = None
@@ -144,8 +172,24 @@ class ObservationStore:
         """The whole corpus as bounded column chunks, insertion order."""
         self._flush()
         if chunk_rows is None:
-            return self.backend.scan_columns()
-        return self.backend.scan_columns(chunk_rows)
+            chunks = self.backend.scan_columns()
+        else:
+            chunks = self.backend.scan_columns(chunk_rows)
+        obs = self._obs
+        if obs is None:
+            return chunks
+        return self._timed_scan(chunks, obs)
+
+    @staticmethod
+    def _timed_scan(chunks, obs) -> "Iterator[ColumnBatch]":
+        """Scan passthrough that times each chunk fetch (lazy backends
+        do their I/O inside ``next``, so per-chunk timing is the truth)."""
+        while True:
+            with obs.scan_seconds.time():
+                chunk = next(chunks, None)
+            if chunk is None:
+                return
+            yield chunk
 
     def day_slice(self, day: int) -> "ColumnBatch":
         """Columns of every observation on *day*, insertion order."""
@@ -166,12 +210,20 @@ class ObservationStore:
     def snapshot_rows(self) -> list[list]:
         """The canonical checkpoint rows (backend-independent bytes)."""
         self._flush()
-        return self.backend.snapshot()
+        obs = self._obs
+        if obs is None:
+            return self.backend.snapshot()
+        with obs.snapshot_seconds.time():
+            return self.backend.snapshot()
 
     def restore_rows(self, rows: list[list]) -> int:
         """Load checkpoint rows (incremental on disk-backed stores)."""
         self._flush()
-        return self.backend.restore(rows)
+        obs = self._obs
+        if obs is None:
+            return self.backend.restore(rows)
+        with obs.restore_seconds.time():
+            return self.backend.restore(rows)
 
     def close(self) -> None:
         """Flush and release backend resources (files, connections)."""

@@ -14,6 +14,7 @@ from repro.experiments import ablations, fig3, fig4, fig5, fig6, fig7, fig8, fig
 from repro.experiments import fig10, fig11_12, headline, table1, tracking
 from repro.experiments.context import ExperimentContext, get_context
 from repro.experiments.scale import DEFAULT, SMALL, Scale
+from repro.util import get_logger
 
 ARTIFACTS: tuple[tuple[str, Callable[[ExperimentContext], object]], ...] = (
     ("table1", table1.run),
@@ -57,7 +58,11 @@ def run_all(scale: Scale = DEFAULT) -> dict[str, str]:
 
 def main(argv: list[str]) -> int:
     scale = SMALL if (len(argv) > 1 and argv[1] == "small") else DEFAULT
+    log = get_logger("repro.experiments")
+    # Progress narration goes through the logger (stderr); only the
+    # rendered artifacts land on stdout, so piped output stays clean.
     for name, text in run_all(scale).items():
+        log.info("rendered %s (scale: %s)", name, scale.name)
         print(f"\n{'=' * 72}\n{name} (scale: {scale.name})\n{'=' * 72}")
         print(text)
     return 0

@@ -1,0 +1,277 @@
+"""Pre-bound instrument bundles for the stream subsystem's hot paths.
+
+The near-zero-overhead contract: an instrumented component holds
+``self._obs = None`` until telemetry is attached, and every hot path
+guards with one load --
+
+    obs = self._obs
+    if obs is not None:
+        obs.responses.value += count
+
+-- so the disabled cost is a single attribute check and the enabled
+cost is bumps on instruments resolved *once*, here, at attach time
+(never a registry lookup per batch).  Each bundle is ``__slots__``-only
+and belongs to exactly one component instance; nothing in any bundle is
+checkpoint state.
+
+Metric name scheme (documented in ``benchmarks/README.md``):
+
+* ``repro_stream_*``   -- :class:`~repro.stream.engine.StreamEngine`
+* ``repro_parallel_*`` -- the multiprocess dispatcher (``worker`` label)
+* ``repro_feed_*``     -- passive-feed drains and suppressions
+* ``repro_store_*``    -- :class:`ObservationStore` backends (``backend``
+  label)
+* ``repro_checkpoint_*`` -- serialize/restore/write latency and size
+"""
+
+from __future__ import annotations
+
+from .registry import LATENCY_BUCKETS, SIZE_BUCKETS
+
+
+class EngineInstruments:
+    """StreamEngine metrics: ingest throughput, batch shape, day closes."""
+
+    __slots__ = (
+        "telemetry",
+        "responses",
+        "batches",
+        "batch_rows",
+        "materialize_seconds",
+        "days_closed",
+        "rotation_events",
+        "changed_pairs",
+        "stable_pairs",
+        "current_day",
+    )
+
+    def __init__(self, telemetry) -> None:
+        registry = telemetry.registry
+        self.telemetry = telemetry
+        self.responses = registry.counter(
+            "repro_stream_responses_total", "Observations ingested"
+        )
+        self.batches = registry.counter(
+            "repro_stream_batches_total", "Ingest batches/chunks applied"
+        )
+        self.batch_rows = registry.histogram(
+            "repro_stream_batch_rows", "Rows per ingest batch/chunk", SIZE_BUCKETS
+        )
+        self.materialize_seconds = registry.histogram(
+            "repro_stream_materialize_seconds",
+            "Columnar buffer fold-to-shard latency",
+        )
+        self.days_closed = registry.counter(
+            "repro_stream_days_closed_total", "Scanned day pairs diffed"
+        )
+        self.rotation_events = registry.counter(
+            "repro_stream_rotation_events_total",
+            "Day closes that detected rotation",
+        )
+        self.changed_pairs = registry.counter(
+            "repro_stream_changed_pairs_total", "Changed pairs across day closes"
+        )
+        self.stable_pairs = registry.counter(
+            "repro_stream_stable_pairs_total", "Stable pairs across day closes"
+        )
+        self.current_day = registry.gauge(
+            "repro_stream_current_day", "Newest day seen on the stream"
+        )
+
+    def observe_batch(self, rows: int) -> None:
+        self.responses.value += rows
+        self.batches.value += 1
+        self.batch_rows.observe(rows)
+
+    def day_opened(self, day: int) -> None:
+        self.current_day.value = day
+        self.telemetry.emit("day_open", day=day)
+
+    def day_closed(self, day: int, changed: int, stable: int) -> None:
+        self.days_closed.value += 1
+        self.changed_pairs.value += changed
+        self.stable_pairs.value += stable
+        self.telemetry.emit("day_close", day=day, changed=changed, stable=stable)
+        if changed:
+            self.rotation_events.value += 1
+            self.telemetry.emit("rotation_detected", day=day, changed=changed)
+
+
+class ParallelInstruments(EngineInstruments):
+    """Dispatcher metrics, on top of the shared engine vocabulary.
+
+    Per-worker dispatch counters carry a ``worker`` label; wait time is
+    the dispatcher blocking on worker replies (day-pair collections,
+    state merges, barriers) -- dispatcher-side idle, the number that
+    says whether workers or the feed are the bottleneck.
+    """
+
+    __slots__ = (
+        "dispatch_rows",
+        "dispatch_chunks",
+        "chunk_rows",
+        "queue_depth",
+        "wait_seconds",
+        "merge_seconds",
+        "workers_alive",
+    )
+
+    def __init__(self, telemetry, num_workers: int) -> None:
+        super().__init__(telemetry)
+        registry = telemetry.registry
+        self.dispatch_rows = [
+            registry.counter(
+                "repro_parallel_dispatch_rows_total",
+                "Rows shipped to each worker",
+                {"worker": str(w)},
+            )
+            for w in range(num_workers)
+        ]
+        self.dispatch_chunks = [
+            registry.counter(
+                "repro_parallel_dispatch_chunks_total",
+                "Pipe messages shipped to each worker",
+                {"worker": str(w)},
+            )
+            for w in range(num_workers)
+        ]
+        self.chunk_rows = registry.histogram(
+            "repro_parallel_chunk_rows", "Rows per dispatched chunk", SIZE_BUCKETS
+        )
+        self.queue_depth = [
+            registry.gauge(
+                "repro_parallel_buffer_rows",
+                "Rows buffered for each worker at last flush",
+                {"worker": str(w)},
+            )
+            for w in range(num_workers)
+        ]
+        self.wait_seconds = registry.histogram(
+            "repro_parallel_wait_seconds",
+            "Dispatcher time blocked on worker replies",
+        )
+        self.merge_seconds = registry.histogram(
+            "repro_parallel_merge_seconds",
+            "Worker-partial fold into a merged engine",
+        )
+        self.workers_alive = registry.gauge(
+            "repro_parallel_workers", "Worker processes currently running"
+        )
+
+    def dispatched(self, worker: int, rows: int) -> None:
+        self.dispatch_rows[worker].value += rows
+        self.dispatch_chunks[worker].value += 1
+        self.chunk_rows.observe(rows)
+
+    def worker_joined(self, worker: int, pid: int | None) -> None:
+        self.workers_alive.value += 1
+        self.telemetry.emit("worker_join", worker=worker, pid=pid)
+
+    def worker_exited(self, worker: int) -> None:
+        self.workers_alive.value -= 1
+        self.telemetry.emit("worker_exit", worker=worker)
+
+
+class StoreInstruments:
+    """ObservationStore metrics, one bundle per attached store; every
+    series carries the backend name as a label."""
+
+    __slots__ = (
+        "telemetry",
+        "append_rows",
+        "append_seconds",
+        "scan_seconds",
+        "snapshot_seconds",
+        "restore_seconds",
+    )
+
+    def __init__(self, telemetry, backend: str) -> None:
+        registry = telemetry.registry
+        labels = {"backend": backend}
+        self.telemetry = telemetry
+        self.append_rows = registry.counter(
+            "repro_store_append_rows_total", "Rows appended", labels
+        )
+        self.append_seconds = registry.histogram(
+            "repro_store_append_seconds", "Bulk append latency", LATENCY_BUCKETS, labels
+        )
+        self.scan_seconds = registry.histogram(
+            "repro_store_scan_seconds", "Full column scan latency", LATENCY_BUCKETS, labels
+        )
+        self.snapshot_seconds = registry.histogram(
+            "repro_store_snapshot_seconds",
+            "Checkpoint-row snapshot latency",
+            LATENCY_BUCKETS,
+            labels,
+        )
+        self.restore_seconds = registry.histogram(
+            "repro_store_restore_seconds",
+            "Checkpoint-row restore latency",
+            LATENCY_BUCKETS,
+            labels,
+        )
+
+
+class FeedInstruments:
+    """Passive-feed drain metrics (campaign-side)."""
+
+    __slots__ = ("telemetry", "drained", "lagging_dropped", "dedup_suppressed")
+
+    def __init__(self, telemetry) -> None:
+        registry = telemetry.registry
+        self.telemetry = telemetry
+        self.drained = registry.counter(
+            "repro_feed_records_total", "Passive records ingested"
+        )
+        self.lagging_dropped = registry.counter(
+            "repro_feed_lagging_dropped_total",
+            "Passive records dropped for predating the engine's day",
+        )
+        self.dedup_suppressed = registry.counter(
+            "repro_feed_dedup_suppressed_total",
+            "Repeat sightings suppressed by dedup windows",
+        )
+
+
+class CheckpointInstruments:
+    """Checkpoint serialize/write/restore latency and size."""
+
+    __slots__ = (
+        "telemetry",
+        "serialize_seconds",
+        "restore_seconds",
+        "write_seconds",
+        "checkpoint_bytes",
+        "checkpoints",
+    )
+
+    def __init__(self, telemetry) -> None:
+        registry = telemetry.registry
+        self.telemetry = telemetry
+        self.serialize_seconds = registry.histogram(
+            "repro_checkpoint_serialize_seconds", "engine_state build latency"
+        )
+        self.restore_seconds = registry.histogram(
+            "repro_checkpoint_restore_seconds", "Engine restore latency"
+        )
+        self.write_seconds = registry.histogram(
+            "repro_checkpoint_write_seconds", "Full checkpoint write latency"
+        )
+        self.checkpoint_bytes = registry.gauge(
+            "repro_checkpoint_bytes", "Size of the newest checkpoint"
+        )
+        self.checkpoints = registry.counter(
+            "repro_checkpoint_written_total", "Checkpoints written"
+        )
+
+    def written(self, path, size: int, day: int | None, seconds: float) -> None:
+        self.checkpoints.value += 1
+        self.checkpoint_bytes.value = size
+        self.write_seconds.observe(seconds)
+        self.telemetry.emit(
+            "checkpoint_written",
+            path=str(path),
+            bytes=size,
+            day=day,
+            seconds=round(seconds, 6),
+        )

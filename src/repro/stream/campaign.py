@@ -17,6 +17,7 @@ file, replaying nothing.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import replace
 from pathlib import Path
 from typing import Iterable
@@ -74,6 +75,7 @@ class StreamingCampaign:
         batch_rows: int = 8192,
         passive_feeds: "Iterable[Iterable[ProbeObservation]] | None" = None,
         store: "ObservationStore | None" = None,
+        telemetry=None,
     ) -> None:
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
@@ -119,15 +121,34 @@ class StreamingCampaign:
                 num_workers=workers,
                 batch_rows=batch_rows,
                 base=engine,
+                telemetry=telemetry,
             )
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.checkpoint_every = checkpoint_every
+        self._passive_feeds = tuple(passive_feeds) if passive_feeds else ()
         self._feed: "Iterable[ProbeObservation] | None" = (
-            iter(MixedFeed(*passive_feeds)) if passive_feeds else None
+            iter(MixedFeed(*self._passive_feeds)) if self._passive_feeds else None
         )
         self._feed_pending: ProbeObservation | None = None
         self.passive_ingested = 0
         self.passive_dropped = 0
+        # Telemetry (repro.obs): execution state, never checkpointed --
+        # that is what keeps resumed checkpoints byte-identical whether
+        # or not a run was observed.
+        self.telemetry = telemetry
+        self._obs = None
+        self._feed_obs = None
+        self._started = False
+        if telemetry is not None:
+            from repro.obs.instruments import CheckpointInstruments, FeedInstruments
+
+            self._obs = CheckpointInstruments(telemetry)
+            self._feed_obs = FeedInstruments(telemetry)
+            if self._parallel is None:
+                # Parallel mode instruments the dispatcher instead; the
+                # base engine never ingests directly.
+                engine.attach_telemetry(telemetry)
+            self.result.store.attach_telemetry(telemetry)
 
     @property
     def live_engine(self) -> "StreamEngine | ParallelStreamEngine":
@@ -167,6 +188,7 @@ class StreamingCampaign:
         batch_rows: int = 8192,
         passive_feeds: "Iterable[Iterable[ProbeObservation]] | None" = None,
         store: "ObservationStore | None" = None,
+        telemetry=None,
     ) -> "StreamingCampaign":
         """Rebuild a streaming campaign from a checkpoint file.
 
@@ -191,19 +213,24 @@ class StreamingCampaign:
         streaming = cls(
             campaign,
             engine=restore_engine(
-                state["engine"], origin_of=campaign.internet.rib.origin_of
+                state["engine"],
+                origin_of=campaign.internet.rib.origin_of,
+                telemetry=telemetry,
             ),
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
             workers=workers,
             batch_rows=batch_rows,
             passive_feeds=passive_feeds,
+            telemetry=telemetry,
         )
         if store is not None:
             # Release the default store the constructor built (under a
             # disk-backed default that is a temp file + connection).
             streaming.result.store.close()
             streaming.result.store = store
+            if telemetry is not None:
+                store.attach_telemetry(telemetry)
         _restore_store(state["store"], streaming.result.store)
         progress = state["progress"]
         streaming.result.probes_sent = progress["probes_sent"]
@@ -213,8 +240,8 @@ class StreamingCampaign:
 
     # -- execution ---------------------------------------------------------
 
-    def _write_checkpoint(self) -> None:
-        state = {
+    def _checkpoint_state(self) -> dict:
+        return {
             "version": FORMAT_VERSION,
             "progress": {
                 "probes_sent": self.result.probes_sent,
@@ -224,9 +251,27 @@ class StreamingCampaign:
             "engine": engine_state(self.engine),
             "store": _store_state(self.result.store),
         }
+
+    def _write_checkpoint(self) -> None:
+        obs = self._obs
         tmp = self.checkpoint_path.with_suffix(self.checkpoint_path.suffix + ".tmp")
-        tmp.write_text(json.dumps(state))
+        if obs is None:
+            tmp.write_text(json.dumps(self._checkpoint_state()))
+            tmp.replace(self.checkpoint_path)
+            return
+        # Telemetry changes nothing about the payload -- only measures
+        # it (the checkpoint tests pin observed == unobserved bytes).
+        t0 = time.perf_counter()
+        with obs.serialize_seconds.time():
+            payload = json.dumps(self._checkpoint_state())
+        tmp.write_text(payload)
         tmp.replace(self.checkpoint_path)
+        obs.written(
+            self.checkpoint_path,
+            len(payload),
+            self.live_engine.current_day,
+            time.perf_counter() - t0,
+        )
 
     def _refresh_engine(self) -> None:
         """In parallel mode, re-materialize ``self.engine`` as the
@@ -280,6 +325,14 @@ class StreamingCampaign:
             batch.append(record)
         if batch:
             self.passive_ingested += engine.ingest_batch(batch)
+        fobs = self._feed_obs
+        if fobs is not None:
+            # Totals, not deltas: counters are set to the campaign's
+            # monotone running totals (dedup suppressions accumulate
+            # inside the DedupFeed wrappers, per feed).
+            fobs.drained.value = self.passive_ingested
+            fobs.lagging_dropped.value = self.passive_dropped
+            fobs.dedup_suppressed.value = self.dedup_suppressed
 
     def _on_day_complete(self, day: int) -> None:
         self._drain_feed(day)
@@ -303,6 +356,15 @@ class StreamingCampaign:
         # Passive records predating the first remaining scan day go in
         # before any probe response, keeping day order end to end.
         first_day = self.campaign.config.start_day + self.result.days_run
+        if self.telemetry is not None and not self._started:
+            self._started = True
+            self.telemetry.emit(
+                "campaign_start",
+                first_day=first_day,
+                days_run=self.result.days_run,
+                total_days=self.campaign.config.days,
+                workers=self.workers,
+            )
         self._drain_feed(first_day - 1, skip_drained=True)
         consumer = self._parallel.ingest if self._parallel else self.engine.ingest
         self.campaign.run_streaming(
@@ -327,8 +389,40 @@ class StreamingCampaign:
             self.engine.flush()
         if self.checkpoint_path is not None:
             self._write_checkpoint()
+        if self.finished and self.telemetry is not None:
+            self.telemetry.emit(
+                "campaign_finished",
+                days_run=self.result.days_run,
+                responses=self.live_engine.responses_ingested,
+                passive_ingested=self.passive_ingested,
+                passive_dropped=self.passive_dropped,
+                dedup_suppressed=self.dedup_suppressed,
+            )
         return self.result
 
     @property
     def finished(self) -> bool:
         return self.result.days_run >= self.campaign.config.days
+
+    @property
+    def dedup_suppressed(self) -> int:
+        """Repeat sightings the attached feeds' dedup windows dropped
+        so far (summed across every wrapped passive feed)."""
+        return sum(getattr(feed, "suppressed", 0) for feed in self._passive_feeds)
+
+    def stats(self) -> dict[str, int]:
+        """Drop/suppression accounting alongside the headline counters.
+
+        The previously invisible totals: every passive record ingested,
+        every lagging record dropped on resume, and every repeat a
+        ``dedup_window`` suppressed -- plus the progress counters a
+        monitoring caller wants next to them.
+        """
+        return {
+            "days_run": self.result.days_run,
+            "probes_sent": self.result.probes_sent,
+            "responses": self.live_engine.responses_ingested,
+            "passive_ingested": self.passive_ingested,
+            "passive_dropped": self.passive_dropped,
+            "dedup_suppressed": self.dedup_suppressed,
+        }

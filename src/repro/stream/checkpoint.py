@@ -139,13 +139,25 @@ def restore_engine(
     state: dict,
     origin_of: Callable[[int], int | None] | None = None,
     store: ObservationStore | None = None,
+    telemetry=None,
 ) -> StreamEngine:
     """Rebuild an engine from :func:`engine_state` output.
 
     *origin_of* is not serializable and must be re-supplied; pass
     *store* to adopt an external store (e.g. a campaign result's)
-    instead of rebuilding one from the checkpoint rows.
+    instead of rebuilding one from the checkpoint rows.  *telemetry*
+    (a :class:`repro.obs.Telemetry`) times the restore and re-attaches
+    instrumentation to the rebuilt engine -- telemetry itself is never
+    checkpoint state, so it must be re-supplied per run, like
+    *origin_of*.
     """
+    if telemetry is not None:
+        from repro.obs.instruments import CheckpointInstruments
+
+        with CheckpointInstruments(telemetry).restore_seconds.time():
+            engine = restore_engine(state, origin_of=origin_of, store=store)
+        engine.attach_telemetry(telemetry)
+        return engine
     if state.get("version") != FORMAT_VERSION:
         raise ValueError(f"unsupported checkpoint version: {state.get('version')!r}")
     config = StreamConfig(
@@ -172,12 +184,30 @@ def restore_engine(
     return engine
 
 
-def save_engine(engine: StreamEngine, path: str | Path) -> Path:
-    """Write the engine checkpoint atomically; returns the path."""
+def save_engine(engine: StreamEngine, path: str | Path, telemetry=None) -> Path:
+    """Write the engine checkpoint atomically; returns the path.
+
+    With *telemetry*, serialize latency, total write latency, and the
+    checkpoint size are recorded and a ``checkpoint_written`` event is
+    emitted -- the checkpoint *bytes* stay identical either way.
+    """
     path = Path(path)
     tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(engine_state(engine)))
+    if telemetry is None:
+        tmp.write_text(json.dumps(engine_state(engine)))
+        tmp.replace(path)
+        return path
+    from time import perf_counter
+
+    from repro.obs.instruments import CheckpointInstruments
+
+    obs = CheckpointInstruments(telemetry)
+    t0 = perf_counter()
+    with obs.serialize_seconds.time():
+        payload = json.dumps(engine_state(engine))
+    tmp.write_text(payload)
     tmp.replace(path)
+    obs.written(path, len(payload), engine.current_day, perf_counter() - t0)
     return path
 
 
@@ -185,8 +215,12 @@ def load_engine(
     path: str | Path,
     origin_of: Callable[[int], int | None] | None = None,
     store: ObservationStore | None = None,
+    telemetry=None,
 ) -> StreamEngine:
     """Read a checkpoint written by :func:`save_engine`."""
     return restore_engine(
-        json.loads(Path(path).read_text()), origin_of=origin_of, store=store
+        json.loads(Path(path).read_text()),
+        origin_of=origin_of,
+        store=store,
+        telemetry=telemetry,
     )

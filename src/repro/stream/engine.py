@@ -119,6 +119,7 @@ class StreamEngine:
         store: ObservationStore | None = None,
         *,
         columnar: bool | None = None,
+        telemetry=None,
     ) -> None:
         self.config = config or StreamConfig()
         self._origin_of = origin_of
@@ -152,6 +153,22 @@ class StreamEngine:
         # fused loop, and a missing numpy falls back to it silently.
         # Execution detail only -- never part of checkpoint state.
         self._acc = columnar_kernel.make_accumulator(self.config.num_shards, columnar)
+        # Telemetry bundle (repro.obs), execution state only: None keeps
+        # every hot path at a single attribute check; checkpoints never
+        # see it (the fuzz harness pins the bytes identical either way).
+        self._obs = None
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind a :class:`repro.obs.Telemetry` to this engine (and its
+        store, if it owns one).  Safe to call on restored/merged engines;
+        instruments resolve get-or-create, so re-attaching is idempotent."""
+        from repro.obs.instruments import EngineInstruments
+
+        self._obs = EngineInstruments(telemetry)
+        if self.store is not None:
+            self.store.attach_telemetry(telemetry)
 
     # -- watchlist (live tracker pursuit) ---------------------------------
 
@@ -189,6 +206,8 @@ class StreamEngine:
                 self._close_days_through(day - 1)
                 self.current_day = day
             self._days_seen.add(day)
+            if self._obs is not None:
+                self._obs.day_opened(day)
 
         source = observation.source
         route = self._route_cache.get(source >> 80)
@@ -200,6 +219,8 @@ class StreamEngine:
         if self.store is not None:
             self.store.add(observation)
         self.responses_ingested += 1
+        if self._obs is not None:
+            self._obs.responses.value += 1
 
         if self._watch_iids:
             iid = observation.source_iid
@@ -240,6 +261,7 @@ class StreamEngine:
         watch = self._watch_iids
         watched = self.watched
         store = self.store
+        obs_bundle = self._obs
         keep: list[ProbeObservation] | None = [] if store is not None else None
         days_seen = self._days_seen
         current_day = self.current_day
@@ -262,6 +284,8 @@ class StreamEngine:
                     current_day = day
                     self.current_day = day
                     days_seen.add(day)
+                    if obs_bundle is not None:
+                        obs_bundle.day_opened(day)
                 source = observation.source
                 net48 = source >> 80
                 entry = entries.get(net48)
@@ -333,6 +357,8 @@ class StreamEngine:
                     update_sighting(watched, iid, source, day, observation.t_seconds)
         finally:
             self.responses_ingested += count
+            if obs_bundle is not None:
+                obs_bundle.observe_batch(count)
             for sid, shard_count in counts.items():
                 shards[sid].n_observations += shard_count
             if keep:
@@ -398,6 +424,8 @@ class StreamEngine:
                         self._close_days_through(day - 1)
                     self.current_day = day
                     self._days_seen.add(day)
+                    if self._obs is not None:
+                        self._obs.day_opened(day)
                 self._acc.absorb(*(c[start:stop] for c in columns))
                 if self._watch_iids:
                     src_lo = columns[4][start:stop]
@@ -415,6 +443,8 @@ class StreamEngine:
                     keep.extend(obs[start:stop])
         finally:
             self.responses_ingested += count
+            if self._obs is not None:
+                self._obs.observe_batch(count)
             if keep:
                 store.extend(keep)
         if error is not None:
@@ -473,6 +503,8 @@ class StreamEngine:
                         self._close_days_through(day - 1)
                     self.current_day = day
                     self._days_seen.add(day)
+                    if self._obs is not None:
+                        self._obs.day_opened(day)
                 self._acc.absorb(*(c[start:stop] for c in columns))
                 if self._watch_iids:
                     src_lo = columns[4][start:stop]
@@ -488,6 +520,8 @@ class StreamEngine:
                 count += stop - start
         finally:
             self.responses_ingested += count
+            if self._obs is not None:
+                self._obs.observe_batch(count)
             if count and store is not None:
                 store.extend_columns(
                     valid if count == len(valid) else valid.slice(0, count)
@@ -505,7 +539,12 @@ class StreamEngine:
         """
         acc = self._acc
         if acc is not None and acc.has_pending:
-            acc.materialize(self.shards)
+            obs = self._obs
+            if obs is None:
+                acc.materialize(self.shards)
+            else:
+                with obs.materialize_seconds.time():
+                    acc.materialize(self.shards)
 
     def ingest_responses(
         self, responses: Iterable[ProbeResponse], day: int | None = None
@@ -573,11 +612,17 @@ class StreamEngine:
             changed, net48s, stable = acc.diff_days(previous, closed)
             self._pending_changed.append((changed, net48s))
             self._live_detection.stable_pairs += stable
+            if self._obs is not None:
+                self._obs.day_closed(closed, len(changed[0]), stable)
             return
         detection = diff_pairs(self._pairs_on(previous), self._pairs_on(closed))
         self._live_detection.changed_pairs |= detection.changed_pairs
         self._live_detection.rotating_prefixes |= detection.rotating_prefixes
         self._live_detection.stable_pairs += detection.stable_pairs
+        if self._obs is not None:
+            self._obs.day_closed(
+                closed, len(detection.changed_pairs), detection.stable_pairs
+            )
 
     def _pairs_on(self, day: int) -> set[tuple[int, int]]:
         self.materialize()

@@ -100,9 +100,7 @@ def _feed_key(observation: ProbeObservation) -> tuple[int, float]:
     return (observation.day, observation.t_seconds)
 
 
-def dedup_feed(
-    feed: Iterable[ProbeObservation], window: int
-) -> Iterator[ProbeObservation]:
+class DedupFeed:
     """Drop repeat sightings within a bounded trailing window.
 
     A chatty passive tap replays the same ``(src_addr, day)`` sighting
@@ -116,20 +114,55 @@ def dedup_feed(
     re-admitted, costing only a redundant (idempotent) aggregate
     insert, never correctness.
 
+    Suppressions were historically invisible; they now accumulate in
+    :attr:`suppressed` (readable mid-stream -- a
+    :class:`~repro.stream.campaign.StreamingCampaign` folds every
+    feed's total into its stats and telemetry), and an optional
+    *counter* (any object with an integer ``value``, e.g. a
+    ``repro.obs`` Counter) is bumped per suppression.
+
     Every adapter in this module takes a ``dedup_window`` argument that
     applies this wrapper after its day-order sort.
     """
-    if window <= 0:
-        raise ValueError("dedup_window must be positive")
-    seen: OrderedDict[tuple[int, int, int], None] = OrderedDict()
-    for observation in feed:
-        key = (observation.day, observation.target, observation.source)
-        if key in seen:
-            continue
-        seen[key] = None
-        if len(seen) > window:
-            seen.popitem(last=False)
-        yield observation
+
+    def __init__(
+        self,
+        feed: Iterable[ProbeObservation],
+        window: int,
+        counter=None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("dedup_window must be positive")
+        self._feed = iter(feed)
+        self._window = window
+        self._seen: OrderedDict[tuple[int, int, int], None] = OrderedDict()
+        self.suppressed = 0
+        self._counter = counter
+
+    def __iter__(self) -> Iterator[ProbeObservation]:
+        return self
+
+    def __next__(self) -> ProbeObservation:
+        seen = self._seen
+        for observation in self._feed:
+            key = (observation.day, observation.target, observation.source)
+            if key in seen:
+                self.suppressed += 1
+                if self._counter is not None:
+                    self._counter.value += 1
+                continue
+            seen[key] = None
+            if len(seen) > self._window:
+                seen.popitem(last=False)
+            return observation
+        raise StopIteration
+
+
+def dedup_feed(
+    feed: Iterable[ProbeObservation], window: int, counter=None
+) -> DedupFeed:
+    """Functional spelling of :class:`DedupFeed` (the historical name)."""
+    return DedupFeed(feed, window, counter=counter)
 
 
 def _maybe_dedup(
@@ -137,7 +170,7 @@ def _maybe_dedup(
 ) -> Iterator[ProbeObservation]:
     if dedup_window is None:
         return iter(observations)
-    return dedup_feed(observations, dedup_window)
+    return DedupFeed(observations, dedup_window)
 
 
 def observation_feed(

@@ -267,6 +267,7 @@ class ParallelStreamEngine:
         store: ObservationStore | None = None,
         base: StreamEngine | None = None,
         columnar: bool | None = None,
+        telemetry=None,
     ) -> None:
         self.config = config or StreamConfig()
         if num_workers <= 0:
@@ -328,14 +329,31 @@ class ParallelStreamEngine:
         else:
             self.store = ObservationStore() if self.config.keep_observations else None
 
+        # Telemetry bundle (repro.obs): dispatcher-side only (workers
+        # stay uninstrumented; their cost shows up in wait/merge time).
+        # Execution state, never checkpointed.
+        self._obs = None
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+
         self._start_workers()
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind a :class:`repro.obs.Telemetry` to the dispatcher (and
+        the store it owns).  Idempotent; shares the ``repro_stream_*``
+        vocabulary with :class:`StreamEngine` plus per-worker series."""
+        from repro.obs.instruments import ParallelInstruments
+
+        self._obs = ParallelInstruments(telemetry, self.num_workers)
+        if self.store is not None:
+            self.store.attach_telemetry(telemetry)
 
     # -- worker lifecycle --------------------------------------------------
 
     def _start_workers(self) -> None:
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork" if "fork" in methods else "spawn")
-        for _ in range(self.num_workers):
+        for worker in range(self.num_workers):
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             process = ctx.Process(
                 target=_worker_main,
@@ -351,13 +369,20 @@ class ParallelStreamEngine:
             child_conn.close()
             self._conns.append(parent_conn)
             self._procs.append(process)
+            if self._obs is not None:
+                self._obs.worker_joined(worker, process.pid)
 
     def _check_open(self) -> None:
         if not self._open:
             raise RuntimeError("parallel engine is finalized/closed")
 
     def _recv(self, conn, expect: str):
-        reply = conn.recv()
+        obs = self._obs
+        if obs is None:
+            reply = conn.recv()
+        else:
+            with obs.wait_seconds.time():
+                reply = conn.recv()
         if reply[0] == "error":
             self.close()
             raise RuntimeError(f"stream worker failed: {reply[1]}")
@@ -369,6 +394,9 @@ class ParallelStreamEngine:
     def close(self) -> None:
         """Hard-stop the workers (no merge).  Idempotent."""
         self._open = False
+        if self._obs is not None:
+            for worker in range(len(self._procs)):
+                self._obs.worker_exited(worker)
         for conn in self._conns:
             try:
                 conn.close()
@@ -432,9 +460,13 @@ class ParallelStreamEngine:
         if len(buffer) >= self.batch_rows:
             self._conns[route[0]].send(("rows", buffer))
             self._buffers[route[0]] = []
+            if self._obs is not None:
+                self._obs.dispatched(route[0], len(buffer))
         if self.store is not None:
             self.store.add(observation)
         self.responses_ingested += 1
+        if self._obs is not None:
+            self._obs.responses.value += 1
         if self._watch_iids:
             iid = source & IID_MASK
             if iid in self._watch_iids:
@@ -474,6 +506,7 @@ class ParallelStreamEngine:
         watched = self.watched
         days_seen = self._days_seen
         store = self.store
+        obs_bundle = self._obs
         keep: list[ProbeObservation] | None = [] if store is not None else None
         current_day = self.current_day
         if self._closed_pairs is not None and self._closed_pairs[0] == current_day:
@@ -502,6 +535,8 @@ class ParallelStreamEngine:
                     current_day = day
                     self.current_day = day
                     days_seen.add(day)
+                    if obs_bundle is not None:
+                        obs_bundle.day_opened(day)
                 source = observation.source
                 net48 = source >> 80
                 route = route_cache.get(net48)
@@ -512,6 +547,8 @@ class ParallelStreamEngine:
                 if len(buffer) >= limit:
                     conns[route[0]].send(("rows", buffer))
                     buffers[route[0]] = []
+                    if obs_bundle is not None:
+                        obs_bundle.dispatched(route[0], len(buffer))
                 if keep is not None:
                     keep.append(observation)
                 count += 1
@@ -527,6 +564,8 @@ class ParallelStreamEngine:
             # observation path's behavior on the same stream.
             self.current_day = current_day
             self.responses_ingested += count
+            if obs_bundle is not None:
+                obs_bundle.observe_batch(count)
             if keep:
                 store.extend(keep)
         return count
@@ -596,6 +635,8 @@ class ParallelStreamEngine:
                         self._close_through(day - 1)
                     self.current_day = day
                     self._days_seen.add(day)
+                    if self._obs is not None:
+                        self._obs.day_opened(day)
                 if self._closed_pairs is not None and self._closed_pairs[0] == day:
                     # flush() closed and cached this day; new rows make
                     # the cached pair set stale (see ingest_batch).
@@ -619,6 +660,8 @@ class ParallelStreamEngine:
                             ),
                         )
                     )
+                    if self._obs is not None:
+                        self._obs.dispatched(w, int(mask.sum()))
                 if self._watch_iids:
                     for i in columnar_kernel.watch_hits(
                         src_lo[segment], self._watch_iids
@@ -634,6 +677,8 @@ class ParallelStreamEngine:
                 count += stop - start
         finally:
             self.responses_ingested += count
+            if self._obs is not None:
+                self._obs.observe_batch(count)
             if count and store is not None:
                 store.extend_columns(
                     valid if count == len(valid) else valid.slice(0, count)
@@ -643,10 +688,15 @@ class ParallelStreamEngine:
         return count
 
     def _flush_buffers(self) -> None:
+        obs = self._obs
         for worker, buffer in enumerate(self._buffers):
+            if obs is not None:
+                obs.queue_depth[worker].value = len(buffer)
             if buffer:
                 self._conns[worker].send(("rows", buffer))
                 self._buffers[worker] = []
+                if obs is not None:
+                    obs.dispatched(worker, len(buffer))
 
     def barrier(self) -> None:
         """Block until every worker has applied everything sent so far."""
@@ -696,6 +746,10 @@ class ParallelStreamEngine:
                 self.live_detection.rotating_prefixes |= detection.rotating_prefixes
                 self.live_detection.stable_pairs += detection.stable_pairs
                 self._closed_pairs = (closed, closed_pairs)
+                if self._obs is not None:
+                    self._obs.day_closed(
+                        closed, len(detection.changed_pairs), detection.stable_pairs
+                    )
             self._closed_through = closed
         retain = self.config.retain_days
         if retain is not None and self._closed_through is not None:
@@ -713,6 +767,13 @@ class ParallelStreamEngine:
     # -- merge -------------------------------------------------------------
 
     def _fold(self, worker_states: list[list[ShardState]]) -> StreamEngine:
+        obs = self._obs
+        if obs is None:
+            return self._fold_states(worker_states)
+        with obs.merge_seconds.time():
+            return self._fold_states(worker_states)
+
+    def _fold_states(self, worker_states: list[list[ShardState]]) -> StreamEngine:
         engine = StreamEngine(self.config, origin_of=self._origin_of, store=self.store)
         if self.store is None:
             engine.store = None
@@ -773,6 +834,9 @@ class ParallelStreamEngine:
         states = [self._recv(conn, "state") for conn in self._conns]
         merged = self._fold(states)
         self._open = False
+        if self._obs is not None:
+            for worker in range(len(self._procs)):
+                self._obs.worker_exited(worker)
         for conn in self._conns:
             conn.close()
         for process in self._procs:

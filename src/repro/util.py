@@ -1,12 +1,24 @@
-"""Small shared utilities: deterministic integer mixing and statistics.
+"""Small shared utilities: deterministic mixing, statistics, logging.
 
 Simulation components must be reproducible from explicit seeds, so all
 "random-looking but fixed" quantities (privacy IIDs, per-device jitter,
 online schedules) derive from :func:`mix64` -- a splitmix64-style avalanche
 over the inputs -- rather than from global RNG state.
+
+:func:`get_logger` is the repo's one structured-logging entry point:
+stdlib ``logging``, stderr by default (stdout stays machine-readable
+for piped results), with an optional JSON-lines formatter for log
+shippers.  ``$REPRO_LOG_LEVEL`` and ``$REPRO_LOG_JSON`` configure runs
+without code changes.
 """
 
 from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import IO
 
 _MASK64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15
@@ -57,3 +69,64 @@ def stddev(values: list[float] | list[int]) -> float:
         raise ValueError("stddev of empty list")
     mu = mean(values)
     return (sum((v - mu) ** 2 for v in values) / len(values)) ** 0.5
+
+
+# -- structured logging ------------------------------------------------------
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record -- the same envelope shape as the
+    ``repro.obs`` event log, so shippers parse both with one reader."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry = {
+            "t": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, separators=(",", ":"))
+
+
+def get_logger(
+    name: str = "repro",
+    *,
+    level: "int | str | None" = None,
+    json_output: bool | None = None,
+    stream: "IO[str] | None" = None,
+) -> logging.Logger:
+    """A configured stdlib logger for diagnostics.
+
+    Diagnostics go to stderr (or *stream*) so script stdout stays
+    result-only; format is human one-liners, or JSON lines when
+    *json_output* (or ``$REPRO_LOG_JSON=1``) is set.  Level defaults to
+    ``$REPRO_LOG_LEVEL`` then ``INFO``.  Repeat calls with the same
+    *name* and no overrides reuse the existing configuration; passing
+    any override reconfigures (tests swap streams this way).
+    """
+    logger = logging.getLogger(name)
+    configured = getattr(logger, "_repro_configured", False)
+    overridden = level is not None or json_output is not None or stream is not None
+    if configured and not overridden:
+        return logger
+    if json_output is None:
+        json_output = os.environ.get("REPRO_LOG_JSON", "").lower() in (
+            "1",
+            "true",
+            "yes",
+        )
+    if level is None:
+        level = os.environ.get("REPRO_LOG_LEVEL", "INFO")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        JsonLogFormatter()
+        if json_output
+        else logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+    )
+    logger.handlers[:] = [handler]
+    logger.propagate = False
+    logger.setLevel(level.upper() if isinstance(level, str) else level)
+    logger._repro_configured = True
+    return logger

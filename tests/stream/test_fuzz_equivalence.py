@@ -157,6 +157,11 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed, tmp_path):
             return ObservationStore(SqliteBackend(tmp_path / "fuzz.sqlite"))
         return ObservationStore(make_backend(kind))
 
+    # Telemetry rides on two of the four engines (the untelemetered
+    # reference stays the oracle): instrumentation live on every hot
+    # path must never perturb checkpoint bytes.
+    from repro.obs import Telemetry
+
     reference = StreamEngine(
         config, origin_of=origin_of, store=backend_store("object")
     )
@@ -164,7 +169,11 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed, tmp_path):
         config, origin_of=origin_of, columnar=False, store=backend_store("columnar")
     )
     columnar = StreamEngine(
-        config, origin_of=origin_of, columnar=True, store=backend_store("sqlite")
+        config,
+        origin_of=origin_of,
+        columnar=True,
+        store=backend_store("sqlite"),
+        telemetry=Telemetry(),
     )
     parallel = ParallelStreamEngine(
         config,
@@ -173,6 +182,7 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed, tmp_path):
         batch_rows=batch_rows,
         columnar=worker_kernel,
         store=backend_store(("object", "columnar")[seed % 2]),
+        telemetry=Telemetry(),
     )
     engines = (reference, batched, columnar, parallel)
     for iid in watch:

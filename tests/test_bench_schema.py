@@ -32,7 +32,13 @@ REQUIRED_SECTIONS = {
     "stream_vs_batch",
     "columnar_ingest",
     "store_backends",
+    "telemetry_overhead",
 }
+
+# Enabled-telemetry cost cap on the columnar ingest path: the recorded
+# overhead may go slightly negative (timer noise) but must never exceed
+# this, on any host -- instrumentation is batch-granular by design.
+TELEMETRY_OVERHEAD_CAP_PCT = 5.0
 
 # Throughput figures the regression gate tracks (dotted paths), and how
 # much of a drop versus the baseline is tolerated before CI fails.  The
@@ -87,6 +93,12 @@ def validate_bench(data: dict) -> None:
             elif leaf.endswith("seconds"):
                 assert isinstance(value, numbers.Real) and value >= 0, (
                     f"{path} must be a non-negative duration, got {value!r}"
+                )
+            elif leaf.endswith("_pct"):
+                # Percentages may be negative (e.g. telemetry overhead
+                # measuring inside timer noise) but must stay sane.
+                assert isinstance(value, numbers.Real) and -100 <= value <= 10_000, (
+                    f"{path} must be a bounded percentage, got {value!r}"
                 )
 
 
@@ -166,3 +178,23 @@ def test_throughput_not_regressed_beyond_tolerance():
         pytest.skip("no baseline available (no $BENCH_BASELINE_JSON and no git)")
     failures = check_regressions(current, baseline)
     assert not failures, "throughput regressed:\n" + "\n".join(failures)
+
+
+def test_telemetry_overhead_within_budget():
+    """The committed overhead figure must honour the <=5% contract.
+
+    Unlike the throughput gate this is an absolute cap, not a
+    baseline-relative one: instrumentation cost is a design property
+    (batch-granular updates), so it must hold on every host, not just
+    relative to the last run.
+    """
+    assert BENCH_JSON.exists(), "BENCH_stream.json must be committed at repo root"
+    current = json.loads(BENCH_JSON.read_text())
+    overhead = _dig(current, "telemetry_overhead.enabled_overhead_pct")
+    assert isinstance(overhead, numbers.Real), (
+        "telemetry_overhead.enabled_overhead_pct missing from BENCH_stream.json"
+    )
+    assert overhead <= TELEMETRY_OVERHEAD_CAP_PCT, (
+        f"enabled telemetry costs {overhead:.2f}% on columnar ingest "
+        f"(cap {TELEMETRY_OVERHEAD_CAP_PCT:.0f}%)"
+    )
