@@ -216,6 +216,40 @@ class ObservationStore:
         with obs.snapshot_seconds.time():
             return self.backend.snapshot()
 
+    def snapshot_columns(self, start_row: int = 0) -> "ColumnBatch":
+        """Checkpoint columns from *start_row* on (insertion order).
+
+        The binary checkpoint writer's currency: the same rows
+        :meth:`snapshot_rows` would emit, as one :class:`ColumnBatch` --
+        column-native backends serve it without building row lists, and
+        *start_row* lets delta checkpoints fetch only the appended tail.
+        """
+        self._flush()
+        fast = getattr(self.backend, "snapshot_columns", None)
+        obs = self._obs
+        if obs is None:
+            if fast is not None:
+                return fast(start_row)
+            return self._scan_snapshot_columns(start_row)
+        with obs.snapshot_seconds.time():
+            if fast is not None:
+                return fast(start_row)
+            return self._scan_snapshot_columns(start_row)
+
+    def _scan_snapshot_columns(self, start_row: int) -> "ColumnBatch":
+        """Generic backend fallback: chunked scan, skipping *start_row* rows."""
+        from repro.store.batch import ColumnBatch
+
+        out = ColumnBatch()
+        skip = start_row
+        for chunk in self.backend.scan_columns():
+            if skip >= len(chunk):
+                skip -= len(chunk)
+                continue
+            out.extend(chunk.slice(skip) if skip else chunk)
+            skip = 0
+        return out
+
     def restore_rows(self, rows: list[list]) -> int:
         """Load checkpoint rows (incremental on disk-backed stores)."""
         self._flush()

@@ -242,7 +242,10 @@ class CheckpointInstruments:
         "restore_seconds",
         "write_seconds",
         "checkpoint_bytes",
+        "checkpoint_delta_bytes",
         "checkpoints",
+        "checkpoints_full",
+        "checkpoints_delta",
     )
 
     def __init__(self, telemetry) -> None:
@@ -260,18 +263,50 @@ class CheckpointInstruments:
         self.checkpoint_bytes = registry.gauge(
             "repro_checkpoint_bytes", "Size of the newest checkpoint"
         )
+        self.checkpoint_delta_bytes = registry.gauge(
+            "repro_checkpoint_delta_bytes",
+            "Bytes the newest binary delta segment appended",
+        )
         self.checkpoints = registry.counter(
             "repro_checkpoint_written_total", "Checkpoints written"
         )
+        self.checkpoints_full = registry.counter(
+            "repro_checkpoint_full_total",
+            "Full checkpoints written (JSON or binary base segments)",
+        )
+        self.checkpoints_delta = registry.counter(
+            "repro_checkpoint_delta_total", "Binary delta segments appended"
+        )
 
-    def written(self, path, size: int, day: int | None, seconds: float) -> None:
+    def written(
+        self,
+        path,
+        size: int,
+        day: int | None,
+        seconds: float,
+        kind: str = "full",
+        delta_bytes: int | None = None,
+    ) -> None:
+        """Record one checkpoint write.
+
+        *size* is the checkpoint's full size (file bytes for binary,
+        payload bytes for JSON); *delta_bytes* is the appended segment
+        size when *kind* is ``"delta"``.
+        """
         self.checkpoints.value += 1
         self.checkpoint_bytes.value = size
         self.write_seconds.observe(seconds)
+        if kind == "delta":
+            self.checkpoints_delta.value += 1
+            if delta_bytes is not None:
+                self.checkpoint_delta_bytes.value = delta_bytes
+        else:
+            self.checkpoints_full.value += 1
         self.telemetry.emit(
             "checkpoint_written",
             path=str(path),
             bytes=size,
             day=day,
             seconds=round(seconds, 6),
+            kind=kind,
         )

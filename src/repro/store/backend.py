@@ -385,6 +385,10 @@ class ColumnarBackend:
     def snapshot(self) -> list[list]:
         return self._cols.rows()
 
+    def snapshot_columns(self, start_row: int = 0) -> ColumnBatch:
+        """Checkpoint columns from *start_row* on -- a pure slice."""
+        return self._cols.slice(start_row)
+
     def restore(self, rows: list[list]) -> int:
         reset, held = _restore_plan(self, rows)
         if reset:

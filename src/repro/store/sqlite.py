@@ -270,6 +270,21 @@ class SqliteBackend:
             rows.extend(batch.rows())
         return rows
 
+    def snapshot_columns(self, start_row: int = 0) -> ColumnBatch:
+        """Checkpoint columns from *start_row* on; commits the delta first.
+
+        The commit side effect is part of the snapshot contract (see
+        :meth:`snapshot`): every engine checkpoint -- binary included --
+        also makes the sqlite file durable at O(delta) cost.
+        """
+        self.checkpoint()
+        cur = self._con.execute(
+            f"SELECT {_SELECT_COLS} FROM observations"
+            " ORDER BY seq LIMIT -1 OFFSET ?",
+            (start_row,),
+        )
+        return _decode_batch(cur.fetchall())
+
     def restore(self, rows: list[list]) -> int:
         """Converge the file on the checkpoint rows; appends only the tail.
 

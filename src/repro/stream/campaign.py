@@ -29,8 +29,10 @@ from repro.stream.checkpoint import (
     _restore_store,
     _store_state,
     engine_state,
+    is_binary_checkpoint,
     restore_engine,
 )
+from repro.stream.checkpoint import checkpoint_format as resolve_checkpoint_format
 from repro.stream.engine import StreamConfig, StreamEngine
 from repro.stream.feeds import MixedFeed
 from repro.stream.parallel import ParallelStreamEngine
@@ -76,6 +78,7 @@ class StreamingCampaign:
         passive_feeds: "Iterable[Iterable[ProbeObservation]] | None" = None,
         store: "ObservationStore | None" = None,
         telemetry=None,
+        checkpoint_format: str | None = None,
     ) -> None:
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
@@ -125,6 +128,18 @@ class StreamingCampaign:
             )
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.checkpoint_every = checkpoint_every
+        # "json" (canonical) or "binary" (columnar delta segments, see
+        # repro.stream.ckptbin); resolved here so a bad value fails at
+        # construction, not at the first mid-campaign checkpoint.
+        self.checkpoint_format = resolve_checkpoint_format(checkpoint_format)
+        self._ckpt_saver = None  # lazily built BinaryCheckpointer
+        # Checkpoint accounting surfaced by stats(): how many were
+        # written this session, the file size after the last one, and
+        # the full-vs-delta split (JSON writes count as full).
+        self.checkpoints_written = 0
+        self.checkpoints_full = 0
+        self.checkpoints_delta = 0
+        self.last_checkpoint_bytes = 0
         self._passive_feeds = tuple(passive_feeds) if passive_feeds else ()
         self._feed: "Iterable[ProbeObservation] | None" = (
             iter(MixedFeed(*self._passive_feeds)) if self._passive_feeds else None
@@ -189,6 +204,7 @@ class StreamingCampaign:
         passive_feeds: "Iterable[Iterable[ProbeObservation]] | None" = None,
         store: "ObservationStore | None" = None,
         telemetry=None,
+        checkpoint_format: str | None = None,
     ) -> "StreamingCampaign":
         """Rebuild a streaming campaign from a checkpoint file.
 
@@ -204,8 +220,19 @@ class StreamingCampaign:
         :class:`~repro.store.sqlite.SqliteBackend` file from the
         interrupted run: rows the file already holds are verified and
         skipped, so the disk-backed resume replays nothing.
+
+        The checkpoint's format is sniffed from its magic bytes, so a
+        run may switch formats across resumes.  *checkpoint_format*
+        governs the checkpoints the resumed run will *write*; a resumed
+        binary run rebases with a fresh full segment on its first
+        checkpoint.
         """
-        state = json.loads(Path(checkpoint_path).read_text())
+        if is_binary_checkpoint(checkpoint_path):
+            from repro.stream.ckptbin import read_state
+
+            state = read_state(checkpoint_path)
+        else:
+            state = json.loads(Path(checkpoint_path).read_text())
         if state.get("version") != FORMAT_VERSION:
             raise ValueError(
                 f"unsupported checkpoint version: {state.get('version')!r}"
@@ -223,6 +250,7 @@ class StreamingCampaign:
             batch_rows=batch_rows,
             passive_feeds=passive_feeds,
             telemetry=telemetry,
+            checkpoint_format=checkpoint_format,
         )
         if store is not None:
             # Release the default store the constructor built (under a
@@ -253,25 +281,75 @@ class StreamingCampaign:
         }
 
     def _write_checkpoint(self) -> None:
-        obs = self._obs
-        tmp = self.checkpoint_path.with_suffix(self.checkpoint_path.suffix + ".tmp")
-        if obs is None:
-            tmp.write_text(json.dumps(self._checkpoint_state()))
-            tmp.replace(self.checkpoint_path)
+        if self.checkpoint_format == "binary":
+            self._write_checkpoint_binary()
             return
-        # Telemetry changes nothing about the payload -- only measures
-        # it (the checkpoint tests pin observed == unobserved bytes).
-        t0 = time.perf_counter()
-        with obs.serialize_seconds.time():
-            payload = json.dumps(self._checkpoint_state())
-        tmp.write_text(payload)
-        tmp.replace(self.checkpoint_path)
-        obs.written(
-            self.checkpoint_path,
-            len(payload),
-            self.live_engine.current_day,
-            time.perf_counter() - t0,
+        obs = self._obs
+        path = self.checkpoint_path
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            if obs is None:
+                payload = json.dumps(self._checkpoint_state())
+                tmp.write_text(payload)
+                tmp.replace(path)
+            else:
+                # Telemetry changes nothing about the payload -- only
+                # measures it (the checkpoint tests pin observed ==
+                # unobserved bytes).
+                t0 = time.perf_counter()
+                with obs.serialize_seconds.time():
+                    payload = json.dumps(self._checkpoint_state())
+                tmp.write_text(payload)
+                tmp.replace(path)
+                obs.written(
+                    path,
+                    len(payload),
+                    self.live_engine.current_day,
+                    time.perf_counter() - t0,
+                )
+        finally:
+            # A serialization or write failure must not leave a stale
+            # .tmp next to the checkpoint.
+            tmp.unlink(missing_ok=True)
+        self.checkpoints_written += 1
+        self.checkpoints_full += 1
+        self.last_checkpoint_bytes = len(payload)
+
+    def _write_checkpoint_binary(self) -> None:
+        """One binary segment: full on the first write, delta after.
+
+        Parallel mode passes the dispatcher's dirty-worker shard set
+        explicitly -- ``self.engine`` is a fresh merged snapshot at
+        every checkpoint, so the saver's own engine-identity dirty
+        tracking would (correctly but wastefully) rebase every time.
+        The order is safe because ``_refresh_engine`` runs first and
+        flushes the dispatch buffers, marking their workers dirty.
+        """
+        from repro.stream.ckptbin import BinaryCheckpointer
+
+        saver = self._ckpt_saver
+        if saver is None:
+            saver = self._ckpt_saver = BinaryCheckpointer(self.checkpoint_path)
+        dirty = None
+        if self._parallel is not None:
+            dirty = self._parallel.take_dirty_sids()
+        result = saver.save(
+            self.engine,
+            store=self.result.store,
+            progress={
+                "probes_sent": self.result.probes_sent,
+                "days_run": self.result.days_run,
+                "targets_per_day": self.result.targets_per_day,
+            },
+            dirty_sids=dirty,
+            instruments=self._obs,
         )
+        self.checkpoints_written += 1
+        if result.kind == "delta":
+            self.checkpoints_delta += 1
+        else:
+            self.checkpoints_full += 1
+        self.last_checkpoint_bytes = result.file_bytes
 
     def _refresh_engine(self) -> None:
         """In parallel mode, re-materialize ``self.engine`` as the
@@ -425,4 +503,8 @@ class StreamingCampaign:
             "passive_ingested": self.passive_ingested,
             "passive_dropped": self.passive_dropped,
             "dedup_suppressed": self.dedup_suppressed,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoints_full": self.checkpoints_full,
+            "checkpoints_delta": self.checkpoints_delta,
+            "last_checkpoint_bytes": self.last_checkpoint_bytes,
         }

@@ -3,8 +3,26 @@
 Long campaigns (the paper's ran 44 days) must survive interruption.  A
 checkpoint captures the *attacker-side* state only -- engine aggregates,
 rotation windows, watchlist, and optionally the observation corpus --
-as deterministic JSON (sets are emitted sorted), so a resumed run is
-bit-identical to an uninterrupted one given the same probe stream.
+so a resumed run is bit-identical to an uninterrupted one given the
+same probe stream.
+
+Two on-disk formats serialize the *same* state:
+
+* ``"json"`` (canonical, the default): deterministic JSON, sets emitted
+  sorted -- diff-able, stable, and the byte-identity oracle every other
+  path is tested against.
+* ``"binary"`` (:mod:`repro.stream.ckptbin`): length-prefixed flat
+  little-endian 64-bit column blocks, written straight from the
+  columnar accumulator's arrays and the store's column buffers, with
+  incremental *delta* segments re-emitting only the shards dirtied
+  since the previous save -- the format for checkpoints on the hot
+  path.  Repeated :func:`save_engine` calls on one path chain deltas
+  automatically.
+
+Pick the format per call (``format=``), per process
+(``REPRO_CHECKPOINT_FORMAT``), or not at all: :func:`load_engine` and
+campaign resume sniff the file's magic bytes, so either format loads
+regardless of configuration.
 
 The simulated Internet itself is deliberately not checkpointed: a real
 adversary cannot snapshot the Internet either.  Rebuilding it from the
@@ -16,6 +34,7 @@ simulated time and resets across large gaps (see ``TokenBucket``).
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Callable
 
@@ -24,9 +43,32 @@ from repro.core.rotation_detect import RotationDetection
 from repro.net.addr import Prefix
 from repro.stream.engine import Sighting, StreamConfig, StreamEngine
 from repro.stream.shard import ShardKey
-from repro.stream.state import ShardState
+from repro.stream.state import ShardState, alloc_span_rows, pool_span_rows
 
 FORMAT_VERSION = 1
+
+#: Process-wide checkpoint format override ("json" or "binary"); the
+#: ``format=`` argument wins when given.  Reads always sniff the file.
+FORMAT_ENV = "REPRO_CHECKPOINT_FORMAT"
+
+
+def checkpoint_format(explicit: str | None = None) -> str:
+    """Resolve the checkpoint format: argument, environment, default."""
+    fmt = explicit or os.environ.get(FORMAT_ENV) or "json"
+    if fmt not in ("json", "binary"):
+        raise ValueError(f"unknown checkpoint format: {fmt!r}")
+    return fmt
+
+
+def is_binary_checkpoint(path: str | Path) -> bool:
+    """True when *path* starts with the binary segment magic."""
+    from repro.stream.ckptbin import MAGIC
+
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
 
 
 def _detection_state(detection: RotationDetection) -> dict:
@@ -54,16 +96,8 @@ def _shard_state(shard: ShardState) -> dict:
         "sources": sorted(shard.sources),
         "eui_sources": sorted(shard.eui_sources),
         "eui_iids": sorted(shard.eui_iids),
-        "alloc": sorted(
-            [asn, iid, day, span[0], span[1]]
-            for asn, spans in shard.alloc_spans.items()
-            for (iid, day), span in spans.items()
-        ),
-        "pool": sorted(
-            [asn, iid, span[0], span[1]]
-            for asn, spans in shard.pool_spans.items()
-            for iid, span in spans.items()
-        ),
+        "alloc": sorted(list(row) for row in alloc_span_rows(shard)),
+        "pool": sorted(list(row) for row in pool_span_rows(shard)),
         "pairs": sorted(
             [day, sorted(list(p) for p in pairs)]
             for day, pairs in shard.pairs_by_day.items()
@@ -184,31 +218,59 @@ def restore_engine(
     return engine
 
 
-def save_engine(engine: StreamEngine, path: str | Path, telemetry=None) -> Path:
+def save_engine(
+    engine: StreamEngine,
+    path: str | Path,
+    telemetry=None,
+    format: str | None = None,
+) -> Path:
     """Write the engine checkpoint atomically; returns the path.
+
+    *format* is ``"json"`` (canonical), ``"binary"`` (columnar
+    segments; repeated saves of the same engine to the same path chain
+    incremental delta segments -- see :mod:`repro.stream.ckptbin`), or
+    ``None`` for ``$REPRO_CHECKPOINT_FORMAT``-then-``"json"``.
 
     With *telemetry*, serialize latency, total write latency, and the
     checkpoint size are recorded and a ``checkpoint_written`` event is
     emitted -- the checkpoint *bytes* stay identical either way.
     """
     path = Path(path)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    if telemetry is None:
-        tmp.write_text(json.dumps(engine_state(engine)))
-        tmp.replace(path)
+    if checkpoint_format(format) == "binary":
+        from repro.stream.ckptbin import BinaryCheckpointer
+
+        saver = engine._ckpt_savers.get(path)
+        if saver is None:
+            saver = engine._ckpt_savers[path] = BinaryCheckpointer(path)
+        instruments = None
+        if telemetry is not None:
+            from repro.obs.instruments import CheckpointInstruments
+
+            instruments = CheckpointInstruments(telemetry)
+        saver.save(engine, instruments=instruments)
         return path
-    from time import perf_counter
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        if telemetry is None:
+            tmp.write_text(json.dumps(engine_state(engine)))
+            tmp.replace(path)
+            return path
+        from time import perf_counter
 
-    from repro.obs.instruments import CheckpointInstruments
+        from repro.obs.instruments import CheckpointInstruments
 
-    obs = CheckpointInstruments(telemetry)
-    t0 = perf_counter()
-    with obs.serialize_seconds.time():
-        payload = json.dumps(engine_state(engine))
-    tmp.write_text(payload)
-    tmp.replace(path)
-    obs.written(path, len(payload), engine.current_day, perf_counter() - t0)
-    return path
+        obs = CheckpointInstruments(telemetry)
+        t0 = perf_counter()
+        with obs.serialize_seconds.time():
+            payload = json.dumps(engine_state(engine))
+        tmp.write_text(payload)
+        tmp.replace(path)
+        obs.written(path, len(payload), engine.current_day, perf_counter() - t0)
+        return path
+    finally:
+        # A serialization or write failure must not leave a stale .tmp
+        # next to the checkpoint (the replace consumed it on success).
+        tmp.unlink(missing_ok=True)
 
 
 def load_engine(
@@ -217,9 +279,19 @@ def load_engine(
     store: ObservationStore | None = None,
     telemetry=None,
 ) -> StreamEngine:
-    """Read a checkpoint written by :func:`save_engine`."""
+    """Read a checkpoint written by :func:`save_engine` (either format).
+
+    The format is sniffed from the file's magic bytes, so a process
+    configured for one format transparently resumes from the other.
+    """
+    if is_binary_checkpoint(path):
+        from repro.stream.ckptbin import read_state
+
+        state = read_state(path)
+    else:
+        state = json.loads(Path(path).read_text())
     return restore_engine(
-        json.loads(Path(path).read_text()),
+        state,
         origin_of=origin_of,
         store=store,
         telemetry=telemetry,

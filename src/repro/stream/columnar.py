@@ -515,6 +515,10 @@ class ColumnarAccumulator:
         self._pair_chunks: dict[int, list[tuple]] = {}
         self._merged_pairs: dict[int, list] = {}
         self._appeared: dict[int, object] = {}
+        # Shards that received rows since a checkpoint saver last drained
+        # this set (binary delta dirty-tracking; never cleared by
+        # materialize -- folding buffers does not make a shard clean).
+        self.dirty_sids: set[int] = set()
 
     def absorb(self, sid, day, asn, src_hi, src_lo, tgt_hi, tgt_lo) -> None:
         """Buffer one chunk of column arrays (all int64/uint64, same length).
@@ -525,7 +529,9 @@ class ColumnarAccumulator:
         n = len(sid)
         if n == 0:
             return
-        self._counts += np.bincount(sid, minlength=self.num_shards)
+        counts = np.bincount(sid, minlength=self.num_shards)
+        self._counts += counts
+        self.dirty_sids.update(np.nonzero(counts)[0].tolist())
         self._rows.append((sid, src_hi, src_lo))
         eui = eui64_mask(src_lo)
         if eui.any():
@@ -609,6 +615,29 @@ class ColumnarAccumulator:
         return set(
             zip(_combine64(cols[0], cols[1]), _combine64(cols[2], cols[3]))
         )
+
+    def pair_days(self) -> list[int]:
+        """Days with buffered pair columns, ascending (checkpoint walk)."""
+        return sorted(self._pair_chunks)
+
+    def shard_pair_columns(self, day: int) -> dict:
+        """*day*'s buffered pairs grouped by shard, as uint64 columns.
+
+        Returns ``{sid: (tgt_hi, tgt_lo, src_hi, src_lo)}`` -- sorted,
+        deduplicated, straight from the buffered chunks.  The binary
+        checkpoint writer emits these arrays directly, so pending pairs
+        serialize without ever becoming Python tuples.
+        """
+        chunks = self._pair_chunks.get(day)
+        if not chunks:
+            return {}
+        cols = [np.concatenate([c[i] for c in chunks]) for i in range(5)]
+        sid_u, thi_u, tlo_u, shi_u, slo_u = _unique_rows(cols)
+        starts, stops = _group_slices(sid_u)
+        return {
+            int(sid_u[a]): (thi_u[a:b], tlo_u[a:b], shi_u[a:b], slo_u[a:b])
+            for a, b in zip(starts.tolist(), stops.tolist())
+        }
 
     def drop_pair_days(self, threshold: int) -> None:
         """Forget buffered pair columns for days older than *threshold*.

@@ -153,6 +153,19 @@ class StreamEngine:
         # fused loop, and a missing numpy falls back to it silently.
         # Execution detail only -- never part of checkpoint state.
         self._acc = columnar_kernel.make_accumulator(self.config.num_shards, columnar)
+        # Dirty-tracking for incremental (delta) checkpoints: a shard's
+        # epoch is bumped to the current engine epoch on every mutation;
+        # a binary saver remembers the epoch it saved at and re-emits
+        # only shards whose epoch moved past it.  Execution state only,
+        # never serialized.
+        self._epoch = 1
+        self._shard_epochs = [1] * self.config.num_shards
+        # Highest prune_pair_days threshold applied so far (delta
+        # restores replay it on shards the delta did not re-emit).
+        self._prune_floor: int | None = None
+        # Per-path binary checkpointers kept by save_engine so repeated
+        # saves to one path chain deltas (see repro.stream.ckptbin).
+        self._ckpt_savers: dict = {}
         # Telemetry bundle (repro.obs), execution state only: None keeps
         # every hot path at a single attribute check; checkpoints never
         # see it (the fuzz harness pins the bytes identical either way).
@@ -216,6 +229,7 @@ class StreamEngine:
             route = (self.router.shard_of(source), asn)
             self._route_cache[source >> 80] = route
         self.shards[route[0]].observe(observation, route[1])
+        self._shard_epochs[route[0]] = self._epoch
         if self.store is not None:
             self.store.add(observation)
         self.responses_ingested += 1
@@ -359,8 +373,10 @@ class StreamEngine:
             self.responses_ingested += count
             if obs_bundle is not None:
                 obs_bundle.observe_batch(count)
+            epoch = self._epoch
             for sid, shard_count in counts.items():
                 shards[sid].n_observations += shard_count
+                self._shard_epochs[sid] = epoch
             if keep:
                 store.extend(keep)
         return count
@@ -679,6 +695,8 @@ class StreamEngine:
         if self._acc is not None:
             self._acc.drop_pair_days(threshold)
         prune_shard_days(self.shards, threshold)
+        if self._prune_floor is None or threshold > self._prune_floor:
+            self._prune_floor = threshold
 
     def rotation_between(self, day_a: int, day_b: int) -> RotationDetection:
         """On-demand diff of two retained days (batch-identical).

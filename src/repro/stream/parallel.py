@@ -293,6 +293,11 @@ class ParallelStreamEngine:
         self._procs: list = []
         self._merged: StreamEngine | None = None
         self._open = True
+        # Workers that received rows since a binary checkpoint saver
+        # last drained the set (take_dirty_sids).  Marked only at the
+        # send sites -- a snapshot flushes the buffers first, so every
+        # mutation is visible as a send by checkpoint time.
+        self._dirty_workers: set[int] = set()
 
         # Stream-order state the dispatcher owns (never sharded).
         if base is not None:
@@ -460,6 +465,7 @@ class ParallelStreamEngine:
         if len(buffer) >= self.batch_rows:
             self._conns[route[0]].send(("rows", buffer))
             self._buffers[route[0]] = []
+            self._dirty_workers.add(route[0])
             if self._obs is not None:
                 self._obs.dispatched(route[0], len(buffer))
         if self.store is not None:
@@ -547,6 +553,7 @@ class ParallelStreamEngine:
                 if len(buffer) >= limit:
                     conns[route[0]].send(("rows", buffer))
                     buffers[route[0]] = []
+                    self._dirty_workers.add(route[0])
                     if obs_bundle is not None:
                         obs_bundle.dispatched(route[0], len(buffer))
                 if keep is not None:
@@ -660,6 +667,7 @@ class ParallelStreamEngine:
                             ),
                         )
                     )
+                    self._dirty_workers.add(w)
                     if self._obs is not None:
                         self._obs.dispatched(w, int(mask.sum()))
                 if self._watch_iids:
@@ -695,8 +703,27 @@ class ParallelStreamEngine:
             if buffer:
                 self._conns[worker].send(("rows", buffer))
                 self._buffers[worker] = []
+                self._dirty_workers.add(worker)
                 if obs is not None:
                     obs.dispatched(worker, len(buffer))
+
+    def take_dirty_sids(self) -> set[int]:
+        """Shard ids possibly mutated since the last call; clears the set.
+
+        Worker placement is ``shard_index(key) % num_workers`` over the
+        same key the worker's shard placement uses, so worker *w* owns
+        exactly the shards with ``sid % num_workers == w`` -- a dirty
+        worker over-approximates to all its shards, which is safe for
+        delta checkpoints (extra shards re-emit, never go missing).
+        """
+        dirty = self._dirty_workers
+        self._dirty_workers = set()
+        workers = self.num_workers
+        return {
+            sid
+            for sid in range(self.config.num_shards)
+            if sid % workers in dirty
+        }
 
     def barrier(self) -> None:
         """Block until every worker has applied everything sent so far."""

@@ -95,6 +95,24 @@ def prune_shard_days(shards: "list[ShardState]", threshold: int) -> None:
             del pairs_by_day[day]
 
 
+def alloc_span_rows(shard: "ShardState"):
+    """Yield ``(asn, iid, day, lo, hi)`` rows of a shard's alloc spans.
+
+    The flat-row view both checkpoint serializers share: JSON sorts the
+    rows, the binary writer packs them into int64/uint64 columns.
+    """
+    for asn, spans in shard.alloc_spans.items():
+        for (iid, day), span in spans.items():
+            yield asn, iid, day, span[0], span[1]
+
+
+def pool_span_rows(shard: "ShardState"):
+    """Yield ``(asn, iid, lo, hi)`` rows of a shard's pool spans."""
+    for asn, spans in shard.pool_spans.items():
+        for iid, span in spans.items():
+            yield asn, iid, span[0], span[1]
+
+
 def merge_shard_state(into: "ShardState", part: "ShardState") -> None:
     """Fold a partial shard state into *into* (*part* is left untouched).
 

@@ -1,0 +1,36 @@
+"""Format-agnostic checkpoint comparison for stream tests.
+
+JSON checkpoints are the byte-identity oracle: two equivalent ones are
+literally the same text, so they compare raw.  Binary chains embed a
+random segment id (and may split the same state across delta segments),
+so equivalent binary checkpoints are never byte-identical; they compare
+by the canonical JSON their decoded state re-serializes to after a
+restore round-trip (which re-sorts the sets the binary blocks carry
+unordered).
+"""
+
+import json
+from pathlib import Path
+
+from repro.stream.checkpoint import engine_state, is_binary_checkpoint, restore_engine
+
+
+def checkpoint_fingerprint(path: str | Path) -> str:
+    """Canonical content of a checkpoint file, comparable across runs."""
+    path = Path(path)
+    if not is_binary_checkpoint(path):
+        return path.read_text()
+    from repro.stream.ckptbin import read_state
+
+    state = read_state(path)
+    if "progress" in state:  # campaign-shaped checkpoint
+        return json.dumps(
+            {
+                "version": state["version"],
+                "progress": state["progress"],
+                "engine": engine_state(restore_engine(state["engine"])),
+                "store": state["store"],
+            },
+            sort_keys=True,
+        )
+    return json.dumps(engine_state(restore_engine(state)), sort_keys=True)

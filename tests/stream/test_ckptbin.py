@@ -1,0 +1,371 @@
+"""Binary checkpoint format tests: framing, chains, dispatch, campaigns.
+
+The contract under test: a binary chain restores to *exactly* the state
+the canonical JSON checkpoint carries (the fuzz harness pins the bytes;
+here we pin the failure modes) -- and a file that cannot be fully
+trusted raises :class:`CheckpointError` instead of silently restoring
+partial state.
+"""
+
+import json
+
+import pytest
+
+from _ckpt import checkpoint_fingerprint
+from _worlds import build_campaign
+
+from repro.core.records import ProbeObservation
+from repro.stream.campaign import StreamingCampaign
+from repro.stream.checkpoint import (
+    checkpoint_format,
+    engine_state,
+    is_binary_checkpoint,
+    load_engine,
+    restore_engine,
+    save_engine,
+)
+from repro.stream.ckptbin import (
+    BinaryCheckpointer,
+    CheckpointError,
+    _read_segments,
+    _write_segment,
+    read_state,
+)
+from repro.stream.engine import StreamConfig, StreamEngine
+
+
+def origin_of(address: int) -> int:
+    return 64512 + ((address >> 80) % 5)
+
+
+def small_engine(num_shards: int = 4, days=(2, 3, 4)) -> StreamEngine:
+    engine = StreamEngine(StreamConfig(num_shards=num_shards), origin_of=origin_of)
+    for day in days:
+        engine.ingest_batch(
+            ProbeObservation(
+                day=day,
+                t_seconds=day * 86_400.0 + i,
+                target=(0x20010DB8 << 96) | (i << 80) | (day << 16) | i,
+                source=(0x20010DB8 << 96) | (i << 80) | (day << 16) | i | 0x100,
+            )
+            for i in range(16)
+        )
+    return engine
+
+
+def touch_one_observation(engine: StreamEngine, day: int = 5) -> None:
+    engine.ingest(
+        ProbeObservation(
+            day=day,
+            t_seconds=day * 86_400.0,
+            target=(0x20010DB8 << 96) | (day << 16),
+            source=(0x20010DB8 << 96) | (day << 16) | 0x100,
+        )
+    )
+
+
+def rewrite_segments(path, segments) -> None:
+    """Re-frame *segments* (with fresh CRCs) over the file at *path*."""
+    with open(path, "wb") as fh:
+        for header, payload in segments:
+            _write_segment(
+                fh, json.dumps(header, separators=(",", ":")).encode(), [payload]
+            )
+
+
+def state_dump(engine: StreamEngine) -> str:
+    return json.dumps(engine_state(engine))
+
+
+class TestFormatDispatch:
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown checkpoint format"):
+            checkpoint_format("xml")
+        with pytest.raises(ValueError, match="unknown checkpoint format"):
+            save_engine(small_engine(), tmp_path / "c", format="xml")
+
+    def test_env_var_selects_format(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_FORMAT", "binary")
+        engine = small_engine()
+        save_engine(engine, tmp_path / "env")
+        assert is_binary_checkpoint(tmp_path / "env")
+        # The explicit argument wins over the environment.
+        save_engine(engine, tmp_path / "arg", format="json")
+        assert not is_binary_checkpoint(tmp_path / "arg")
+        monkeypatch.setenv("REPRO_CHECKPOINT_FORMAT", "carrier-pigeon")
+        with pytest.raises(ValueError, match="unknown checkpoint format"):
+            save_engine(engine, tmp_path / "bad")
+
+    def test_load_sniffs_regardless_of_configuration(self, tmp_path, monkeypatch):
+        engine = small_engine()
+        oracle = state_dump(engine)
+        save_engine(engine, tmp_path / "c.bin", format="binary")
+        save_engine(engine, tmp_path / "c.json", format="json")
+        # A process configured for either format resumes from both.
+        for fmt in ("json", "binary"):
+            monkeypatch.setenv("REPRO_CHECKPOINT_FORMAT", fmt)
+            for name in ("c.bin", "c.json"):
+                restored = load_engine(tmp_path / name, origin_of=origin_of)
+                assert state_dump(restored) == oracle
+
+    def test_is_binary_checkpoint_on_missing_file(self, tmp_path):
+        assert not is_binary_checkpoint(tmp_path / "nope")
+
+    def test_tmp_never_collides_with_odd_checkpoint_names(self, tmp_path):
+        # A suffix-less path must stage at "<name>.tmp", not hijack the
+        # suffix (or degenerate to a bare ".tmp"); dotted names keep
+        # every dot.
+        for name, fmt in (("checkpoint", "json"), ("run.v1.2", "binary")):
+            save_engine(small_engine(), tmp_path / name, format=fmt)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["checkpoint", "run.v1.2"]
+
+
+class TestSegmentValidation:
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        engine = small_engine()
+        path = tmp_path / "ckpt.bin"
+        save_engine(engine, path, format="binary")
+        return engine, path
+
+    def test_roundtrip_matches_json_state(self, saved):
+        engine, path = saved
+        assert state_dump(load_engine(path, origin_of=origin_of)) == state_dump(engine)
+
+    def test_unsupported_format_version_raises(self, saved):
+        _, path = saved
+        segments = _read_segments(path)
+        segments[0][0]["format"] = 99
+        rewrite_segments(path, segments)
+        with pytest.raises(CheckpointError, match="unsupported binary checkpoint"):
+            read_state(path)
+
+    def test_bad_magic_raises(self, saved):
+        _, path = saved
+        data = bytearray(path.read_bytes())
+        data[:4] = b"XXXX"
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="bad segment magic"):
+            read_state(path)
+
+    def test_truncated_file_raises_not_partial_restore(self, saved):
+        _, path = saved
+        data = path.read_bytes()
+        for cut in (len(data) - 3, len(data) // 2, 6):
+            path.write_bytes(data[:cut])
+            with pytest.raises(CheckpointError):
+                read_state(path)
+
+    def test_corrupted_payload_raises_crc_mismatch(self, saved):
+        _, path = saved
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0xFF  # last payload byte; the final 4 bytes are the CRC
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="CRC mismatch"):
+            read_state(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointError, match="empty binary checkpoint"):
+            read_state(path)
+
+
+class TestDeltaChains:
+    def test_save_engine_chains_deltas_on_one_path(self, tmp_path):
+        engine = small_engine()
+        path = tmp_path / "ckpt.bin"
+        save_engine(engine, path, format="binary")
+        touch_one_observation(engine)
+        save_engine(engine, path, format="binary")
+        kinds = [header["kind"] for header, _ in _read_segments(path)]
+        assert kinds == ["full", "delta"]
+        assert state_dump(load_engine(path, origin_of=origin_of)) == state_dump(engine)
+
+    def test_delta_reemits_only_dirty_shards(self, tmp_path):
+        engine = small_engine(num_shards=8)
+        saver = BinaryCheckpointer(tmp_path / "ckpt.bin")
+        first = saver.save(engine)
+        assert (first.kind, first.dirty_shards) == ("full", 8)
+        touch_one_observation(engine)
+        second = saver.save(engine)
+        assert (second.kind, second.dirty_shards) == ("delta", 1)
+        assert second.segment_bytes < first.segment_bytes
+        restored = restore_engine(read_state(saver.path), origin_of=origin_of)
+        assert state_dump(restored) == state_dump(engine)
+
+    def test_chain_missing_base_raises(self, tmp_path):
+        engine = small_engine()
+        saver = BinaryCheckpointer(tmp_path / "ckpt.bin")
+        saver.save(engine)
+        touch_one_observation(engine, day=5)
+        saver.save(engine)
+        segments = _read_segments(saver.path)
+        assert [h["kind"] for h, _ in segments] == ["full", "delta"]
+        rewrite_segments(saver.path, segments[1:])  # orphan the delta
+        with pytest.raises(CheckpointError, match="does not start with a full"):
+            read_state(saver.path)
+
+    def test_chain_gap_raises(self, tmp_path):
+        engine = small_engine()
+        saver = BinaryCheckpointer(tmp_path / "ckpt.bin")
+        saver.save(engine)
+        for day in (5, 6):
+            touch_one_observation(engine, day=day)
+            saver.save(engine)
+        segments = _read_segments(saver.path)
+        assert len(segments) == 3
+        rewrite_segments(saver.path, [segments[0], segments[2]])  # drop seq 1
+        with pytest.raises(CheckpointError, match="broken segment chain"):
+            read_state(saver.path)
+
+    def test_mode_delta_without_base_raises(self, tmp_path):
+        saver = BinaryCheckpointer(tmp_path / "ckpt.bin")
+        with pytest.raises(CheckpointError, match="cannot append a delta"):
+            saver.save(small_engine(), mode="delta")
+
+    def test_unknown_mode_raises(self, tmp_path):
+        saver = BinaryCheckpointer(tmp_path / "ckpt.bin")
+        with pytest.raises(ValueError, match="unknown checkpoint mode"):
+            saver.save(small_engine(), mode="incremental")
+
+    def test_max_chain_forces_rebase(self, tmp_path):
+        engine = small_engine()
+        saver = BinaryCheckpointer(tmp_path / "ckpt.bin", max_chain=3)
+        kinds = [saver.save(engine).kind]
+        for day in (5, 6, 7, 8):
+            touch_one_observation(engine, day=day)
+            kinds.append(saver.save(engine).kind)
+        assert kinds == ["full", "delta", "delta", "full", "delta"]
+        assert [h["kind"] for h, _ in _read_segments(saver.path)] == ["full", "delta"]
+        restored = restore_engine(read_state(saver.path), origin_of=origin_of)
+        assert state_dump(restored) == state_dump(engine)
+
+    def test_failed_delta_append_rolls_back(self, tmp_path, monkeypatch):
+        import repro.stream.ckptbin as ckptbin
+
+        engine = small_engine()
+        saver = BinaryCheckpointer(tmp_path / "ckpt.bin")
+        saver.save(engine)
+        good = saver.path.read_bytes()
+        touch_one_observation(engine)
+
+        real_write = ckptbin._write_segment
+
+        def torn_write(fh, header_bytes, blobs):
+            real_write(fh, header_bytes, blobs[:1])
+            raise OSError("disk full")
+
+        monkeypatch.setattr(ckptbin, "_write_segment", torn_write)
+        with pytest.raises(OSError):
+            saver.save(engine)
+        # The torn append was truncated away: the last good chain loads.
+        assert saver.path.read_bytes() == good
+        read_state(saver.path)
+
+    def test_failed_full_rewrite_leaves_no_tmp(self, tmp_path, monkeypatch):
+        import repro.stream.ckptbin as ckptbin
+
+        engine = small_engine()
+        saver = BinaryCheckpointer(tmp_path / "ckpt.bin")
+        saver.save(engine)
+        good = saver.path.read_bytes()
+
+        def torn_write(fh, header_bytes, blobs):
+            fh.write(b"partial")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(ckptbin, "_write_segment", torn_write)
+        with pytest.raises(OSError):
+            saver.save(engine, mode="full")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.bin"]
+        assert saver.path.read_bytes() == good
+
+    def test_failed_json_save_leaves_no_tmp(self, tmp_path):
+        engine = small_engine()
+        path = tmp_path / "ckpt.json"
+        save_engine(engine, path)
+        good = path.read_bytes()
+        engine._days_seen.add("not-a-day")  # poisons engine_state's sort
+        with pytest.raises(TypeError):
+            save_engine(engine, path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.json"]
+        assert path.read_bytes() == good
+
+
+class TestCampaignBinaryCheckpoints:
+    def test_per_day_checkpoints_chain_and_count(self, tmp_path):
+        path = tmp_path / "campaign.ckpt"
+        campaign = StreamingCampaign(
+            build_campaign(),
+            checkpoint_path=path,
+            checkpoint_every=1,
+            checkpoint_format="binary",
+        )
+        campaign.run()
+        kinds = [header["kind"] for header, _ in _read_segments(path)]
+        assert kinds[0] == "full"
+        assert kinds.count("delta") == len(kinds) - 1 >= 1
+        stats = campaign.stats()
+        assert stats["checkpoints_written"] == len(kinds)
+        assert stats["checkpoints_full"] == 1
+        assert stats["checkpoints_delta"] == len(kinds) - 1
+        assert stats["last_checkpoint_bytes"] == path.stat().st_size
+
+    def test_json_campaign_counts_fulls_only(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        campaign = StreamingCampaign(
+            build_campaign(),
+            checkpoint_path=path,
+            checkpoint_every=1,
+            checkpoint_format="json",
+        )
+        campaign.run()
+        stats = campaign.stats()
+        assert stats["checkpoints_written"] == stats["checkpoints_full"] > 1
+        assert stats["checkpoints_delta"] == 0
+        assert stats["last_checkpoint_bytes"] == path.stat().st_size
+
+    def test_delta_chain_resume_matches_uninterrupted_run(self, tmp_path):
+        """The acceptance path: a campaign checkpointing per day over a
+        delta chain, interrupted and resumed, must land on the same
+        state as an uninterrupted run -- in either format."""
+        json_path = tmp_path / "ref.json"
+        StreamingCampaign(build_campaign(), checkpoint_path=json_path).run()
+
+        full_path = tmp_path / "full.bin"
+        StreamingCampaign(
+            build_campaign(),
+            checkpoint_path=full_path,
+            checkpoint_every=1,
+            checkpoint_format="binary",
+        ).run()
+
+        resumed_path = tmp_path / "resumed.bin"
+        StreamingCampaign(
+            build_campaign(),
+            checkpoint_path=resumed_path,
+            checkpoint_every=1,
+            checkpoint_format="binary",
+        ).run(max_days=3)
+        assert len(_read_segments(resumed_path)) > 1  # mid-run delta chain
+        resumed = StreamingCampaign.resume(
+            build_campaign(),
+            resumed_path,
+            checkpoint_every=1,
+            checkpoint_format="binary",
+        )
+        resumed.run()
+
+        assert checkpoint_fingerprint(resumed_path) == checkpoint_fingerprint(
+            full_path
+        )
+        # ...and both match the canonical JSON run, state-for-state.
+        ref = StreamingCampaign.resume(build_campaign(), json_path)
+        fin = StreamingCampaign.resume(build_campaign(), resumed_path)
+        assert state_dump(fin.engine) == state_dump(ref.engine)
+        assert fin.result.store.snapshot_rows() == ref.result.store.snapshot_rows()
+        assert (fin.result.days_run, fin.result.probes_sent) == (
+            ref.result.days_run,
+            ref.result.probes_sent,
+        )

@@ -228,6 +228,76 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed, tmp_path):
     assert json.dumps(engine_state(merged)) == final
 
 
+@pytest.mark.parametrize("seed", SEEDS)
+def test_binary_checkpoint_restores_identical_state(seed, tmp_path):
+    """Randomized format equivalence: the canonical JSON checkpoint, a
+    binary full segment, and a binary full+delta chain must all restore
+    to byte-identical ``engine_state`` JSON -- mid-stream and at flush,
+    for the serial engine and for the parallel engine's merged
+    snapshots (whose deltas ride the dispatcher's dirty-shard set, the
+    campaign checkpoint path)."""
+    from repro.stream.checkpoint import load_engine, restore_engine, save_engine
+    from repro.stream.ckptbin import BinaryCheckpointer, _read_segments, read_state
+
+    rng = random.Random(seed ^ 0xB19A)
+    corpus = random_corpus(rng)
+    if not corpus:
+        return
+    config = random_config(rng)
+    split = rng.randrange(len(corpus) + 1)
+
+    def dump_restored(path):
+        return json.dumps(engine_state(load_engine(path, origin_of=origin_of)))
+
+    engine = StreamEngine(config, origin_of=origin_of)
+    for chunk in chunks(rng, corpus[:split]):
+        engine.ingest_batch(chunk)
+    json_path = tmp_path / "serial.json"
+    bin_path = tmp_path / "serial.bin"
+    save_engine(engine, json_path, format="json")
+    save_engine(engine, bin_path, format="binary")
+    mid = json.dumps(engine_state(engine))
+    assert dump_restored(json_path) == mid
+    assert dump_restored(bin_path) == mid
+
+    # The rest of the stream; the second binary save of the same engine
+    # to the same path chains a delta segment onto the full one.
+    for chunk in chunks(rng, corpus[split:]):
+        engine.ingest_batch(chunk)
+    engine.flush()
+    save_engine(engine, json_path, format="json")
+    save_engine(engine, bin_path, format="binary")
+    kinds = [header["kind"] for header, _ in _read_segments(bin_path)]
+    assert kinds == ["full", "delta"]
+    final = json.dumps(engine_state(engine))
+    assert dump_restored(json_path) == final
+    assert dump_restored(bin_path) == final
+
+    # Parallel leg: merged snapshots are fresh engine objects at every
+    # save, so the delta chain runs on explicit dirty_sids.
+    parallel = ParallelStreamEngine(
+        config,
+        origin_of=origin_of,
+        num_workers=rng.choice([1, 2, 4]),
+        columnar=bool(seed % 2),
+    )
+    par_path = tmp_path / "parallel.bin"
+    saver = BinaryCheckpointer(par_path)
+    for chunk in chunks(rng, corpus[:split]):
+        parallel.ingest_batch(chunk)
+    first = saver.save(
+        parallel.snapshot_engine(), dirty_sids=parallel.take_dirty_sids()
+    )
+    assert first.kind == "full"
+    for chunk in chunks(rng, corpus[split:]):
+        parallel.ingest_batch(chunk)
+    merged = parallel.finalize()
+    second = saver.save(merged, dirty_sids=parallel.take_dirty_sids())
+    assert second.kind == "delta"
+    restored = restore_engine(read_state(par_path), origin_of=origin_of)
+    assert json.dumps(engine_state(restored)) == final
+
+
 @pytest.mark.parametrize("seed", range(6))
 def test_sqlite_incremental_resume_mid_stream(seed, tmp_path):
     """Randomized incremental-checkpoint resume: checkpoint mid-stream

@@ -10,6 +10,7 @@ import json
 
 import pytest
 
+from _ckpt import checkpoint_fingerprint
 from _worlds import build_campaign, build_rotating_internet
 
 from repro.core.records import ProbeObservation
@@ -303,7 +304,9 @@ class TestParallelCampaign:
         StreamingCampaign(
             build_campaign(), checkpoint_path=parallel_path, workers=3
         ).run(max_days=2)
-        assert single_path.read_text() == parallel_path.read_text()
+        assert checkpoint_fingerprint(single_path) == checkpoint_fingerprint(
+            parallel_path
+        )
 
         resumed = StreamingCampaign.resume(build_campaign(), single_path, workers=2)
         resumed_result = resumed.run()

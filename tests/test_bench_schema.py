@@ -33,12 +33,20 @@ REQUIRED_SECTIONS = {
     "columnar_ingest",
     "store_backends",
     "telemetry_overhead",
+    "checkpoint",
 }
 
 # Enabled-telemetry cost cap on the columnar ingest path: the recorded
 # overhead may go slightly negative (timer noise) but must never exceed
 # this, on any host -- instrumentation is batch-granular by design.
 TELEMETRY_OVERHEAD_CAP_PCT = 5.0
+
+# Absolute binary-checkpoint bars (design properties, like the
+# telemetry cap): a binary full save must be >= 3x faster than the
+# canonical JSON save, and a one-dirty-shard delta segment must cost
+# <= 25% of the full segment's bytes.
+CHECKPOINT_SPEEDUP_FLOOR = 3.0
+CHECKPOINT_DELTA_CAP_PCT = 25.0
 
 # Throughput figures the regression gate tracks (dotted paths), and how
 # much of a drop versus the baseline is tolerated before CI fails.  The
@@ -197,4 +205,33 @@ def test_telemetry_overhead_within_budget():
     assert overhead <= TELEMETRY_OVERHEAD_CAP_PCT, (
         f"enabled telemetry costs {overhead:.2f}% on columnar ingest "
         f"(cap {TELEMETRY_OVERHEAD_CAP_PCT:.0f}%)"
+    )
+
+
+def test_checkpoint_format_gates():
+    """The committed binary-checkpoint figures must honour both bars.
+
+    Absolute, like the telemetry cap: the binary format's whole point
+    is taking serialization off the hot path, so a committed baseline
+    where the full save is under 3x the JSON save -- or where an
+    incremental delta costs more than a quarter of a full rewrite --
+    is a design regression, not host noise.
+    """
+    assert BENCH_JSON.exists(), "BENCH_stream.json must be committed at repo root"
+    current = json.loads(BENCH_JSON.read_text())
+    speedup = _dig(current, "checkpoint.speedup")
+    delta_pct = _dig(current, "checkpoint.delta_bytes_pct_of_full")
+    assert isinstance(speedup, numbers.Real), (
+        "checkpoint.speedup missing from BENCH_stream.json"
+    )
+    assert isinstance(delta_pct, numbers.Real), (
+        "checkpoint.delta_bytes_pct_of_full missing from BENCH_stream.json"
+    )
+    assert speedup >= CHECKPOINT_SPEEDUP_FLOOR, (
+        f"binary full save is only {speedup:.2f}x the JSON save "
+        f"(floor {CHECKPOINT_SPEEDUP_FLOOR:.1f}x)"
+    )
+    assert delta_pct <= CHECKPOINT_DELTA_CAP_PCT, (
+        f"delta segment costs {delta_pct:.1f}% of a full rewrite "
+        f"(cap {CHECKPOINT_DELTA_CAP_PCT:.0f}%)"
     )
