@@ -39,6 +39,7 @@ from repro.net.eui64 import eui64_iid_to_mac, is_eui64_iid, mac_to_eui64_iid
 from repro.net.mac import format_mac, parse_mac
 from repro.net.oui import OuiRegistry
 from repro.scan.zmap import ScanConfig, ScanStream, Zmap6
+from repro.serve import SnapshotPublisher, TrackerDaemon, TrackerServer, TrackerSnapshot
 from repro.simnet.builder import (
     InternetSpec,
     PoolSpec,
@@ -101,12 +102,16 @@ __all__ = [
     "SearchSpaceBound",
     "SightingRecord",
     "SimInternet",
+    "SnapshotPublisher",
     "SqliteBackend",
     "StoreBackend",
     "StreamConfig",
     "StreamEngine",
     "StreamingCampaign",
     "TrackerConfig",
+    "TrackerDaemon",
+    "TrackerServer",
+    "TrackerSnapshot",
     "Zmap6",
     "build_internet",
     "build_paper_internet",

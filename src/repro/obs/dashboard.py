@@ -66,7 +66,10 @@ class Dashboard:
         if self._last_t is None or now <= self._last_t:
             rate = 0.0
         else:
-            rate = (responses - self._last_responses) / (now - self._last_t)
+            # A fresh registry after a checkpoint resume restarts the
+            # counter below the last frame's value; a stall is a stall,
+            # never a negative rate.
+            rate = max(0.0, responses - self._last_responses) / (now - self._last_t)
         self._last_t = now
         self._last_responses = responses
 
@@ -98,15 +101,18 @@ class Dashboard:
                 f"| passive   {_fmt_count(passive):>8} in"
                 f"   {_fmt_count(suppressed):>8} suppressed         |"
             )
+        # Worker rows come from the registry's label tuples, not from
+        # re-parsing rendered series names -- extra labels or a
+        # different label order must not break the panel.
         workers = sorted(
-            (series, value)
-            for series, value in counters.items()
-            if series.startswith("repro_parallel_dispatch_rows_total{")
+            (dict(metric.labels).get("worker", "?"), metric.value)
+            for metric in self.registry
+            if metric.kind == "counter"
+            and metric.name == "repro_parallel_dispatch_rows_total"
         )
         if workers:
             top = max(value for _, value in workers) or 1
-            for series, value in workers:
-                worker = series.split('worker="')[1].split('"')[0]
+            for worker, value in workers:
                 lines.append(
                     f"| worker {worker:>2}  [{_bar(value / top)}]"
                     f" {_fmt_count(value):>8}     |"
@@ -116,6 +122,18 @@ class Dashboard:
                 f"| checkpoint {_fmt_count(checkpoint_bytes):>8} bytes"
                 + " " * 29
                 + "|"
+            )
+        serve_requests = sum(
+            metric.value
+            for metric in self.registry
+            if metric.kind == "counter"
+            and metric.name == "repro_serve_requests_total"
+        )
+        snapshot_version = gauges.get("repro_serve_snapshot_version")
+        if serve_requests or snapshot_version:
+            lines.append(
+                f"| serve     {_fmt_count(serve_requests):>8} req"
+                f"   snapshot v{snapshot_version or 0:<8.0f}       |"
             )
         lines.append("+" + "-" * 60 + "+")
         return "\n".join(lines)

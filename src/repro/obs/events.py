@@ -33,6 +33,8 @@ KNOWN_EVENTS = (
     "checkpoint_written",
     "worker_join",
     "worker_exit",
+    "serve_start",
+    "serve_stop",
 )
 
 

@@ -22,9 +22,13 @@ Metric name scheme (documented in ``benchmarks/README.md``):
 * ``repro_store_*``    -- :class:`ObservationStore` backends (``backend``
   label)
 * ``repro_checkpoint_*`` -- serialize/restore/write latency and size
+* ``repro_serve_*``    -- the query daemon (``endpoint`` label) and
+  snapshot publication
 """
 
 from __future__ import annotations
+
+import threading
 
 from .registry import LATENCY_BUCKETS, SIZE_BUCKETS
 
@@ -231,6 +235,88 @@ class FeedInstruments:
             "repro_feed_dedup_suppressed_total",
             "Repeat sightings suppressed by dedup windows",
         )
+
+
+#: The serve endpoints with pre-bound request counters.
+SERVE_ENDPOINTS = (
+    "iid",
+    "rotations",
+    "profiles",
+    "stats",
+    "healthz",
+    "metrics",
+    "shutdown",
+)
+
+
+class ServeInstruments:
+    """Query-daemon metrics: requests per endpoint, latency, snapshots.
+
+    Unlike the ingest bundles this one is bumped from HTTP handler
+    threads, so the request-side updates take a small lock -- request
+    cadence is per-query, never per-row, so the lock is nowhere near a
+    hot path.  Snapshot publication stays lock-free (ingest thread
+    only).
+    """
+
+    __slots__ = (
+        "telemetry",
+        "requests",
+        "request_seconds",
+        "errors",
+        "snapshot_version",
+        "snapshot_refreshes",
+        "snapshot_refresh_seconds",
+        "_lock",
+    )
+
+    def __init__(self, telemetry) -> None:
+        registry = telemetry.registry
+        self.telemetry = telemetry
+        self.requests = {
+            endpoint: registry.counter(
+                "repro_serve_requests_total",
+                "Queries served, per endpoint",
+                {"endpoint": endpoint},
+            )
+            for endpoint in SERVE_ENDPOINTS
+        }
+        self.request_seconds = registry.histogram(
+            "repro_serve_request_seconds", "Query handling latency"
+        )
+        self.errors = registry.counter(
+            "repro_serve_errors_total", "Queries answered with an error status"
+        )
+        self.snapshot_version = registry.gauge(
+            "repro_serve_snapshot_version", "Version of the published snapshot"
+        )
+        self.snapshot_refreshes = registry.counter(
+            "repro_serve_snapshot_refreshes_total", "Snapshots published"
+        )
+        self.snapshot_refresh_seconds = registry.histogram(
+            "repro_serve_snapshot_refresh_seconds", "Snapshot rebuild latency"
+        )
+        self._lock = threading.Lock()
+
+    def request_served(self, endpoint: str, seconds: float) -> None:
+        with self._lock:
+            counter = self.requests.get(endpoint)
+            if counter is not None:
+                counter.value += 1
+            self.request_seconds.observe(seconds)
+
+    def request_failed(self) -> None:
+        with self._lock:
+            self.errors.value += 1
+
+    def requests_total(self) -> int:
+        with self._lock:
+            return int(sum(c.value for c in self.requests.values()))
+
+    def snapshot_published(self, version: int, seconds: float) -> None:
+        self.snapshot_version.value = version
+        self.snapshot_refreshes.value += 1
+        self.snapshot_refresh_seconds.observe(seconds)
 
 
 class CheckpointInstruments:

@@ -1,0 +1,35 @@
+"""``repro.serve``: the tracker as a long-lived queryable service.
+
+Everything else in the repo runs to completion; the attack the paper
+describes is operationally a *service* -- a tracker that keeps
+ingesting sightings while analysts ask "where is IID X now" and "which
+prefixes rotated today".  This package is that shape:
+
+* :mod:`repro.serve.snapshot` -- versioned, immutable read snapshots
+  of a live engine's state.  The ingest thread refreshes them (an
+  atomic reference swap); any number of reader threads hold them
+  without locks, and ingest never stalls on a reader.
+* :mod:`repro.serve.http` -- a small threaded HTTP/JSON API over the
+  current snapshot (``/iid/<x>``, ``/rotations?day=N``, ``/profiles``,
+  ``/stats``, ``/healthz``, plus ``/metrics`` in Prometheus text
+  exposition).  Every JSON response carries the snapshot version it
+  was answered from, which is monotonically non-decreasing.
+* :mod:`repro.serve.daemon` -- :class:`TrackerDaemon` wires a
+  :class:`~repro.stream.campaign.StreamingCampaign` to a publisher and
+  server: ingest day by day, refresh after each day, serve throughout,
+  and shut down gracefully with a final checkpoint.
+
+Snapshots are execution state only -- serving an engine never changes
+its checkpoint bytes (fuzz-harness-pinned).
+"""
+
+from .daemon import TrackerDaemon
+from .http import TrackerServer
+from .snapshot import SnapshotPublisher, TrackerSnapshot
+
+__all__ = [
+    "SnapshotPublisher",
+    "TrackerDaemon",
+    "TrackerServer",
+    "TrackerSnapshot",
+]

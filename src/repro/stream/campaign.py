@@ -20,7 +20,7 @@ import json
 import time
 from dataclasses import replace
 from pathlib import Path
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.core.campaign import Campaign, CampaignResult
 from repro.core.records import ObservationStore, ProbeObservation
@@ -79,6 +79,7 @@ class StreamingCampaign:
         store: "ObservationStore | None" = None,
         telemetry=None,
         checkpoint_format: str | None = None,
+        on_day_complete: "Callable[[int], None] | None" = None,
     ) -> None:
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
@@ -88,6 +89,15 @@ class StreamingCampaign:
             raise ValueError("workers must be >= 0")
         self.campaign = campaign
         self.result = CampaignResult(targets_per_day=len(campaign.targets))
+        # Caller hook invoked after each completed day (its feed drain
+        # and periodic checkpoint included) -- the serve daemon's
+        # snapshot-refresh point.  Public and reassignable.
+        self.on_day_complete = on_day_complete
+        # Whether result.store is caller-owned: a mid-campaign failure
+        # must commit and close such a store so the disk-backed corpus
+        # can be reattached (campaign-owned defaults are temp-backed
+        # and die with the run).
+        self._external_store = store is not None
         if store is not None:
             # The corpus on a caller-chosen backend -- e.g. an
             # ObservationStore over SqliteBackend so an internet-scale
@@ -257,6 +267,7 @@ class StreamingCampaign:
             # disk-backed default that is a temp file + connection).
             streaming.result.store.close()
             streaming.result.store = store
+            streaming._external_store = True
             if telemetry is not None:
                 store.attach_telemetry(telemetry)
         _restore_store(state["store"], streaming.result.store)
@@ -420,6 +431,37 @@ class StreamingCampaign:
         ):
             self._refresh_engine()
             self._write_checkpoint()
+        if self.on_day_complete is not None:
+            self.on_day_complete(day)
+
+    def checkpoint(self) -> None:
+        """Write a checkpoint now (refreshing the merged view first).
+
+        The serve daemon's final-checkpoint hook, and useful for any
+        caller that wants durability between ``run()`` calls; requires
+        a ``checkpoint_path``.
+        """
+        if self.checkpoint_path is None:
+            raise ValueError("checkpoint() requires a checkpoint_path")
+        self._refresh_engine()
+        self._write_checkpoint()
+
+    def _salvage_store(self) -> None:
+        """Best-effort store shutdown after a mid-campaign failure.
+
+        A caller-provided store -- typically sqlite on a caller-owned
+        path -- is flushed, committed, and closed, so the rows ingested
+        before the crash are durable and ``resume`` can reattach the
+        file.  Campaign-owned default stores are left alone: they are
+        temp-backed (closing would delete the file) and there is
+        nothing for a caller to reattach.
+        """
+        if not self._external_store:
+            return
+        try:
+            self.result.store.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
 
     def run(self, max_days: int | None = None) -> CampaignResult:
         """Process remaining campaign days; returns the (shared) result.
@@ -430,7 +472,19 @@ class StreamingCampaign:
         dispatcher) as consumer.  *max_days* bounds how many days this
         call processes (the interruption hook the checkpoint tests
         exercise).
+
+        If ingest raises mid-campaign, a caller-provided store is
+        committed and closed before the exception propagates (see
+        :meth:`_salvage_store`), so a crashed disk-backed run can be
+        reattached through :meth:`resume`.
         """
+        try:
+            return self._run(max_days)
+        except BaseException:
+            self._salvage_store()
+            raise
+
+    def _run(self, max_days: int | None) -> CampaignResult:
         # Passive records predating the first remaining scan day go in
         # before any probe response, keeping day order end to end.
         first_day = self.campaign.config.start_day + self.result.days_run

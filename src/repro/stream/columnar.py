@@ -465,6 +465,15 @@ def diff_pair_columns(cols_a: list, cols_b: list, emitted_a=None):
     return changed, net48s, stable, appeared_b
 
 
+def net48_prefixes(net48s) -> set:
+    """/48 :class:`Prefix` objects for an array of changed /48 numbers.
+
+    The shared prefix-flagging step of both the cumulative fold below
+    and the engine's per-day rotation attribution.
+    """
+    return {Prefix(n48 << _NET48_SHIFT, 48) for n48 in net48s.tolist()}
+
+
 def fold_changed(pending: list, detection: RotationDetection) -> None:
     """Fold deferred :func:`diff_pair_columns` results into *detection*.
 
@@ -482,9 +491,7 @@ def fold_changed(pending: list, detection: RotationDetection) -> None:
             zip(_combine64(cols[0], cols[1]), _combine64(cols[2], cols[3]))
         )
     net48s = np.unique(np.concatenate([entry[1] for entry in pending]))
-    detection.rotating_prefixes.update(
-        Prefix(n48 << _NET48_SHIFT, 48) for n48 in net48s.tolist()
-    )
+    detection.rotating_prefixes.update(net48_prefixes(net48s))
 
 
 class ColumnarAccumulator:

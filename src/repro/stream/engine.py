@@ -28,10 +28,10 @@ from typing import Callable, Iterable
 
 from repro.core.allocation import AllocationInference
 from repro.core.records import ObservationStore, ProbeObservation
-from repro.core.rotation_detect import RotationDetection, diff_pairs
+from repro.core.rotation_detect import RotationDetection, diff_pairs, target_prefix48
 from repro.core.rotation_pool import RotationPoolInference
 from repro.core.tracker import AsProfile
-from repro.net.addr import IID_BITS, IID_MASK
+from repro.net.addr import IID_BITS, IID_MASK, Prefix
 from repro.net.eui64 import _FFFE, _FFFE_SHIFT
 from repro.net.icmpv6 import ProbeResponse
 from repro.stream import columnar as columnar_kernel
@@ -132,6 +132,14 @@ class StreamEngine:
         else:
             self.store = ObservationStore() if self.config.keep_observations else None
         self.live_detection = RotationDetection()  # via the property setter
+        # Per-day rotation attribution for the serve layer: day ->
+        # prefixes whose pairs were first flagged changed at that day's
+        # close (a disappearance that merely completes a previously
+        # reported appearance is not re-attributed, matching the
+        # columnar emitted-mask dedup).  One small set per closed day;
+        # execution state only, never checkpointed -- a restored engine
+        # re-accumulates from its resume day.
+        self.rotation_days: dict[int, set[Prefix]] = {}
         self._watch_iids: set[int] = set()
         self.watched: dict[int, Sighting] = {}
         self.current_day: int | None = None
@@ -627,11 +635,17 @@ class StreamEngine:
         if acc is not None and not self._shards_have_pairs(previous, closed):
             changed, net48s, stable = acc.diff_days(previous, closed)
             self._pending_changed.append((changed, net48s))
+            self.rotation_days[closed] = columnar_kernel.net48_prefixes(net48s)
             self._live_detection.stable_pairs += stable
             if self._obs is not None:
                 self._obs.day_closed(closed, len(changed[0]), stable)
             return
         detection = diff_pairs(self._pairs_on(previous), self._pairs_on(closed))
+        # Attribute only pairs not already in the cumulative set, so the
+        # per-day sets agree with the columnar close path's emitted-mask
+        # dedup (computed before the cumulative |= below).
+        fresh = detection.changed_pairs - self.live_detection.changed_pairs
+        self.rotation_days[closed] = {target_prefix48(t) for t, _ in fresh}
         self._live_detection.changed_pairs |= detection.changed_pairs
         self._live_detection.rotating_prefixes |= detection.rotating_prefixes
         self._live_detection.stable_pairs += detection.stable_pairs

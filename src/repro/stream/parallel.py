@@ -40,7 +40,7 @@ import multiprocessing as mp
 from typing import Callable, Iterable
 
 from repro.core.records import ObservationStore, ProbeObservation
-from repro.core.rotation_detect import RotationDetection, diff_pairs
+from repro.core.rotation_detect import RotationDetection, diff_pairs, target_prefix48
 from repro.net.addr import IID_BITS, IID_MASK
 from repro.net.eui64 import _FFFE, _FFFE_SHIFT
 from repro.net.icmpv6 import ProbeResponse
@@ -314,6 +314,9 @@ class ParallelStreamEngine:
                 rotating_prefixes=set(base.live_detection.rotating_prefixes),
                 stable_pairs=base.live_detection.stable_pairs,
             )
+            self.rotation_days = {
+                day: set(prefixes) for day, prefixes in base.rotation_days.items()
+            }
             self.responses_ingested = base.responses_ingested
         else:
             self.current_day = None
@@ -322,6 +325,7 @@ class ParallelStreamEngine:
             self._watch_iids = set()
             self.watched = {}
             self.live_detection = RotationDetection()
+            self.rotation_days = {}
             self.responses_ingested = 0
         # Merged pairs of the most recently closed scanned day, kept so
         # the next close diffs without re-asking the workers.
@@ -769,6 +773,11 @@ class ParallelStreamEngine:
                     previous_pairs = self._merged_day_pairs(previous)
                 closed_pairs = self._merged_day_pairs(closed)
                 detection = diff_pairs(previous_pairs, closed_pairs)
+                # Per-day attribution for the serve layer, deduplicated
+                # against the cumulative set exactly as
+                # StreamEngine._diff_days does.
+                fresh = detection.changed_pairs - self.live_detection.changed_pairs
+                self.rotation_days[closed] = {target_prefix48(t) for t, _ in fresh}
                 self.live_detection.changed_pairs |= detection.changed_pairs
                 self.live_detection.rotating_prefixes |= detection.rotating_prefixes
                 self.live_detection.stable_pairs += detection.stable_pairs
@@ -830,7 +839,23 @@ class ParallelStreamEngine:
             rotating_prefixes=set(self.live_detection.rotating_prefixes),
             stable_pairs=self.live_detection.stable_pairs,
         )
+        engine.rotation_days = {
+            day: set(prefixes) for day, prefixes in self.rotation_days.items()
+        }
         return engine
+
+    def read_view(self) -> StreamEngine:
+        """A merged :class:`StreamEngine` for read-only queries.
+
+        The serve layer's entry point: the cached finalized merge when
+        the run is done, otherwise a fresh :meth:`snapshot_engine`.
+        Must be called from the ingest thread (it flushes dispatch
+        buffers); readers hold the immutable snapshots the publisher
+        builds from it, never this view itself.
+        """
+        if self._merged is not None:
+            return self._merged
+        return self.snapshot_engine()
 
     def snapshot_engine(self) -> StreamEngine:
         """Merged view of everything ingested so far; workers keep running.

@@ -141,3 +141,54 @@ def test_dashboard_renders_rates_from_deltas():
     assert "2,500/s" in frames
     assert "day     4" in frames
     assert "[" in frames and "]" in frames  # progress bar rendered
+
+
+def test_dashboard_rate_clamps_at_zero_after_resume():
+    """A checkpoint resume swaps in a fresh registry whose counter
+    restarts below the last frame's value; the rate must clamp at 0,
+    never render negative."""
+    telemetry = Telemetry()
+    responses = telemetry.registry.counter("repro_stream_responses_total")
+    ticks = iter([0.0, 1.0, 2.0])
+    dashboard = Dashboard(telemetry, stream=io.StringIO(), clock=lambda: next(ticks))
+    responses.value = 5000
+    dashboard.tick()
+    # The resume: same dashboard, counter restarted from zero territory.
+    responses.value = 100
+    frame = dashboard.render()
+    assert "-" not in frame.split("rate")[1].split("/s")[0]
+    assert "rate        0/s" in frame
+
+
+def test_dashboard_worker_rows_survive_extra_labels():
+    """Worker rows must parse via the registry's label tuples: a second
+    label (in any order) on the dispatch series used to break the
+    ``series.split('worker=\"')`` parser."""
+    telemetry = Telemetry()
+    telemetry.registry.counter(
+        "repro_parallel_dispatch_rows_total",
+        "rows",
+        {"worker": "3", "host": "alpha"},  # sorts host before worker
+    ).value = 640
+    telemetry.registry.counter(
+        "repro_parallel_dispatch_rows_total",
+        "rows",
+        {"zone": "b", "worker": "11"},  # sorts worker before zone
+    ).value = 320
+    frame = Dashboard(telemetry, stream=io.StringIO()).render()
+    assert "worker  3" in frame
+    assert "worker 11" in frame
+    assert "640" in frame and "320" in frame
+
+
+def test_dashboard_serve_row():
+    telemetry = Telemetry()
+    telemetry.registry.counter(
+        "repro_serve_requests_total", "req", {"endpoint": "iid"}
+    ).value = 40
+    telemetry.registry.counter(
+        "repro_serve_requests_total", "req", {"endpoint": "stats"}
+    ).value = 2
+    telemetry.registry.gauge("repro_serve_snapshot_version").set(7)
+    frame = Dashboard(telemetry, stream=io.StringIO()).render()
+    assert "serve" in frame and "42" in frame and "snapshot v7" in frame

@@ -1,0 +1,97 @@
+"""Deterministic world for serve-layer tests (fixtures in conftest.py).
+
+One corpus generator and one pre-ingested engine builder, so
+snapshot/http/daemon tests all exercise identical tracker state and
+can assert exact payloads.  The corpus models the serve layer's target
+workload: EUI-64 devices moving to a new /64 every day inside a stable
+/48, which makes every day a rotation day once two consecutive days
+have been diffed.
+"""
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.records import ProbeObservation
+from repro.net.addr import Prefix
+from repro.net.eui64 import mac_to_eui64_iid
+from repro.simnet.device import AddressingMode, CpeDevice
+from repro.simnet.internet import SimInternet
+from repro.simnet.pool import RotationPool
+from repro.simnet.provider import Provider
+from repro.simnet.rotation import IncrementRotation
+from repro.stream.engine import StreamConfig, StreamEngine
+
+NET48 = 0x20010DB8 << 16
+
+
+def origin_of(address: int) -> int:
+    return 64512 + ((address >> 80) % 5)
+
+
+def device_iid(d: int) -> int:
+    return mac_to_eui64_iid(0x3810D5000000 + d)
+
+
+def device_address(d: int, day: int) -> int:
+    net64 = (NET48 << 16) | ((d * 11 + day) % (1 << 16))  # daily move
+    return (net64 << 64) | device_iid(d)
+
+
+def corpus(days: int = 4, devices: int = 6) -> list[ProbeObservation]:
+    out = []
+    for day in range(days):
+        for d in range(devices):
+            source = device_address(d, day)
+            out.append(
+                ProbeObservation(
+                    day=day,
+                    t_seconds=day * 86_400.0 + d,
+                    target=(source >> 64 << 64) | 1,
+                    source=source,
+                )
+            )
+    return out
+
+
+def build_engine(days: int = 4, devices: int = 6, **config) -> StreamEngine:
+    """An engine that has ingested *days* full days and watches IID 0."""
+    engine = StreamEngine(
+        StreamConfig(keep_observations=False, **config), origin_of=origin_of
+    )
+    engine.watch(device_iid(0))
+    engine.ingest_batch(corpus(days=days, devices=devices))
+    engine.flush()
+    return engine
+
+
+CAMPAIGN_CONFIG = CampaignConfig(days=4, start_day=1, seed=3)
+
+
+def build_campaign() -> Campaign:
+    """A small single-provider campaign world for daemon tests.
+
+    Deterministic: every call builds an identical world, so a served
+    run and an unserved run see identical responses (the daemon tests
+    pin their checkpoints byte-identical).
+    """
+    pool = RotationPool(
+        prefix=Prefix.parse("2001:db8::/48"),
+        delegation_plen=56,
+        policy=IncrementRotation(interval_hours=24.0),
+        pool_key=7,
+    )
+    for i in range(24):
+        pool.add_device(
+            CpeDevice(
+                device_id=65001 * 10_000 + i,
+                mac=0x3810D5000000 + i,
+                addressing=AddressingMode.EUI64,
+            )
+        )
+    provider = Provider(
+        asn=65001,
+        name="AS65001",
+        country="DE",
+        bgp_prefixes=[Prefix.parse("2001:db8::/32")],
+        pools=[pool],
+    )
+    internet = SimInternet([provider], core_answers_unrouted=False)
+    return Campaign(internet, [Prefix.parse("2001:db8::/48")], CAMPAIGN_CONFIG)

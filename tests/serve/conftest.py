@@ -1,0 +1,12 @@
+"""Shared fixtures for serve-layer tests (world lives in _serve_world.py)."""
+
+import pytest
+
+from _serve_world import build_engine
+
+from repro.stream.engine import StreamEngine
+
+
+@pytest.fixture()
+def engine() -> StreamEngine:
+    return build_engine()

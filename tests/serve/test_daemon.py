@@ -1,0 +1,243 @@
+"""TrackerDaemon lifecycle: ingest-while-serving, shutdown, durability.
+
+The daemon's contract in four parts: a full run serves queries during
+real ingest and stops clean; ``POST /shutdown`` (or :meth:`shutdown`)
+stops at the next day boundary with a loadable final checkpoint; a
+served run's checkpoint is byte-identical to an unserved run's; and a
+finished daemon lingers only as long as asked.  Everything binds
+ephemeral loopback ports and runs the campaign worlds from
+``_serve_world`` (seconds, not minutes).
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from _serve_world import build_campaign
+
+from repro.obs import Telemetry
+from repro.obs.events import read_events
+from repro.serve import TrackerDaemon
+from repro.stream.campaign import StreamingCampaign
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def wait_for_server(url: str, deadline: float = 30.0) -> None:
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        try:
+            get_json(f"{url}/healthz")
+            return
+        except OSError:
+            time.sleep(0.02)
+    raise AssertionError(f"server at {url} never came up")
+
+
+def test_daemon_serves_during_ingest_and_stops_clean(tmp_path):
+    events_path = tmp_path / "events.jsonl"
+    telemetry = Telemetry(event_path=events_path)
+    streaming = StreamingCampaign(
+        build_campaign(),
+        checkpoint_path=tmp_path / "ck.json",
+        telemetry=telemetry,
+    )
+    daemon = TrackerDaemon(streaming)
+    versions: list[int] = []
+    done = threading.Event()
+
+    def query() -> None:
+        wait_for_server(daemon.url)
+        while not done.is_set():
+            try:
+                stats = get_json(f"{daemon.url}/stats")
+                rotations = get_json(f"{daemon.url}/rotations")
+            except OSError:
+                break  # server stopped between checks
+            versions.append(stats["snapshot_version"])
+            versions.append(rotations["snapshot_version"])
+
+    reader = threading.Thread(target=query)
+    reader.start()
+    try:
+        daemon.run()
+    finally:
+        done.set()
+        reader.join(timeout=30)
+    assert not reader.is_alive()
+    assert streaming.finished
+    assert daemon.days_served == streaming.campaign.config.days
+    # Readers overlapped ingest; versions never went backwards.
+    assert versions
+    assert versions == sorted(versions)
+    # The final checkpoint resumes to a finished campaign.
+    resumed = StreamingCampaign.resume(build_campaign(), tmp_path / "ck.json")
+    assert resumed.finished
+    # Lifecycle events bracket the run.
+    telemetry.close()
+    names = [event["event"] for event in read_events(events_path)]
+    assert names[0] == "serve_start"
+    assert names[-1] == "serve_stop"
+    assert "campaign_finished" in names
+    stop = read_events(events_path)[-1]
+    assert stop["finished"] is True
+    assert stop["snapshot_version"] >= daemon.days_served
+    # The server is down.
+    try:
+        get_json(f"{daemon.url}/healthz")
+        raise AssertionError("server still answering after stop")
+    except OSError:
+        pass
+
+
+def test_post_shutdown_stops_at_day_boundary_with_checkpoint(tmp_path):
+    # Pinned to the JSON oracle: this test asserts raw byte identity,
+    # which only the canonical format guarantees under any cadence
+    # (the binary state test below covers the other format).
+    streaming = StreamingCampaign(
+        build_campaign(),
+        checkpoint_path=tmp_path / "ck.json",
+        checkpoint_format="json",
+    )
+    daemon = TrackerDaemon(streaming)
+    # Stop after the first completed day, through the same hook the
+    # daemon uses for refreshes.
+    day_hook = streaming.on_day_complete
+
+    def stop_after_first_day(day: int) -> None:
+        day_hook(day)
+        request = urllib.request.Request(
+            f"{daemon.url}/shutdown", method="POST"
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert json.loads(response.read())["status"] == "shutting down"
+
+    streaming.on_day_complete = stop_after_first_day
+    daemon.run()
+    assert daemon.shutdown_requested
+    assert not streaming.finished
+    assert streaming.result.days_run == 1
+    # The interrupted run resumes and finishes; its final checkpoint is
+    # byte-identical to an uninterrupted unserved run's.
+    resumed = StreamingCampaign.resume(
+        build_campaign(), tmp_path / "ck.json", checkpoint_format="json"
+    )
+    resumed.run()
+    assert resumed.finished
+    clean = StreamingCampaign(
+        build_campaign(),
+        checkpoint_path=tmp_path / "clean.json",
+        checkpoint_format="json",
+    )
+    clean.run()
+    assert (tmp_path / "ck.json").read_bytes() == (
+        tmp_path / "clean.json"
+    ).read_bytes()
+
+
+def test_served_checkpoint_byte_identical_to_unserved(tmp_path):
+    # JSON oracle again: byte identity is the point of this test.
+    served = StreamingCampaign(
+        build_campaign(),
+        checkpoint_path=tmp_path / "served.json",
+        checkpoint_format="json",
+    )
+    TrackerDaemon(served).run()
+    unserved = StreamingCampaign(
+        build_campaign(),
+        checkpoint_path=tmp_path / "unserved.json",
+        checkpoint_format="json",
+    )
+    unserved.run()
+    assert (tmp_path / "served.json").read_bytes() == (
+        tmp_path / "unserved.json"
+    ).read_bytes()
+
+
+def test_served_binary_checkpoint_state_identical(tmp_path):
+    """Binary files accrue delta segments per write, and the daemon's
+    day-at-a-time cadence writes more of them than one uninterrupted
+    run -- so the pin is on the state read back, not the file bytes
+    (the JSON test above covers byte identity)."""
+    from repro.stream.ckptbin import read_state
+
+    served = StreamingCampaign(
+        build_campaign(),
+        checkpoint_path=tmp_path / "served.ckpt",
+        checkpoint_every=1,
+        checkpoint_format="binary",
+    )
+    TrackerDaemon(served).run()
+    unserved = StreamingCampaign(
+        build_campaign(),
+        checkpoint_path=tmp_path / "unserved.ckpt",
+        checkpoint_every=1,
+        checkpoint_format="binary",
+    )
+    unserved.run()
+    assert json.dumps(
+        read_state(tmp_path / "served.ckpt"), sort_keys=True
+    ) == json.dumps(read_state(tmp_path / "unserved.ckpt"), sort_keys=True)
+
+
+def test_finished_daemon_lingers_until_shutdown(tmp_path):
+    # Ingest (and the campaign's store) stays on this thread -- the
+    # daemon's contract, and what the sqlite store leg requires.  A
+    # helper thread watches the linger window and posts the shutdown.
+    streaming = StreamingCampaign(
+        build_campaign(), checkpoint_path=tmp_path / "ck.json"
+    )
+    daemon = TrackerDaemon(streaming)
+    observed: dict = {}
+    failures: list[Exception] = []
+
+    def poke() -> None:
+        try:
+            wait_for_server(daemon.url)
+            deadline = time.monotonic() + 60
+            while not streaming.finished and time.monotonic() < deadline:
+                time.sleep(0.02)
+            observed["finished_while_serving"] = streaming.finished
+            stats = get_json(f"{daemon.url}/stats")
+            observed["responses"] = stats["responses"]
+            request = urllib.request.Request(
+                f"{daemon.url}/shutdown", method="POST"
+            )
+            urllib.request.urlopen(request, timeout=10).read()
+        except Exception as exc:  # surfaced by the main-thread asserts
+            failures.append(exc)
+            daemon.shutdown()  # never leave the main thread lingering
+
+    poker = threading.Thread(target=poke, daemon=True)
+    poker.start()
+    daemon.run(linger=60.0)
+    poker.join(timeout=30)
+    assert not failures, failures
+    # The run ended on the posted shutdown, not the linger timeout: the
+    # campaign had already finished while the server still answered.
+    assert daemon.shutdown_requested
+    assert observed["finished_while_serving"] is True
+    assert observed["responses"] == streaming.live_engine.responses_ingested
+
+
+def test_finished_daemon_linger_times_out(tmp_path):
+    streaming = StreamingCampaign(
+        build_campaign(), checkpoint_path=tmp_path / "ck.json"
+    )
+    daemon = TrackerDaemon(streaming)
+    daemon.run(linger=0.1)  # no shutdown request: returns on its own
+    assert streaming.finished
+    assert not daemon.shutdown_requested
+
+
+def test_daemon_without_checkpoint_path(tmp_path):
+    streaming = StreamingCampaign(build_campaign())
+    daemon = TrackerDaemon(streaming)
+    daemon.run()
+    assert streaming.finished
+    assert daemon.publisher.version >= 1

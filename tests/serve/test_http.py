@@ -1,0 +1,206 @@
+"""TrackerServer endpoints and snapshot isolation under concurrency.
+
+Endpoint tests run over a real socket (ephemeral port, loopback) via
+urllib, so the whole stack -- routing, JSON envelopes, error statuses,
+Prometheus exposition -- is exercised exactly as a client sees it.  The
+hammering test is the serve layer's core claim: reader threads querying
+continuously while the ingest thread appends and republishes never see
+torn state, and every response's ``snapshot_version`` is monotonically
+non-decreasing per connection.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from _serve_world import corpus, device_iid, origin_of
+
+from repro.obs import Telemetry
+from repro.serve import SnapshotPublisher, TrackerServer
+from repro.stream.engine import StreamConfig, StreamEngine
+
+
+@pytest.fixture()
+def served(engine):
+    telemetry = Telemetry()
+    publisher = SnapshotPublisher(engine, telemetry)
+    server = TrackerServer(publisher, telemetry)
+    url = server.start()
+    try:
+        yield url, publisher, server
+    finally:
+        server.stop()
+
+
+def get_json(url: str, status: int = 200) -> dict:
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            assert response.status == status
+            return json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        assert error.code == status, f"{url}: {error.code} != {status}"
+        return json.loads(error.read())
+
+
+def test_iid_endpoint_accepts_three_spellings(served):
+    url, publisher, _ = served
+    iid = device_iid(0)
+    for token in (str(iid), hex(iid), f"{iid:x}"):
+        payload = get_json(f"{url}/iid/{token}")
+        assert payload["iid"] == iid
+        assert payload["watched"] is True
+        assert payload["sighting"]["day"] == 3
+        assert payload["snapshot_version"] == publisher.version
+
+
+def test_iid_endpoint_rejects_garbage(served):
+    url, _, _ = served
+    payload = get_json(f"{url}/iid/not-an-iid", status=400)
+    assert "error" in payload and "snapshot_version" in payload
+
+
+def test_rotations_endpoint(served):
+    url, _, _ = served
+    newest = get_json(f"{url}/rotations")
+    assert newest["day"] == 3 and newest["closed"] is True
+    assert newest["rotating_prefixes"] == ["2001:db8::/48"]
+    explicit = get_json(f"{url}/rotations?day=2")
+    assert explicit["day"] == 2 and explicit["closed"] is True
+    open_day = get_json(f"{url}/rotations?day=9")
+    assert open_day["closed"] is False and open_day["rotating_prefixes"] == []
+    bad = get_json(f"{url}/rotations?day=tuesday", status=400)
+    assert "error" in bad
+
+
+def test_profiles_and_stats_endpoints(served):
+    url, publisher, server = served
+    profiles = get_json(f"{url}/profiles")["profiles"]
+    assert profiles and all(
+        set(body) == {"allocation_plen", "pool_plen"} for body in profiles.values()
+    )
+    stats = get_json(f"{url}/stats")
+    assert stats["snapshot_version"] == publisher.version
+    assert stats["responses"] == publisher.current.responses
+    assert stats["requests_served"] >= 1
+    assert stats["uptime_seconds"] >= 0
+
+
+def test_healthz_and_unknown_routes(served):
+    url, _, _ = served
+    assert get_json(f"{url}/healthz")["status"] == "ok"
+    assert "error" in get_json(f"{url}/nope", status=404)
+
+
+def test_metrics_endpoint_exposes_prometheus_text(served):
+    url, _, _ = served
+    get_json(f"{url}/healthz")  # ensure at least one counted request
+    with urllib.request.urlopen(f"{url}/metrics", timeout=10) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        body = response.read().decode()
+    assert "repro_serve_requests_total" in body
+    assert "repro_serve_snapshot_version" in body
+
+
+def test_metrics_404_without_telemetry(engine):
+    server = TrackerServer(SnapshotPublisher(engine))
+    url = server.start()
+    try:
+        assert "error" in get_json(f"{url}/metrics", status=404)
+    finally:
+        server.stop()
+
+
+def test_shutdown_post_invokes_callback(engine):
+    fired = threading.Event()
+    server = TrackerServer(
+        SnapshotPublisher(engine), on_shutdown=fired.set
+    )
+    url = server.start()
+    try:
+        request = urllib.request.Request(f"{url}/shutdown", method="POST")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            payload = json.loads(response.read())
+        assert payload["status"] == "shutting down"
+        assert fired.wait(5)
+    finally:
+        server.stop()
+
+
+def test_stop_is_idempotent_and_releases_port(engine):
+    server = TrackerServer(SnapshotPublisher(engine))
+    url = server.start()
+    port = server.port
+    server.stop()
+    server.stop()  # second stop must not raise
+    with pytest.raises(OSError):
+        urllib.request.urlopen(f"{url}/healthz", timeout=2)
+    # The port is reusable immediately.
+    again = TrackerServer(SnapshotPublisher(engine), port=port)
+    again.start()
+    again.stop()
+
+
+def test_concurrent_readers_never_see_torn_state():
+    """Readers hammer /iid and /rotations while the ingest thread
+    appends and republishes: every body must be internally consistent
+    and versions per reader monotonically non-decreasing."""
+    engine = StreamEngine(
+        StreamConfig(keep_observations=False), origin_of=origin_of
+    )
+    engine.watch(device_iid(0))
+    publisher = SnapshotPublisher(engine)
+    server = TrackerServer(publisher)
+    url = server.start()
+    stream = corpus(days=6, devices=8)
+    ingest_done = threading.Event()
+    failures: list[str] = []
+
+    def reader() -> None:
+        iid = device_iid(0)
+        last_version = 0
+        while not ingest_done.is_set() or last_version < publisher.version:
+            sighting = get_json(f"{url}/iid/{iid}")
+            rotations = get_json(f"{url}/rotations")
+            for body in (sighting, rotations):
+                if body["snapshot_version"] < last_version:
+                    failures.append(
+                        f"version went backwards: {body['snapshot_version']}"
+                        f" < {last_version}"
+                    )
+                    return
+                last_version = body["snapshot_version"]
+            # Torn-state checks: each body is self-consistent.
+            if sighting["watched"] and sighting["sighting"] is not None:
+                if sighting["sighting"]["day"] is None:
+                    failures.append("watched sighting without a day")
+                    return
+            if rotations["closed"] != bool(rotations["rotating_prefixes"]):
+                failures.append(
+                    f"closed={rotations['closed']} with "
+                    f"{len(rotations['rotating_prefixes'])} prefixes"
+                )
+                return
+            if last_version >= publisher.version and ingest_done.is_set():
+                return
+
+    readers = [threading.Thread(target=reader) for _ in range(3)]
+    for thread in readers:
+        thread.start()
+    try:
+        for start in range(0, len(stream), 5):
+            engine.ingest_batch(stream[start : start + 5])
+            publisher.refresh()
+        engine.flush()
+        publisher.refresh(force=True)
+    finally:
+        ingest_done.set()
+        for thread in readers:
+            thread.join(timeout=30)
+        server.stop()
+    assert not failures, failures
+    assert all(not thread.is_alive() for thread in readers)
+    assert publisher.version > 1

@@ -25,6 +25,12 @@ sqlite file), and odd seeds feed the columnar engine through
 ``ingest_columns`` (``ColumnBatch`` hand-off) and the parallel engine
 through its column dispatch -- so identical checkpoint bytes prove
 layout- and currency-independence, not just kernel equivalence.
+
+Since the serve layer the columnar engine is additionally *served*: a
+:class:`~repro.serve.snapshot.SnapshotPublisher` refreshes against it
+at random points mid-stream (materializing pending state each time),
+pinning that publishing read snapshots never perturbs checkpoint bytes
+and that snapshot versions only ever move forward.
 """
 
 import json
@@ -189,12 +195,23 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed, tmp_path):
         for engine in engines:
             engine.watch(iid)
 
+    # The columnar engine is also served: random refreshes materialize
+    # its pending state mid-stream, which must never change what ends
+    # up in a checkpoint (the oracle below says so), and versions must
+    # only move forward.
+    from repro.serve import SnapshotPublisher
+
+    publisher = SnapshotPublisher(columnar)
+    versions = [publisher.version]
+
     def feed(engine, chunk):
         """Columns for the column-capable engines on odd seeds."""
         if columns and engine in (columnar, parallel):
             engine.ingest_columns(ColumnBatch.from_observations(chunk))
         else:
             engine.ingest_batch(chunk)
+        if engine is columnar and rng.random() < 0.3:
+            versions.append(publisher.refresh().version)
 
     # Phase 1: up to the snapshot point.
     for observation in corpus[:split]:
@@ -206,6 +223,7 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed, tmp_path):
     # Mid-stream: the parallel snapshot and both batch engines must
     # match the per-observation engine, in-progress day left open --
     # and the serialized store rows must not depend on the backend.
+    versions.append(publisher.refresh(force=True).version)
     mid = json.dumps(engine_state(reference))
     assert json.dumps(engine_state(batched)) == mid
     assert json.dumps(engine_state(columnar)) == mid
@@ -222,10 +240,14 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed, tmp_path):
     columnar.flush()
     merged = parallel.finalize()
 
+    versions.append(publisher.refresh(force=True).version)
     final = json.dumps(engine_state(reference))
     assert json.dumps(engine_state(batched)) == final
     assert json.dumps(engine_state(columnar)) == final
     assert json.dumps(engine_state(merged)) == final
+    # Serving the columnar engine never moved a version backwards.
+    assert versions == sorted(versions)
+    assert versions[-1] >= 2
 
 
 @pytest.mark.parametrize("seed", SEEDS)

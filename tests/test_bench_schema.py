@@ -34,6 +34,7 @@ REQUIRED_SECTIONS = {
     "store_backends",
     "telemetry_overhead",
     "checkpoint",
+    "serve_queries",
 }
 
 # Enabled-telemetry cost cap on the columnar ingest path: the recorded
@@ -47,6 +48,11 @@ TELEMETRY_OVERHEAD_CAP_PCT = 5.0
 # <= 25% of the full segment's bytes.
 CHECKPOINT_SPEEDUP_FLOOR = 3.0
 CHECKPOINT_DELTA_CAP_PCT = 25.0
+
+# Serving cost cap: sustained concurrent queries (paced readers against
+# the snapshot HTTP API) may not cost the columnar ingest path more
+# than this -- reads come off published snapshots, never engine locks.
+SERVE_INGEST_OVERHEAD_CAP_PCT = 15.0
 
 # Throughput figures the regression gate tracks (dotted paths), and how
 # much of a drop versus the baseline is tolerated before CI fails.  The
@@ -63,6 +69,7 @@ GATED_METRICS = (
     "store_backends.columnar.append_rows_per_s",
     "store_backends.columnar.scan_rows_per_s",
     "store_backends.sqlite.append_rows_per_s",
+    "serve_queries.sustained_queries_per_s",
 )
 REGRESSION_TOLERANCE = 0.30
 
@@ -234,4 +241,33 @@ def test_checkpoint_format_gates():
     assert delta_pct <= CHECKPOINT_DELTA_CAP_PCT, (
         f"delta segment costs {delta_pct:.1f}% of a full rewrite "
         f"(cap {CHECKPOINT_DELTA_CAP_PCT:.0f}%)"
+    )
+
+
+def test_serve_queries_gates():
+    """The committed serving figures must honour the acceptance bars.
+
+    Absolute, like the telemetry cap: queries are answered from
+    atomically published read snapshots, so sustained concurrent load
+    costing ingest more than 15% -- or any response carrying a
+    snapshot version that moved backwards -- is a design regression,
+    not host noise.
+    """
+    assert BENCH_JSON.exists(), "BENCH_stream.json must be committed at repo root"
+    current = json.loads(BENCH_JSON.read_text())
+    overhead = _dig(current, "serve_queries.ingest_overhead_pct")
+    monotonic = _dig(current, "serve_queries.snapshot_versions_monotonic")
+    sustained = _dig(current, "serve_queries.sustained_queries_per_s")
+    assert isinstance(overhead, numbers.Real), (
+        "serve_queries.ingest_overhead_pct missing from BENCH_stream.json"
+    )
+    assert overhead <= SERVE_INGEST_OVERHEAD_CAP_PCT, (
+        f"sustained queries cost {overhead:.2f}% of columnar ingest "
+        f"(cap {SERVE_INGEST_OVERHEAD_CAP_PCT:.0f}%)"
+    )
+    assert monotonic is True, (
+        "serve_queries.snapshot_versions_monotonic must be recorded True"
+    )
+    assert isinstance(sustained, numbers.Real) and sustained > 0, (
+        "serve_queries.sustained_queries_per_s must be a positive rate"
     )
