@@ -58,6 +58,7 @@ from repro.store import (
 )
 from repro.stream.campaign import StreamingCampaign
 from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.fabric import FabricServer, SocketTransport, parse_worker_spec
 from repro.stream.feeds import (
     MixedFeed,
     SightingRecord,
@@ -83,6 +84,7 @@ __all__ = [
     "ColumnarBackend",
     "DeviceTracker",
     "DiscoveryPipeline",
+    "FabricServer",
     "FlowTap",
     "InternetSpec",
     "LivePursuit",
@@ -103,6 +105,7 @@ __all__ = [
     "SightingRecord",
     "SimInternet",
     "SnapshotPublisher",
+    "SocketTransport",
     "SqliteBackend",
     "StoreBackend",
     "StreamConfig",
@@ -129,6 +132,7 @@ __all__ = [
     "observation_feed",
     "parse_addr",
     "parse_mac",
+    "parse_worker_spec",
     "sighting_feed",
     "tap_feed",
 ]

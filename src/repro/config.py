@@ -1,0 +1,160 @@
+"""Process configuration: every ``REPRO_*`` knob behind one resolver.
+
+The knobs used to live as ad-hoc ``os.environ`` reads scattered across
+modules; they now resolve here, once, with one precedence rule --
+**explicit keyword arguments win over environment variables win over
+defaults** -- and one documented table.  Modules call :func:`current`
+at their decision points (construction, format resolution) rather than
+touching ``os.environ`` directly, so tests and embedders can override
+any knob per call without mutating process state.
+
+Environment table
+-----------------
+
+===============================  ==========================================
+Variable                         Meaning
+===============================  ==========================================
+``REPRO_STORE_BACKEND``          Default :class:`~repro.store.StoreBackend`
+                                 for every ``ObservationStore()`` built
+                                 without an explicit backend: ``object`` /
+                                 ``columnar`` / ``sqlite``.  Unset: columnar
+                                 when numpy is enabled, else object.
+``REPRO_CHECKPOINT_FORMAT``      Checkpoint write format: ``json``
+                                 (canonical) or ``binary`` (columnar delta
+                                 segments).  Reads always sniff the file.
+``REPRO_STREAM_FORCE_FALLBACK``  Any non-empty value forces the pure-Python
+                                 ingest kernel even when numpy imports (the
+                                 CI fallback-equivalence hook).
+``REPRO_LOG_JSON``               ``1``/``true``/``yes``: JSON-lines log
+                                 records instead of human one-liners.
+``REPRO_LOG_LEVEL``              Default level for :func:`repro.util.get_logger`
+                                 (``INFO`` when unset).
+``REPRO_FABRIC_HEARTBEAT``       Socket-fabric heartbeat interval, seconds
+                                 (default 2).
+``REPRO_FABRIC_HEARTBEAT_TIMEOUT``  Seconds of worker silence before the
+                                 master declares it dead (default 10).
+``REPRO_FABRIC_CONNECT_TIMEOUT`` Seconds the master waits for workers to
+                                 connect and complete the hello handshake,
+                                 and a worker waits for its welcome
+                                 (default 10).
+``REPRO_FABRIC_MAX_FRAME``       Largest accepted fabric frame payload,
+                                 bytes (default 256 MiB); oversized frames
+                                 are rejected before allocation.
+===============================  ==========================================
+
+Empty-string values count as *unset* (the CI matrix exports ``""`` for
+knobs a leg leaves at default).  :func:`current` re-reads the
+environment on every call -- configuration is resolved at use time,
+never frozen at import, so monkeypatched tests and late ``os.environ``
+edits behave as expected.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields
+
+ENV_STORE_BACKEND = "REPRO_STORE_BACKEND"
+ENV_CHECKPOINT_FORMAT = "REPRO_CHECKPOINT_FORMAT"
+ENV_FORCE_FALLBACK = "REPRO_STREAM_FORCE_FALLBACK"
+ENV_LOG_JSON = "REPRO_LOG_JSON"
+ENV_LOG_LEVEL = "REPRO_LOG_LEVEL"
+ENV_FABRIC_HEARTBEAT = "REPRO_FABRIC_HEARTBEAT"
+ENV_FABRIC_HEARTBEAT_TIMEOUT = "REPRO_FABRIC_HEARTBEAT_TIMEOUT"
+ENV_FABRIC_CONNECT_TIMEOUT = "REPRO_FABRIC_CONNECT_TIMEOUT"
+ENV_FABRIC_MAX_FRAME = "REPRO_FABRIC_MAX_FRAME"
+
+
+@dataclass(frozen=True)
+class Settings:
+    """One resolved configuration snapshot (see the module table)."""
+
+    store_backend: str | None = None
+    checkpoint_format: str | None = None
+    force_fallback: bool = False
+    log_json: bool = False
+    log_level: str | None = None
+    fabric_heartbeat_seconds: float = 2.0
+    fabric_heartbeat_timeout: float = 10.0
+    fabric_connect_timeout: float = 10.0
+    fabric_max_frame_bytes: int = 256 * 1024 * 1024
+
+
+_FIELD_NAMES = {f.name for f in fields(Settings)}
+
+
+def _env_str(name: str) -> str | None:
+    """A string knob; empty counts as unset."""
+    value = os.environ.get(name)
+    return value if value else None
+
+
+def _env_truthy(name: str) -> bool:
+    """``1``/``true``/``yes`` (case-insensitive) means on."""
+    return (os.environ.get(name) or "").lower() in ("1", "true", "yes")
+
+
+def _env_float(name: str, default: float) -> float:
+    value = _env_str(name)
+    if value is None:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(f"{name}={value!r}: expected a number") from None
+
+
+def _env_int(name: str, default: int) -> int:
+    value = _env_str(name)
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(f"{name}={value!r}: expected an integer") from None
+
+
+def current(**overrides) -> Settings:
+    """Resolve the live configuration.
+
+    Keyword overrides (any :class:`Settings` field) win over the
+    environment; ``None`` overrides mean "no opinion" and fall through
+    to the environment/default -- so call sites can pass their own
+    optional parameters straight down.
+    """
+    values = {
+        "store_backend": _env_str(ENV_STORE_BACKEND),
+        "checkpoint_format": _env_str(ENV_CHECKPOINT_FORMAT),
+        # Presence is the switch (any non-empty value), matching the
+        # historical semantics the CI no-numpy leg relies on.
+        "force_fallback": bool(os.environ.get(ENV_FORCE_FALLBACK)),
+        "log_json": _env_truthy(ENV_LOG_JSON),
+        "log_level": _env_str(ENV_LOG_LEVEL),
+        "fabric_heartbeat_seconds": _env_float(ENV_FABRIC_HEARTBEAT, 2.0),
+        "fabric_heartbeat_timeout": _env_float(ENV_FABRIC_HEARTBEAT_TIMEOUT, 10.0),
+        "fabric_connect_timeout": _env_float(ENV_FABRIC_CONNECT_TIMEOUT, 10.0),
+        "fabric_max_frame_bytes": _env_int(
+            ENV_FABRIC_MAX_FRAME, Settings.fabric_max_frame_bytes
+        ),
+    }
+    for key, value in overrides.items():
+        if key not in _FIELD_NAMES:
+            raise TypeError(f"unknown setting {key!r}")
+        if value is not None:
+            values[key] = value
+    return Settings(**values)
+
+
+__all__ = [
+    "ENV_CHECKPOINT_FORMAT",
+    "ENV_FABRIC_CONNECT_TIMEOUT",
+    "ENV_FABRIC_HEARTBEAT",
+    "ENV_FABRIC_HEARTBEAT_TIMEOUT",
+    "ENV_FABRIC_MAX_FRAME",
+    "ENV_FORCE_FALLBACK",
+    "ENV_LOG_JSON",
+    "ENV_LOG_LEVEL",
+    "ENV_STORE_BACKEND",
+    "Settings",
+    "current",
+]

@@ -33,6 +33,8 @@ KNOWN_EVENTS = (
     "checkpoint_written",
     "worker_join",
     "worker_exit",
+    "fabric_worker_lost",
+    "fabric_requeue",
     "serve_start",
     "serve_stop",
 )

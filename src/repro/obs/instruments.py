@@ -18,6 +18,8 @@ Metric name scheme (documented in ``benchmarks/README.md``):
 
 * ``repro_stream_*``   -- :class:`~repro.stream.engine.StreamEngine`
 * ``repro_parallel_*`` -- the multiprocess dispatcher (``worker`` label)
+* ``repro_fabric_*``   -- the socket transport: heartbeat RTT, outbox
+  depth, lost workers, requeued messages (``worker`` label)
 * ``repro_feed_*``     -- passive-feed drains and suppressions
 * ``repro_store_*``    -- :class:`ObservationStore` backends (``backend``
   label)
@@ -174,6 +176,70 @@ class ParallelInstruments(EngineInstruments):
     def worker_exited(self, worker: int) -> None:
         self.workers_alive.value -= 1
         self.telemetry.emit("worker_exit", worker=worker)
+
+
+class FabricInstruments:
+    """Socket-transport metrics: heartbeat RTT, outbox depth, losses.
+
+    Heartbeats land on per-channel reader threads and the monitor thread
+    bumps outbox gauges, so -- like :class:`ServeInstruments` -- updates
+    take a small lock.  Cadence is per-heartbeat (seconds apart), never
+    per-row, so the lock is nowhere near a hot path.
+    """
+
+    __slots__ = (
+        "telemetry",
+        "heartbeat_seconds",
+        "outbox_depth",
+        "workers_lost",
+        "requeued_messages",
+        "_lock",
+    )
+
+    def __init__(self, telemetry, num_workers: int) -> None:
+        registry = telemetry.registry
+        self.telemetry = telemetry
+        self.heartbeat_seconds = registry.histogram(
+            "repro_fabric_heartbeat_seconds",
+            "Master-to-worker heartbeat round-trip time",
+            LATENCY_BUCKETS,
+        )
+        self.outbox_depth = [
+            registry.gauge(
+                "repro_fabric_outbox_frames",
+                "Frames queued toward each worker at last monitor tick",
+                {"worker": str(w)},
+            )
+            for w in range(num_workers)
+        ]
+        self.workers_lost = registry.counter(
+            "repro_fabric_workers_lost_total",
+            "Socket workers declared dead (timeout or connection loss)",
+        )
+        self.requeued_messages = registry.counter(
+            "repro_fabric_requeued_messages_total",
+            "Journaled messages replayed onto surviving workers",
+        )
+        self._lock = threading.Lock()
+
+    def heartbeat(self, worker: int, seconds: float) -> None:
+        with self._lock:
+            self.heartbeat_seconds.observe(seconds)
+
+    def outbox(self, worker: int, depth: int) -> None:
+        with self._lock:
+            if 0 <= worker < len(self.outbox_depth):
+                self.outbox_depth[worker].value = depth
+
+    def worker_lost(self, worker: int) -> None:
+        with self._lock:
+            self.workers_lost.value += 1
+        self.telemetry.emit("fabric_worker_lost", worker=worker)
+
+    def requeued(self, messages: int) -> None:
+        with self._lock:
+            self.requeued_messages.value += messages
+        self.telemetry.emit("fabric_requeue", messages=messages)
 
 
 class StoreInstruments:

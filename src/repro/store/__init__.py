@@ -69,8 +69,7 @@ else in the codebase needs to know it exists.  Register a name in
 
 from __future__ import annotations
 
-import os
-
+from repro import config
 from repro.store.backend import (
     SCAN_CHUNK_ROWS,
     ColumnarBackend,
@@ -84,7 +83,8 @@ from repro.store.sqlite import SqliteBackend
 #: Environment override for the default backend of every
 #: :class:`~repro.core.records.ObservationStore` constructed without an
 #: explicit backend.  Unset: columnar when numpy is enabled, else object.
-BACKEND_ENV = "REPRO_STORE_BACKEND"
+#: (Resolved through :func:`repro.config.current`.)
+BACKEND_ENV = config.ENV_STORE_BACKEND
 
 _BACKENDS = {
     "object": ObjectBackend,
@@ -100,7 +100,7 @@ def default_backend_name() -> str:
     streaming kernel would also run columnar (one switch governs both),
     falling back to the object layout on stdlib-only installs.
     """
-    override = os.environ.get(BACKEND_ENV)
+    override = config.current().store_backend
     if override:
         if override not in _BACKENDS:
             raise ValueError(

@@ -21,9 +21,18 @@ Layout:
 * :mod:`repro.stream.engine` -- :class:`StreamEngine`, the single-pass
   ingestion core with always-current per-AS inferences, live rotation
   detection, and a watchlist for passive device sightings;
+* :mod:`repro.stream.sink` -- the :class:`IngestSink` protocol and
+  :class:`IngestSinkBase` mixin: one polymorphic ``ingest()`` (plus the
+  legacy ``ingest_*`` names as shims) shared by every observation
+  consumer;
 * :mod:`repro.stream.parallel` -- :class:`ParallelStreamEngine`, the
-  multiprocess backend: sharded worker processes fed flat-tuple chunks,
-  merged back into a byte-identical engine view;
+  parallel backend: sharded workers fed flat-tuple chunks through a
+  fabric transport, merged back into a byte-identical engine view;
+* :mod:`repro.stream.fabric` -- the distributed campaign fabric:
+  message framing, the dispatcher/worker protocol, the local
+  :class:`PipeTransport`, and the :class:`SocketTransport` master +
+  ``python -m repro.stream.fabric.worker`` entrypoint for multi-host
+  workers;
 * :mod:`repro.stream.feeds` -- passive-feed adapters: flow logs,
   hitlist sightings, provider flow taps, and generic timestamped
   records as observation streams, plus :class:`MixedFeed` day-order
@@ -46,6 +55,14 @@ from repro.stream.checkpoint import (
     save_engine,
 )
 from repro.stream.engine import Sighting, StreamConfig, StreamEngine
+from repro.stream.fabric import (
+    FabricError,
+    FabricServer,
+    PipeTransport,
+    SocketTransport,
+    WorkerLost,
+    parse_worker_spec,
+)
 from repro.stream.feeds import (
     MixedFeed,
     SightingRecord,
@@ -58,26 +75,35 @@ from repro.stream.feeds import (
 )
 from repro.stream.parallel import ParallelStreamEngine
 from repro.stream.shard import ShardKey, ShardRouter, shard_index
+from repro.stream.sink import IngestSink, IngestSinkBase
 from repro.stream.tracker import LivePursuit, PursuitState
 
 __all__ = [
+    "FabricError",
+    "FabricServer",
+    "IngestSink",
+    "IngestSinkBase",
     "LivePursuit",
     "MixedFeed",
     "ParallelStreamEngine",
+    "PipeTransport",
     "PursuitState",
     "ShardKey",
     "ShardRouter",
     "Sighting",
     "SightingRecord",
+    "SocketTransport",
     "StreamConfig",
     "StreamEngine",
     "StreamingCampaign",
+    "WorkerLost",
     "engine_state",
     "flow_feed",
     "hitlist_feed",
     "ingest_feed",
     "load_engine",
     "observation_feed",
+    "parse_worker_spec",
     "restore_engine",
     "save_engine",
     "shard_index",

@@ -73,7 +73,7 @@ class StreamingCampaign:
         engine: StreamEngine | None = None,
         checkpoint_path: str | Path | None = None,
         checkpoint_every: int = 0,
-        workers: int = 0,
+        workers: "int | str" = 0,
         batch_rows: int = 8192,
         passive_feeds: "Iterable[Iterable[ProbeObservation]] | None" = None,
         store: "ObservationStore | None" = None,
@@ -85,7 +85,7 @@ class StreamingCampaign:
             raise ValueError("checkpoint_every must be >= 0")
         if checkpoint_every and checkpoint_path is None:
             raise ValueError("checkpoint_every requires a checkpoint_path")
-        if workers < 0:
+        if isinstance(workers, int) and workers < 0:
             raise ValueError("workers must be >= 0")
         self.campaign = campaign
         self.result = CampaignResult(targets_per_day=len(campaign.targets))
@@ -127,14 +127,21 @@ class StreamingCampaign:
             # The (possibly checkpoint-restored) engine seeds the
             # dispatcher: its aggregates fold into every merge and its
             # watchlist/day state carries over, so an empty engine is
-            # simply a zero-cost base.
+            # simply a zero-cost base.  An int forks that many local
+            # pipe workers; a fabric spec string ("tcp://host:port
+            # ?workers=N...") boots a socket master instead, with the
+            # worker count riding in the spec.
+            if isinstance(workers, str):
+                parallel_kwargs = {"transport": workers}
+            else:
+                parallel_kwargs = {"num_workers": workers}
             self._parallel = ParallelStreamEngine(
                 engine.config,
                 origin_of=campaign.internet.rib.origin_of,
-                num_workers=workers,
                 batch_rows=batch_rows,
                 base=engine,
                 telemetry=telemetry,
+                **parallel_kwargs,
             )
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.checkpoint_every = checkpoint_every
@@ -209,7 +216,7 @@ class StreamingCampaign:
         campaign: Campaign,
         checkpoint_path: str | Path,
         checkpoint_every: int = 0,
-        workers: int = 0,
+        workers: "int | str" = 0,
         batch_rows: int = 8192,
         passive_feeds: "Iterable[Iterable[ProbeObservation]] | None" = None,
         store: "ObservationStore | None" = None,
@@ -498,7 +505,11 @@ class StreamingCampaign:
                 workers=self.workers,
             )
         self._drain_feed(first_day - 1, skip_drained=True)
-        consumer = self._parallel.ingest if self._parallel else self.engine.ingest
+        consumer = (
+            self._parallel._ingest_observation
+            if self._parallel
+            else self.engine._ingest_observation
+        )
         self.campaign.run_streaming(
             consumer=consumer,
             result=self.result,

@@ -34,10 +34,10 @@ simulated time and resets across large gaps (see ``TokenBucket``).
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Callable
 
+from repro import config
 from repro.core.records import ObservationStore
 from repro.core.rotation_detect import RotationDetection
 from repro.net.addr import Prefix
@@ -49,12 +49,13 @@ FORMAT_VERSION = 1
 
 #: Process-wide checkpoint format override ("json" or "binary"); the
 #: ``format=`` argument wins when given.  Reads always sniff the file.
-FORMAT_ENV = "REPRO_CHECKPOINT_FORMAT"
+#: (Resolved through :func:`repro.config.current`.)
+FORMAT_ENV = config.ENV_CHECKPOINT_FORMAT
 
 
 def checkpoint_format(explicit: str | None = None) -> str:
     """Resolve the checkpoint format: argument, environment, default."""
-    fmt = explicit or os.environ.get(FORMAT_ENV) or "json"
+    fmt = config.current(checkpoint_format=explicit).checkpoint_format or "json"
     if fmt not in ("json", "binary"):
         raise ValueError(f"unknown checkpoint format: {fmt!r}")
     return fmt

@@ -37,8 +37,7 @@ dependency-light with identical results.
 
 from __future__ import annotations
 
-import os
-
+from repro import config
 from repro.core.rotation_detect import RotationDetection
 from repro.net.addr import Prefix
 from repro.net.eui64 import _FFFE, _FFFE_SHIFT
@@ -52,8 +51,9 @@ except ImportError:  # pragma: no cover - the no-numpy CI leg covers this
 
 #: Set (to any non-empty value) to force the pure-Python fallback even
 #: when numpy is importable -- the CI no-numpy leg and the fallback
-#: equivalence tests use it.
-FORCE_FALLBACK_ENV = "REPRO_STREAM_FORCE_FALLBACK"
+#: equivalence tests use it.  (Resolved through
+#: :func:`repro.config.current`.)
+FORCE_FALLBACK_ENV = config.ENV_FORCE_FALLBACK
 
 _MASK64 = (1 << 64) - 1
 _NET48_SHIFT = 80
@@ -61,7 +61,7 @@ _NET48_SHIFT = 80
 
 def numpy_enabled() -> bool:
     """True when the numpy kernel is importable and not overridden."""
-    return np is not None and not os.environ.get(FORCE_FALLBACK_ENV)
+    return np is not None and not config.current().force_fallback
 
 
 def make_accumulator(

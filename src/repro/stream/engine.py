@@ -33,9 +33,9 @@ from repro.core.rotation_pool import RotationPoolInference
 from repro.core.tracker import AsProfile
 from repro.net.addr import IID_BITS, IID_MASK, Prefix
 from repro.net.eui64 import _FFFE, _FFFE_SHIFT
-from repro.net.icmpv6 import ProbeResponse
 from repro.stream import columnar as columnar_kernel
 from repro.stream.shard import ShardKey, ShardRouter
+from repro.stream.sink import IngestSinkBase
 from repro.stream.state import (
     ShardState,
     allocation_inference_from_spans,
@@ -109,8 +109,15 @@ def update_sighting(
         sighting.t_seconds = t_seconds
 
 
-class StreamEngine:
-    """Single-pass ingestion with incrementally maintained inferences."""
+class StreamEngine(IngestSinkBase):
+    """Single-pass ingestion with incrementally maintained inferences.
+
+    An :class:`~repro.stream.sink.IngestSink`: the polymorphic
+    ``ingest()`` and the legacy ``ingest_response(s)`` / ``ingest_feed``
+    entrypoints come from the shared mixin; this class implements the
+    three native primitives (:meth:`_ingest_observation`,
+    :meth:`ingest_batch`, :meth:`ingest_columns`).
+    """
 
     def __init__(
         self,
@@ -213,8 +220,11 @@ class StreamEngine:
 
     # -- ingestion ---------------------------------------------------------
 
-    def ingest(self, observation: ProbeObservation) -> None:
-        """Fold one observation into all engine state. O(1)."""
+    def _ingest_observation(self, observation: ProbeObservation) -> None:
+        """Fold one observation into all engine state. O(1).
+
+        The hot per-response primitive behind the polymorphic
+        ``ingest()``; campaign consumers bind this method directly."""
         day = observation.day
         if day != self.current_day:
             if self.current_day is None:
@@ -249,9 +259,6 @@ class StreamEngine:
             if iid in self._watch_iids:
                 update_sighting(self.watched, iid, source, day, observation.t_seconds)
 
-    def ingest_response(self, response: ProbeResponse, day: int | None = None) -> None:
-        self.ingest(ProbeObservation.from_response(response, day))
-
     def ingest_batch(self, observations: Iterable[ProbeObservation]) -> int:
         """Bulk-apply a micro-batch; returns how many were ingested.
 
@@ -263,8 +270,8 @@ class StreamEngine:
         equivalence tests assert it -- just without the per-response
         interpreter overhead.
 
-        ``repro.stream.parallel._apply_rows`` is this loop's hand-
-        inlined twin for worker processes; edits to the span/pair logic
+        ``repro.stream.fabric.protocol._apply_rows`` is this loop's
+        hand-inlined twin for fabric workers; edits to the span/pair logic
         must land in both (the worker-count-invariance tests pin them
         identical).
 
@@ -570,21 +577,8 @@ class StreamEngine:
                 with obs.materialize_seconds.time():
                     acc.materialize(self.shards)
 
-    def ingest_responses(
-        self, responses: Iterable[ProbeResponse], day: int | None = None
-    ) -> int:
-        return self.ingest_batch(
-            ProbeObservation.from_response(r, day) for r in responses
-        )
-
-    def ingest_feed(self, feed: Iterable[ProbeObservation]) -> int:
-        """Consume a day-ordered feed (see :mod:`repro.stream.feeds`).
-
-        Active scan streams, passive vantage adapters, and
-        :class:`~repro.stream.feeds.MixedFeed` interleavings all ride
-        the fused batch path; returns how many were ingested.
-        """
-        return self.ingest_batch(feed)
+    # ingest_response / ingest_responses / ingest_feed and the
+    # polymorphic ingest() are inherited from IngestSinkBase.
 
     # -- live rotation detection ------------------------------------------
 

@@ -1,0 +1,55 @@
+"""``repro.stream.fabric``: the distributed campaign fabric.
+
+The :class:`~repro.stream.parallel.ParallelStreamEngine` dispatcher
+speaks a small tagged-tuple protocol (:mod:`.protocol`) to its workers
+through a :class:`Transport`: local ``multiprocessing`` pipes
+(:class:`.PipeTransport`, the default -- zero behavior change from the
+pipe era) or length-prefixed CRC-checked TCP frames
+(:class:`.SocketTransport` / :data:`.FabricServer` + the
+``python -m repro.stream.fabric.worker`` entrypoint) so workers run on
+other hosts.  Whatever the transport and worker count, merged
+checkpoints are byte-identical to a serial engine fed the same stream
+-- the fuzz harness pins ``serial == pipes == sockets``.
+"""
+
+from repro.stream.fabric.framing import FrameError
+from repro.stream.fabric.protocol import (
+    PROTO_VERSION,
+    FabricError,
+    WorkerCore,
+    WorkerLost,
+    pairs_from_columns,
+    serve,
+)
+from repro.stream.fabric.transport import (
+    FabricServer,
+    PipeTransport,
+    SocketTransport,
+    parse_worker_spec,
+)
+
+
+def __getattr__(name):
+    # Lazy: ``python -m repro.stream.fabric.worker`` would otherwise
+    # find the module pre-imported by this package and warn.
+    if name == "run_worker":
+        from repro.stream.fabric.worker import run_worker
+
+        return run_worker
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "PROTO_VERSION",
+    "FabricError",
+    "FabricServer",
+    "FrameError",
+    "PipeTransport",
+    "SocketTransport",
+    "WorkerCore",
+    "WorkerLost",
+    "pairs_from_columns",
+    "parse_worker_spec",
+    "run_worker",
+    "serve",
+]

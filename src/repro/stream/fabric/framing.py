@@ -1,0 +1,100 @@
+"""Length-prefixed, CRC-checked message framing for fabric sockets.
+
+One frame = a 12-byte header (4-byte magic, little-endian uint32
+payload length, little-endian CRC-32 of the payload) followed by the
+pickled payload.  The magic catches cross-protocol connections (a
+browser, a stray health checker) before any payload is read; the
+length bound rejects absurd allocations before they happen; the CRC
+catches truncated or corrupted frames -- any of the three raises
+:class:`FrameError`, and a connection that produced one is unusable
+(framing offers no resynchronization point mid-stream, by design: the
+master treats the worker as lost and requeues).
+
+Payloads are pickled: every fabric message is flat Python scalars,
+lists of ints, or numpy uint64 arrays, all of which pickle compactly
+and survive a numpy/no-numpy boundary when the sender converts arrays
+to lists first (see ``protocol.day_pair_columns``).  The fabric only
+ever connects trusted cooperating processes (the master spawns or
+invites its workers), matching ``multiprocessing``'s own pickle-over-
+pipe trust model that the pipe transport already relies on.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+
+MAGIC = b"RFB1"
+
+_HEADER = struct.Struct("<4sII")
+HEADER_BYTES = _HEADER.size
+
+
+class FrameError(RuntimeError):
+    """A malformed frame: bad magic, oversize length, truncation, or
+    CRC mismatch.  The connection cannot be trusted past this point."""
+
+
+def encode(message) -> bytes:
+    """Serialize one fabric message to a frame payload."""
+    return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode(payload: bytes):
+    """Deserialize a frame payload back into a message."""
+    return pickle.loads(payload)
+
+
+def send_frame(sock, payload: bytes) -> None:
+    """Write one frame (header + payload) to a connected socket."""
+    header = _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload))
+    sock.sendall(header + payload)
+
+
+def _recv_exact(sock, n: int, what: str, *, eof_ok: bool = False) -> bytes:
+    """Read exactly *n* bytes, or raise.
+
+    A clean close at a frame boundary (*eof_ok*, zero bytes read)
+    raises ``EOFError`` -- the orderly end-of-stream every serve loop
+    treats as shutdown; a close anywhere else is a truncated frame.
+    """
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            if eof_ok and not buf:
+                raise EOFError("connection closed")
+            raise FrameError(f"truncated {what}: got {len(buf)} of {n} bytes")
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def recv_frame(sock, max_bytes: int) -> bytes:
+    """Read one frame's payload, validating magic, length, and CRC.
+
+    Raises ``EOFError`` on a clean close between frames,
+    :class:`FrameError` on anything malformed, and whatever the socket
+    raises (timeout, reset) on transport failure.
+    """
+    header = _recv_exact(sock, HEADER_BYTES, "frame header", eof_ok=True)
+    magic, length, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if length > max_bytes:
+        raise FrameError(f"frame of {length} bytes exceeds limit {max_bytes}")
+    payload = _recv_exact(sock, length, "frame payload")
+    if zlib.crc32(payload) != crc:
+        raise FrameError("frame CRC mismatch")
+    return payload
+
+
+__all__ = [
+    "FrameError",
+    "HEADER_BYTES",
+    "MAGIC",
+    "decode",
+    "encode",
+    "recv_frame",
+    "send_frame",
+]

@@ -1,0 +1,359 @@
+"""The fabric wire protocol: message tags and the worker-side core.
+
+The dispatcher/worker conversation is a handful of tagged tuples --
+the same tuples the pipe era sent over ``multiprocessing``
+connections, now transport-agnostic:
+
+==============  =======================================  ==================
+Request         Payload                                  Reply
+==============  =======================================  ==================
+``hello``       ``(proto, nonce)``                       ``welcome`` +
+                                                         worker config
+                                                         (socket only)
+``rows``        flat ``(day, target, source, asn)``      *(none)*
+``cols``        uint64 column arrays                     *(none)*
+``day_pairs``   ``day``                                  ``pairs`` + flat
+                                                         pair columns
+``prune``       ``keep_floor`` day                       *(none)*
+``ping``        sync token                               ``pong`` + token
+``hb``          sender timestamp                         ``hb_pong`` + it
+``state``       --                                       ``state`` + shards
+``stop``        --                                       *(none; worker
+                                                         exits)*
+==============  =======================================  ==================
+
+Anything that goes wrong worker-side is reported as an ``("error",
+message)`` frame, which the dispatcher re-raises as
+``RuntimeError("stream worker failed: ...")`` -- the pipe-era contract,
+unchanged.
+
+:class:`WorkerCore` is the transport-independent worker: it owns the
+shard aggregates plus the columnar accumulator and implements every
+request above, so the local pipe worker, the remote socket worker, and
+in-process test workers all run the exact same fold logic.
+Determinism note: the core is a pure function of the message sequence
+it receives for the shards it owns -- the property that makes
+requeue-to-survivor journal replay and the serial == pipes == sockets
+byte-identity pin possible at all.
+
+``day_pairs`` replies ship flat *pair columns* (four parallel uint64
+lists: target hi/lo, source hi/lo), not pickled Python sets -- the
+last pipe-era wart, fixed here.  The dispatcher rebuilds the set with
+:func:`pairs_from_columns` and diffs as before.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.net.addr import IID_BITS, IID_MASK
+from repro.net.eui64 import _FFFE, _FFFE_SHIFT
+from repro.stream import columnar as columnar_kernel
+from repro.stream.shard import shard_index
+from repro.stream.sink import IngestSinkBase
+from repro.stream.state import ShardState, prune_shard_days
+
+PROTO_VERSION = 1
+
+_MASK64 = (1 << 64) - 1
+
+
+class FabricError(RuntimeError):
+    """A fabric-level failure: handshake, framing, or protocol breach."""
+
+
+class WorkerLost(FabricError):
+    """A worker died or its connection broke mid-conversation.
+
+    ``channel_index`` names the transport channel (dispatch slot) that
+    failed so the dispatcher can requeue its journal onto a survivor.
+    """
+
+    def __init__(self, channel_index: int, reason: str = ""):
+        detail = f"worker channel {channel_index} lost"
+        if reason:
+            detail += f": {reason}"
+        super().__init__(detail)
+        self.channel_index = channel_index
+
+
+def _apply_rows(
+    rows: list[tuple],
+    shards: list[ShardState],
+    entries: dict,
+    counts: dict[int, int],
+    asn_keyed: bool,
+    num_shards: int,
+) -> None:
+    """Fold one chunk of flat rows into the worker's shard aggregates.
+
+    This is ``StreamEngine.ingest_batch``'s fused inner loop minus the
+    concerns the dispatcher keeps (day progression, watchlist, store):
+    workers only ever see rows for shards they own, and the origin AS
+    arrives pre-resolved in the row.  The two loops are deliberately
+    hand-inlined twins -- a shared per-row helper would reintroduce the
+    call overhead they exist to remove -- and any edit to the span/pair
+    logic must land in both; the worker-count-invariance tests pin them
+    byte-identical on every shared corpus.
+    """
+    for day, target, source, asn in rows:
+        net48 = source >> 80
+        entry = entries.get(net48)
+        if entry is None:
+            sid = shard_index(asn if asn_keyed else source >> 96, num_shards)
+            shard = shards[sid]
+            entry = entries[net48] = [
+                sid,
+                shard.sources.add,
+                shard.eui_sources.add,
+                shard.eui_iids.add,
+                None,
+                None,
+                shard.pairs_by_day,
+                shard,
+                asn,
+            ]
+        sid = entry[0]
+        counts[sid] = counts.get(sid, 0) + 1
+        entry[1](source)
+        iid = source & IID_MASK
+        if (iid >> _FFFE_SHIFT) & 0xFFFF != _FFFE:  # not an EUI-64 IID
+            continue
+        entry[2](source)
+        entry[3](iid)
+        alloc = entry[4]
+        if alloc is None:
+            shard = entry[7]
+            row_asn = entry[8]
+            alloc = shard.alloc_spans.get(row_asn)
+            if alloc is None:
+                alloc = shard.alloc_spans[row_asn] = {}
+            entry[4] = alloc
+            pool = shard.pool_spans.get(row_asn)
+            if pool is None:
+                pool = shard.pool_spans[row_asn] = {}
+            entry[5] = pool
+        else:
+            pool = entry[5]
+        t64 = target >> IID_BITS
+        span = alloc.get((iid, day))
+        if span is None:
+            alloc[(iid, day)] = [t64, t64]
+        elif t64 < span[0]:
+            span[0] = t64
+        elif t64 > span[1]:
+            span[1] = t64
+        s64 = source >> IID_BITS
+        span = pool.get(iid)
+        if span is None:
+            pool[iid] = [s64, s64]
+        elif s64 < span[0]:
+            span[0] = s64
+        elif s64 > span[1]:
+            span[1] = s64
+        pairs = entry[6].get(day)
+        if pairs is None:
+            pairs = entry[6][day] = set()
+        pairs.add((target, source))
+
+
+def pairs_from_columns(columns) -> set[tuple[int, int]]:
+    """Rebuild a ``{(target, source)}`` pair set from flat columns.
+
+    Inverse of :meth:`WorkerCore.day_pair_columns`: zips the four
+    parallel hi/lo lists back into 128-bit address tuples.  Duplicates
+    between a worker's shard-set and columnar legs collapse here.
+    """
+    t_hi, t_lo, s_hi, s_lo = columns
+    return {
+        ((int(th) << 64) | int(tl), (int(sh) << 64) | int(sl))
+        for th, tl, sh, sl in zip(t_hi, t_lo, s_hi, s_lo)
+    }
+
+
+class WorkerCore(IngestSinkBase):
+    """Transport-independent worker state machine.
+
+    Owns the shard aggregates and the optional columnar accumulator;
+    every transport (local pipe process, remote socket worker,
+    in-process test thread) wraps one of these in a message loop.
+    :meth:`handle` is the single dispatch point, so a message means
+    exactly the same thing over a pipe, a socket, or a direct call.
+
+    Also an :class:`~repro.stream.sink.IngestSink`: local tooling can
+    feed observations straight into a core (hash-keyed sharding only
+    -- ASN routing needs the dispatcher's resolver).
+    """
+
+    __slots__ = ("shards", "entries", "counts", "acc", "asn_keyed", "num_shards")
+
+    def __init__(
+        self, num_shards: int, asn_keyed: bool, columnar: bool | None = None
+    ) -> None:
+        self.shards = [ShardState(shard_id=i) for i in range(num_shards)]
+        self.entries: dict[int, list] = {}
+        self.counts: dict[int, int] = {}
+        self.acc = columnar_kernel.make_accumulator(num_shards, columnar)
+        self.asn_keyed = asn_keyed
+        self.num_shards = num_shards
+
+    # -- wire-facing operations -------------------------------------------
+
+    def apply_rows(self, rows: list[tuple]) -> None:
+        """Fold a chunk of flat ``(day, target, source, asn)`` rows."""
+        if self.acc is not None:
+            self.acc.absorb(
+                *columnar_kernel.row_columns(rows, self.asn_keyed, self.num_shards)
+            )
+        else:
+            _apply_rows(
+                rows, self.shards, self.entries, self.counts,
+                self.asn_keyed, self.num_shards,
+            )
+
+    def apply_cols(self, columns) -> None:
+        """Fold dispatched uint64 column arrays (see ``ingest_columns``)."""
+        if self.acc is not None:
+            columnar_kernel.absorb_worker_columns(
+                self.acc, columns, self.asn_keyed, self.num_shards
+            )
+        else:
+            _apply_rows(
+                columnar_kernel.worker_columns_to_rows(columns),
+                self.shards, self.entries, self.counts,
+                self.asn_keyed, self.num_shards,
+            )
+
+    def day_pair_columns(self, day: int) -> tuple[list, list, list, list]:
+        """*day*'s pairs as flat hi/lo columns -- the ``day_pairs`` reply.
+
+        Plain int lists (never numpy arrays) so the payload crosses a
+        numpy/no-numpy host boundary unchanged; the shard-set and
+        columnar-backlog legs may overlap, and the dispatcher's set
+        rebuild deduplicates.
+        """
+        t_hi: list[int] = []
+        t_lo: list[int] = []
+        s_hi: list[int] = []
+        s_lo: list[int] = []
+        for shard in self.shards:
+            day_pairs = shard.pairs_by_day.get(day)
+            if day_pairs:
+                for target, source in day_pairs:
+                    t_hi.append(target >> 64)
+                    t_lo.append(target & _MASK64)
+                    s_hi.append(source >> 64)
+                    s_lo.append(source & _MASK64)
+        if self.acc is not None and self.acc.has_pairs(day):
+            for out, col in zip(
+                (t_hi, t_lo, s_hi, s_lo), self.acc.day_pair_columns(day)
+            ):
+                out.extend(int(v) for v in col)
+        return (t_hi, t_lo, s_hi, s_lo)
+
+    def prune(self, keep_floor: int) -> None:
+        """Forget pair days below *keep_floor*.  Idempotent, so journal
+        replay onto a survivor (which may have pruned already) is safe."""
+        if self.acc is not None:
+            self.acc.fold_aggregates(self.shards)
+            self.acc.drop_pair_days(keep_floor)
+        prune_shard_days(self.shards, keep_floor)
+
+    def state(self) -> list[ShardState]:
+        """Materialize and return the shard aggregates (``state`` reply).
+
+        Safe to call repeatedly -- snapshots keep workers running -- and
+        the counts assignment is idempotent across calls.
+        """
+        if self.acc is not None:
+            self.acc.materialize(self.shards)
+        for sid, count in self.counts.items():
+            self.shards[sid].n_observations = count
+        return self.shards
+
+    # -- IngestSink primitives (direct local use) -------------------------
+
+    def _ingest_observation(self, observation) -> None:
+        self.ingest_batch((observation,))
+
+    def ingest_batch(self, observations: Iterable) -> int:
+        if self.asn_keyed:
+            raise FabricError(
+                "an ASN-sharded WorkerCore needs pre-routed rows "
+                "(the dispatcher resolves origins); use apply_rows"
+            )
+        rows = [(o.day, o.target, o.source, 0) for o in observations]
+        self.apply_rows(rows)
+        return len(rows)
+
+    def ingest_columns(self, batch) -> int:
+        return self.ingest_batch(iter(batch))
+
+    # -- message dispatch -------------------------------------------------
+
+    def handle(self, message: tuple):
+        """Apply one request; return the reply tuple or ``None``."""
+        tag = message[0]
+        if tag == "rows":
+            self.apply_rows(message[1])
+            return None
+        if tag == "cols":
+            self.apply_cols(message[1])
+            return None
+        if tag == "day_pairs":
+            return ("pairs", self.day_pair_columns(message[1]))
+        if tag == "prune":
+            self.prune(message[1])
+            return None
+        if tag == "ping":
+            return ("pong", message[1])
+        if tag == "hb":
+            return ("hb_pong", message[1])
+        if tag == "state":
+            return ("state", self.state())
+        raise FabricError(f"unknown message tag {tag!r}")
+
+
+def serve(
+    core: WorkerCore,
+    recv: Callable[[], tuple],
+    send: Callable[[tuple], None],
+) -> None:
+    """Run a worker message loop over arbitrary recv/send callables.
+
+    Returns on ``stop`` or a closed connection; any other failure is
+    reported back as an ``("error", ...)`` frame before exiting, which
+    the dispatcher surfaces as ``RuntimeError("stream worker failed")``.
+    """
+    while True:
+        try:
+            message = recv()
+        except (EOFError, ConnectionError, OSError, KeyboardInterrupt):
+            return
+        if message[0] == "stop":
+            return
+        try:
+            reply = core.handle(message)
+        except KeyboardInterrupt:
+            return
+        except Exception as exc:  # report, then die: core state is suspect
+            try:
+                send(("error", f"{type(exc).__name__}: {exc}"))
+            except Exception:
+                pass
+            return
+        if reply is not None:
+            try:
+                send(reply)
+            except (EOFError, ConnectionError, OSError):
+                return
+
+
+__all__ = [
+    "PROTO_VERSION",
+    "FabricError",
+    "WorkerCore",
+    "WorkerLost",
+    "pairs_from_columns",
+    "serve",
+]

@@ -1,0 +1,627 @@
+"""Transports: how the dispatcher reaches its workers.
+
+A transport owns worker *placement* -- process spawn, connection
+lifecycle, liveness -- and hands the dispatcher a list of *channels*,
+one per worker, each with the same tiny surface::
+
+    channel.send(message)   # enqueue/deliver one protocol tuple
+    channel.recv()          # next non-heartbeat reply (blocking)
+    channel.alive           # False once the worker is gone
+    channel.mark_dead(why)  # declare it gone; unblocks any recv
+
+Failures surface as :class:`~repro.stream.fabric.protocol.WorkerLost`
+carrying the channel index; what happens next is the transport's
+*policy* -- ``"fail"`` (raise; the pipe default, preserving the
+pre-fabric contract), ``"requeue"`` (the dispatcher replays the lost
+worker's journal onto a survivor), or ``"abort"`` (raise cleanly; the
+last committed checkpoint on disk stays resumable).
+
+Two implementations:
+
+* :class:`PipeTransport` -- the original ``multiprocessing`` pipe
+  workers, forked locally.  Default, zero behavior change.
+* :class:`SocketTransport` (alias :data:`FabricServer`) -- a TCP
+  master.  Workers connect from anywhere (same box, other hosts),
+  complete a hello/welcome handshake that carries the engine
+  configuration, and speak length-prefixed CRC-checked frames
+  (:mod:`~repro.stream.fabric.framing`).  Each channel runs a writer
+  thread (dispatch is asynchronous: the ingest loop never blocks on
+  socket writes or pickling, so scan I/O and worker round-trips
+  overlap) and a reader thread (replies and heartbeats drain
+  continuously; a monitor thread pings idle channels and declares a
+  silent worker dead after the configured timeout, which closes the
+  socket and wakes any blocked dispatcher read -- the no-hang
+  guarantee).
+
+Spawn modes for the socket master: ``None`` waits for externally
+launched workers (``python -m repro.stream.fabric.worker
+tcp://host:port``); ``"process"`` launches local worker subprocesses;
+``"thread"`` runs in-process worker threads over real sockets (tests,
+single-box smoke runs); a callable receives ``(address, index)`` and
+does whatever it wants (custom launchers).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from urllib.parse import parse_qs, urlsplit
+
+from repro import config
+from repro.stream.fabric import framing
+from repro.stream.fabric.protocol import (
+    PROTO_VERSION,
+    FabricError,
+    WorkerCore,
+    WorkerLost,
+    serve,
+)
+
+_LOST = object()  # inbox sentinel: the channel died; wake blocked readers
+
+
+# -- local pipe transport --------------------------------------------------
+
+
+def _pipe_worker_main(conn, num_shards: int, asn_keyed: bool, columnar) -> None:
+    core = WorkerCore(num_shards, asn_keyed, columnar)
+    try:
+        serve(core, conn.recv, conn.send)
+    finally:
+        conn.close()
+
+
+class PipeChannel:
+    """A duplex ``multiprocessing`` pipe to one forked worker."""
+
+    __slots__ = ("index", "conn", "process", "alive", "dead_reason")
+
+    def __init__(self, index: int, conn, process) -> None:
+        self.index = index
+        self.conn = conn
+        self.process = process
+        self.alive = True
+        self.dead_reason = ""
+
+    @property
+    def pid(self):
+        return self.process.pid
+
+    def send(self, message) -> None:
+        if not self.alive:
+            raise WorkerLost(self.index, self.dead_reason)
+        try:
+            self.conn.send(message)
+        except (OSError, EOFError, ValueError) as exc:
+            self.mark_dead(str(exc) or type(exc).__name__)
+            raise WorkerLost(self.index, self.dead_reason) from exc
+
+    def recv(self):
+        if not self.alive:
+            raise WorkerLost(self.index, self.dead_reason)
+        try:
+            return self.conn.recv()
+        except (OSError, EOFError) as exc:
+            self.mark_dead(str(exc) or type(exc).__name__)
+            raise WorkerLost(self.index, self.dead_reason) from exc
+
+    def mark_dead(self, reason: str) -> None:
+        if self.alive:
+            self.alive = False
+            self.dead_reason = reason
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def close(self, flush: bool = False) -> None:
+        self.alive = False
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class PipeTransport:
+    """Local ``multiprocessing`` pipe workers -- the default transport.
+
+    Policy is ``"fail"``: a lost pipe worker raises immediately, the
+    behavior parallel engines have always had.  (Local forks don't die
+    for environmental reasons; if one does, something is wrong enough
+    that replaying onto its siblings in the same failure domain helps
+    nobody.)
+    """
+
+    policy = "fail"
+
+    def __init__(self) -> None:
+        self.processes: list = []
+        self.channels: list[PipeChannel] = []
+
+    def start(
+        self, num_workers: int, *, num_shards: int, asn_keyed: bool, columnar
+    ) -> list[PipeChannel]:
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        for index in range(num_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_pipe_worker_main,
+                args=(child_conn, num_shards, asn_keyed, columnar),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self.processes.append(process)
+            self.channels.append(PipeChannel(index, parent_conn, process))
+        return self.channels
+
+    def attach_telemetry(self, telemetry, num_workers: int) -> None:
+        pass  # pipe workers carry no fabric-level instruments
+
+    def close(self, graceful: bool = False) -> None:
+        for channel in self.channels:
+            channel.close()
+        for process in self.processes:
+            if graceful:
+                process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        self.channels = []
+
+
+# -- socket transport ------------------------------------------------------
+
+
+def _set_nodelay(sock) -> None:
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass
+
+
+class SocketChannel:
+    """One connected worker socket, serviced by two daemon threads.
+
+    The *writer* drains a bounded outbox -- ``send()`` enqueues the raw
+    tuple and returns, so pickling and socket writes happen off the
+    dispatcher's ingest loop (the async overlap) and a slow worker
+    exerts backpressure through the queue bound rather than stalling
+    everyone.  The *reader* blocks on the socket forever: replies land
+    in an inbox for ``recv()``, heartbeat pongs are consumed in-line
+    (updating ``last_heard`` and the RTT instrument), and any framing
+    or connection failure marks the channel dead -- which closes the
+    socket and pushes a sentinel through the inbox, so a dispatcher
+    blocked in ``recv()`` always wakes with :class:`WorkerLost` instead
+    of hanging.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        sock,
+        *,
+        pid: int | None = None,
+        max_frame: int,
+        outbox_frames: int = 64,
+        on_beat=None,
+    ) -> None:
+        self.index = index
+        self.sock = sock
+        self.pid = pid
+        self.alive = True
+        self.dead_reason = ""
+        self.last_heard = time.monotonic()
+        self.on_beat = on_beat
+        self._max_frame = max_frame
+        self._last_beat_sent = 0.0
+        self._inbox: queue.Queue = queue.Queue()
+        self._outbox: queue.Queue = queue.Queue(maxsize=outbox_frames)
+        self._lock = threading.Lock()
+        self._writer = threading.Thread(
+            target=self._write_loop, name=f"fabric-w{index}-writer", daemon=True
+        )
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"fabric-w{index}-reader", daemon=True
+        )
+        self._writer.start()
+        self._reader.start()
+
+    # -- threads ----------------------------------------------------------
+
+    def _write_loop(self) -> None:
+        while True:
+            message = self._outbox.get()
+            if message is None:
+                return
+            try:
+                framing.send_frame(self.sock, framing.encode(message))
+            except OSError as exc:
+                self.mark_dead(f"send failed: {exc}")
+                return
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = framing.decode(framing.recv_frame(self.sock, self._max_frame))
+                self.last_heard = time.monotonic()
+                if frame[0] == "hb_pong":
+                    if self.on_beat is not None:
+                        self.on_beat(self.index, time.monotonic() - frame[1])
+                    continue
+                self._inbox.put(frame)
+        except EOFError:
+            self.mark_dead("connection closed")
+        except framing.FrameError as exc:
+            self.mark_dead(str(exc))
+        except OSError as exc:
+            self.mark_dead(str(exc) or type(exc).__name__)
+
+    # -- dispatcher surface -----------------------------------------------
+
+    def send(self, message) -> None:
+        """Enqueue one message for the writer; backpressure-bounded."""
+        while True:
+            if not self.alive:
+                raise WorkerLost(self.index, self.dead_reason)
+            try:
+                self._outbox.put(message, timeout=0.2)
+                return
+            except queue.Full:
+                continue
+
+    def recv(self):
+        """Next reply frame; raises :class:`WorkerLost` once dead."""
+        while True:
+            frame = self._inbox.get()
+            if frame is _LOST:
+                self._inbox.put(_LOST)  # keep later recv() calls awake too
+                raise WorkerLost(self.index, self.dead_reason)
+            return frame
+
+    def service(self, now: float, interval: float, timeout: float) -> None:
+        """One monitor tick: heartbeat if idle, declare dead if silent."""
+        if not self.alive:
+            return
+        if now - self.last_heard > timeout:
+            self.mark_dead(f"no heartbeat in {timeout:g}s")
+            return
+        if now - self._last_beat_sent >= interval:
+            self._last_beat_sent = now
+            try:
+                self._outbox.put_nowait(("hb", time.monotonic()))
+            except queue.Full:
+                pass  # a full outbox means traffic is flowing anyway
+
+    def mark_dead(self, reason: str) -> None:
+        with self._lock:
+            if not self.alive and self.dead_reason:
+                return
+            self.alive = False
+            self.dead_reason = reason or "worker lost"
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        try:
+            self._outbox.put_nowait(None)
+        except queue.Full:
+            pass
+        self._inbox.put(_LOST)
+
+    def close(self, flush: bool = False) -> None:
+        if flush and self.alive:
+            try:
+                self._outbox.put(None, timeout=2)
+            except queue.Full:
+                pass
+            self._writer.join(timeout=5)
+        self.mark_dead("closed")
+
+    @property
+    def outbox_depth(self) -> int:
+        return self._outbox.qsize()
+
+
+def _parse_address(address: str) -> tuple[str, int]:
+    parts = urlsplit(address if "://" in address else f"tcp://{address}")
+    if parts.scheme not in ("tcp", ""):
+        raise FabricError(f"unsupported fabric scheme {parts.scheme!r}")
+    if parts.hostname is None or parts.port is None:
+        raise FabricError(f"fabric address needs host:port, got {address!r}")
+    return parts.hostname, parts.port
+
+
+class SocketTransport:
+    """TCP master for socket workers (the :data:`FabricServer`).
+
+    Binds its listener at construction, so :attr:`address` is known --
+    and advertisable to remote workers -- before the engine starts.
+    ``start()`` launches workers per *spawn*, accepts until every
+    worker has completed the hello/welcome handshake (or the connect
+    timeout lapses), then runs a monitor thread that heartbeats every
+    channel; a worker silent past the heartbeat timeout is declared
+    dead, which the dispatcher observes as :class:`WorkerLost` and
+    resolves per *policy* (``"requeue"`` default, or ``"abort"``).
+    """
+
+    def __init__(
+        self,
+        address: str = "tcp://127.0.0.1:0",
+        *,
+        policy: str = "requeue",
+        spawn=None,
+        heartbeat: float | None = None,
+        heartbeat_timeout: float | None = None,
+        connect_timeout: float | None = None,
+        max_frame: int | None = None,
+    ) -> None:
+        if policy not in ("requeue", "abort"):
+            raise ValueError(f"unknown fabric policy {policy!r}")
+        settings = config.current(
+            fabric_heartbeat_seconds=heartbeat,
+            fabric_heartbeat_timeout=heartbeat_timeout,
+            fabric_connect_timeout=connect_timeout,
+            fabric_max_frame_bytes=max_frame,
+        )
+        self.policy = policy
+        self.spawn = spawn
+        self.heartbeat = settings.fabric_heartbeat_seconds
+        self.heartbeat_timeout = settings.fabric_heartbeat_timeout
+        self.connect_timeout = settings.fabric_connect_timeout
+        self.max_frame = settings.fabric_max_frame_bytes
+        host, port = _parse_address(address)
+        family = socket.AF_INET6 if ":" in host else socket.AF_INET
+        self._listener = socket.create_server((host, port), family=family, backlog=16)
+        self._host, self._port = self._listener.getsockname()[:2]
+        self.channels: list[SocketChannel] = []
+        self.processes: list = []
+        self.threads: list[threading.Thread] = []
+        self._monitor: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._obs = None
+        self._telemetry = None
+
+    @staticmethod
+    def _format(host: str, port: int) -> str:
+        return f"tcp://[{host}]:{port}" if ":" in host else f"tcp://{host}:{port}"
+
+    @property
+    def address(self) -> str:
+        """The bound master endpoint, ``tcp://host:port``."""
+        return self._format(self._host, self._port)
+
+    @property
+    def connect_address(self) -> str:
+        """The endpoint locally spawned workers dial (wildcard-safe)."""
+        if self._host == "0.0.0.0":
+            return self._format("127.0.0.1", self._port)
+        if self._host == "::":
+            return self._format("::1", self._port)
+        return self._format(self._host, self._port)
+
+    def attach_telemetry(self, telemetry, num_workers: int) -> None:
+        from repro.obs.instruments import FabricInstruments
+
+        self._obs = FabricInstruments(telemetry, num_workers)
+        for channel in self.channels:
+            channel.on_beat = self._obs.heartbeat
+
+    # -- worker launch + handshake ----------------------------------------
+
+    def _spawn_workers(self, num_workers: int) -> None:
+        if self.spawn is None:
+            return
+        from repro.stream.fabric.worker import run_worker
+
+        address = self.connect_address
+        for index in range(num_workers):
+            if self.spawn == "thread":
+                thread = threading.Thread(
+                    target=run_worker,
+                    args=(address,),
+                    name=f"fabric-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self.threads.append(thread)
+            elif self.spawn == "process":
+                src_root = os.path.dirname(
+                    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+                )
+                env = dict(os.environ)
+                existing = env.get("PYTHONPATH")
+                env["PYTHONPATH"] = (
+                    src_root + os.pathsep + existing if existing else src_root
+                )
+                self.processes.append(
+                    subprocess.Popen(
+                        [
+                            sys.executable,
+                            "-m",
+                            "repro.stream.fabric.worker",
+                            address,
+                        ],
+                        env=env,
+                    )
+                )
+            elif callable(self.spawn):
+                self.spawn(address, index)
+            else:
+                raise ValueError(f"unknown spawn mode {self.spawn!r}")
+
+    def start(
+        self, num_workers: int, *, num_shards: int, asn_keyed: bool, columnar
+    ) -> list[SocketChannel]:
+        self._spawn_workers(num_workers)
+        deadline = time.monotonic() + self.connect_timeout
+        welcome_config = {
+            "num_shards": num_shards,
+            "asn_keyed": asn_keyed,
+            "columnar": columnar,
+            "max_frame": self.max_frame,
+        }
+        on_beat = self._obs.heartbeat if self._obs is not None else None
+        for index in range(num_workers):
+            channel = self._accept_worker(index, deadline, welcome_config)
+            channel.on_beat = on_beat
+            self.channels.append(channel)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="fabric-monitor", daemon=True
+        )
+        self._monitor.start()
+        return self.channels
+
+    def _accept_worker(self, index: int, deadline: float, welcome_config):
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.close()
+                raise FabricError(
+                    f"timed out after {self.connect_timeout:g}s waiting for "
+                    f"worker {index} to connect and say hello"
+                )
+            self._listener.settimeout(remaining)
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError as exc:
+                self.close()
+                raise FabricError(f"fabric listener failed: {exc}") from exc
+            _set_nodelay(sock)
+            sock.settimeout(max(deadline - time.monotonic(), 0.001))
+            try:
+                hello = framing.decode(framing.recv_frame(sock, self.max_frame))
+            except (socket.timeout, framing.FrameError, EOFError, OSError):
+                # Not a worker (or a worker that never said hello):
+                # drop the connection and keep waiting out the deadline.
+                sock.close()
+                continue
+            if hello[0] != "hello":
+                sock.close()
+                continue
+            if hello[1] != PROTO_VERSION:
+                sock.close()
+                self.close()
+                raise FabricError(
+                    f"worker speaks fabric protocol {hello[1]}, "
+                    f"master speaks {PROTO_VERSION}"
+                )
+            pid = hello[2] if len(hello) > 2 else None
+            try:
+                framing.send_frame(
+                    sock, framing.encode(("welcome", index, welcome_config))
+                )
+            except OSError:
+                sock.close()
+                continue
+            sock.settimeout(None)
+            return SocketChannel(index, sock, pid=pid, max_frame=self.max_frame)
+
+    # -- liveness ----------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        tick = min(self.heartbeat, 0.2) / 2
+        while not self._stop.wait(tick):
+            now = time.monotonic()
+            for channel in self.channels:
+                was_alive = channel.alive
+                channel.service(now, self.heartbeat, self.heartbeat_timeout)
+                if was_alive and not channel.alive and self._obs is not None:
+                    self._obs.worker_lost(channel.index)
+                if self._obs is not None and channel.alive:
+                    self._obs.outbox(channel.index, channel.outbox_depth)
+
+    def note_requeued(self, messages: int) -> None:
+        if self._obs is not None:
+            self._obs.requeued(messages)
+
+    def close(self, graceful: bool = False) -> None:
+        self._stop.set()
+        for channel in self.channels:
+            channel.close(flush=graceful)
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._monitor is not None:
+            self._monitor.join(timeout=5)
+            self._monitor = None
+        for thread in self.threads:
+            thread.join(timeout=5)
+        for process in self.processes:
+            if graceful and process.poll() is None:
+                try:
+                    process.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    pass
+            if process.poll() is None:
+                process.kill()
+                try:
+                    process.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    pass
+
+
+FabricServer = SocketTransport
+
+
+def parse_worker_spec(spec: str):
+    """Build a transport from a worker spec string.
+
+    ``tcp://host:port[?workers=N&policy=requeue|abort&spawn=thread|
+    process]`` returns ``(SocketTransport, N or None)``: bind the
+    master at ``host:port`` and (by default) wait for externally
+    launched socket workers.  ``local[://N]`` or a bare integer string
+    returns ``(PipeTransport, N or None)`` -- the classic local forks.
+    The worker count rides in the spec so one string can configure a
+    whole deployment (`StreamingCampaign(workers=spec)`).
+    """
+    spec = spec.strip()
+    if spec.isdigit():
+        return PipeTransport(), int(spec)
+    parts = urlsplit(spec if "://" in spec else f"tcp://{spec}")
+    if parts.scheme == "local":
+        workers = parts.netloc or parts.path.strip("/")
+        return PipeTransport(), int(workers) if workers else None
+    if parts.scheme != "tcp":
+        raise FabricError(f"unsupported worker spec {spec!r}")
+    query = parse_qs(parts.query)
+
+    def _one(key):
+        values = query.get(key)
+        return values[-1] if values else None
+
+    workers = _one("workers")
+    spawn = _one("spawn")
+    heartbeat = _one("heartbeat")
+    heartbeat_timeout = _one("heartbeat_timeout")
+    connect_timeout = _one("connect_timeout")
+    transport = SocketTransport(
+        f"tcp://{parts.hostname}:{parts.port or 0}",
+        policy=_one("policy") or "requeue",
+        spawn=spawn,
+        heartbeat=float(heartbeat) if heartbeat else None,
+        heartbeat_timeout=float(heartbeat_timeout) if heartbeat_timeout else None,
+        connect_timeout=float(connect_timeout) if connect_timeout else None,
+    )
+    return transport, int(workers) if workers else None
+
+
+__all__ = [
+    "FabricServer",
+    "PipeChannel",
+    "PipeTransport",
+    "SocketChannel",
+    "SocketTransport",
+    "parse_worker_spec",
+]

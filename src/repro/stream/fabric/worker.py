@@ -1,0 +1,110 @@
+"""The fabric worker entrypoint: ``python -m repro.stream.fabric.worker``.
+
+A worker is stateless at launch: it dials the master, says hello, and
+the welcome frame tells it everything else -- its worker index, the
+shard count, the sharding mode, and the kernel selection.  That is
+what makes multi-host deployment one command per box::
+
+    python -m repro.stream.fabric.worker tcp://master-host:9999
+
+Launch as many as the master expects (``SocketTransport`` /
+``workers=N`` in the spec); order of arrival assigns indices.  The
+worker exits 0 on an orderly ``stop`` or master disconnect, 1 on a
+handshake failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+
+from repro import config
+from repro.stream.fabric import framing
+from repro.stream.fabric.protocol import (
+    PROTO_VERSION,
+    FabricError,
+    WorkerCore,
+    serve,
+)
+from repro.stream.fabric.transport import _parse_address, _set_nodelay
+
+
+def run_worker(
+    address: str,
+    *,
+    connect_timeout: float | None = None,
+    max_frame: int | None = None,
+) -> None:
+    """Connect to the master at *address*, handshake, and serve.
+
+    Blocks until the master sends ``stop`` or the connection closes.
+    Raises :class:`FabricError` if the master is unreachable or the
+    handshake fails within the connect timeout.
+    """
+    settings = config.current(
+        fabric_connect_timeout=connect_timeout,
+        fabric_max_frame_bytes=max_frame,
+    )
+    host, port = _parse_address(address)
+    try:
+        sock = socket.create_connection(
+            (host, port), timeout=settings.fabric_connect_timeout
+        )
+    except OSError as exc:
+        raise FabricError(f"cannot reach fabric master at {address}: {exc}") from exc
+    _set_nodelay(sock)
+    try:
+        framing.send_frame(sock, framing.encode(("hello", PROTO_VERSION, os.getpid())))
+        try:
+            welcome = framing.decode(
+                framing.recv_frame(sock, settings.fabric_max_frame_bytes)
+            )
+        except (socket.timeout, framing.FrameError, EOFError, OSError) as exc:
+            raise FabricError(f"fabric handshake failed: {exc}") from exc
+        if welcome[0] != "welcome":
+            raise FabricError(f"expected welcome, got {welcome[0]!r}")
+        worker_config = welcome[2]
+        frame_limit = worker_config.get("max_frame", settings.fabric_max_frame_bytes)
+        sock.settimeout(None)
+        core = WorkerCore(
+            worker_config["num_shards"],
+            worker_config["asn_keyed"],
+            worker_config["columnar"],
+        )
+        serve(
+            core,
+            lambda: framing.decode(framing.recv_frame(sock, frame_limit)),
+            lambda message: framing.send_frame(sock, framing.encode(message)),
+        )
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.stream.fabric.worker",
+        description="Run one fabric worker against a campaign master.",
+    )
+    parser.add_argument("address", help="master endpoint, e.g. tcp://10.0.0.1:9999")
+    parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=None,
+        help="seconds to wait for the master (default: REPRO_FABRIC_CONNECT_TIMEOUT)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        run_worker(args.address, connect_timeout=args.connect_timeout)
+    except FabricError as exc:
+        print(f"fabric worker: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,18 @@
-"""Multiprocess streaming ingestion: sharded workers behind one dispatcher.
+"""Parallel streaming ingestion: sharded workers behind one dispatcher.
 
 The single-process :class:`~repro.stream.engine.StreamEngine` already
 partitions its hot-path state into shards that never share mutable
 state.  This module cashes that contract in: a
-:class:`ParallelStreamEngine` runs N worker processes, each owning the
-shards the scramble in :func:`~repro.stream.shard.shard_index` maps to
-it, and routes batched observation chunks to them over pipes.
+:class:`ParallelStreamEngine` runs N workers, each owning the shards
+the scramble in :func:`~repro.stream.shard.shard_index` maps to it,
+and routes batched observation chunks to them through a
+:mod:`~repro.stream.fabric` transport -- local ``multiprocessing``
+pipes by default, or length-prefixed TCP sockets so the workers run on
+other hosts (``transport="tcp://0.0.0.0:9999?workers=4"``).
 Observations travel as flat ``(day, target, source, asn)`` tuples --
-exactly the fields the workers read, batched to amortize the IPC and
-pickling cost that per-object transfer would pay on every response.
+exactly the fields the workers read, batched to amortize the transfer
+and pickling cost that per-object transfer would pay on every
+response.
 
 Division of labour:
 
@@ -16,9 +20,10 @@ Division of labour:
   resolves each source /48's origin AS once through the memoized
   routing cache, tracks stream-order state that must not be sharded --
   day progression, watchlist sightings, the optional observation store
-  -- and runs day-over-day rotation diffs on pair sets collected from
-  the workers whenever a day closes;
-* each **worker** folds its chunks into plain
+  -- and runs day-over-day rotation diffs on pair columns collected
+  from the workers whenever a day closes;
+* each **worker** (a :class:`~repro.stream.fabric.protocol.WorkerCore`
+  behind whatever transport) folds its chunks into plain
   :class:`~repro.stream.state.ShardState` aggregates with the same
   fused loop the engine's batch path uses, and ships those states back
   on request.
@@ -31,212 +36,39 @@ Because every aggregate commutes, the merged engine is *byte-identical*
 (same :func:`~repro.stream.checkpoint.engine_state`, hence the same
 checkpoint JSON) to a single-process engine fed the same stream: the
 single-process engine is exactly the degenerate one-worker case.
-Worker-count invariance is equivalence-tested at N = 1, 2, 4.
+Worker-count invariance is equivalence-tested at N = 1, 2, 4 on both
+transports.
+
+Fault tolerance rides the same commutativity.  Under the socket
+transport's ``"requeue"`` policy the dispatcher journals every
+mutating message per channel (journal-append *before* send, so a
+failed send is already covered); when a worker dies mid-campaign its
+journal replays onto the lowest-indexed survivor -- any worker can
+absorb any shard's rows -- and the campaign completes with the same
+bytes.  Under ``"abort"`` the engine closes and raises
+:class:`~repro.stream.fabric.FabricError`; the last committed
+checkpoint on disk stays resumable.  Either way: never a hang, never
+silent loss.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 from typing import Callable, Iterable
 
 from repro.core.records import ObservationStore, ProbeObservation
 from repro.core.rotation_detect import RotationDetection, diff_pairs, target_prefix48
-from repro.net.addr import IID_BITS, IID_MASK
-from repro.net.eui64 import _FFFE, _FFFE_SHIFT
-from repro.net.icmpv6 import ProbeResponse
+from repro.net.addr import IID_MASK
 from repro.stream import columnar as columnar_kernel
 from repro.stream.engine import Sighting, StreamConfig, StreamEngine, update_sighting
+from repro.stream.fabric.protocol import FabricError, WorkerLost, pairs_from_columns
+from repro.stream.fabric.transport import PipeTransport, parse_worker_spec
 from repro.stream.shard import ShardKey, shard_index
-from repro.stream.state import ShardState, merge_shard_state, prune_shard_days
+from repro.stream.sink import IngestSinkBase
+from repro.stream.state import ShardState, merge_shard_state
 
 
-# -- worker process --------------------------------------------------------
-
-
-def _apply_rows(
-    rows: list[tuple],
-    shards: list[ShardState],
-    entries: dict,
-    counts: dict[int, int],
-    asn_keyed: bool,
-    num_shards: int,
-) -> None:
-    """Fold one chunk of flat rows into the worker's shard aggregates.
-
-    This is ``StreamEngine.ingest_batch``'s fused inner loop minus the
-    concerns the dispatcher keeps (day progression, watchlist, store):
-    workers only ever see rows for shards they own, and the origin AS
-    arrives pre-resolved in the row.  The two loops are deliberately
-    hand-inlined twins -- a shared per-row helper would reintroduce the
-    call overhead they exist to remove -- and any edit to the span/pair
-    logic must land in both; the worker-count-invariance tests pin them
-    byte-identical on every shared corpus.
-    """
-    for day, target, source, asn in rows:
-        net48 = source >> 80
-        entry = entries.get(net48)
-        if entry is None:
-            sid = shard_index(asn if asn_keyed else source >> 96, num_shards)
-            shard = shards[sid]
-            entry = entries[net48] = [
-                sid,
-                shard.sources.add,
-                shard.eui_sources.add,
-                shard.eui_iids.add,
-                None,
-                None,
-                shard.pairs_by_day,
-                shard,
-                asn,
-            ]
-        sid = entry[0]
-        counts[sid] = counts.get(sid, 0) + 1
-        entry[1](source)
-        iid = source & IID_MASK
-        if (iid >> _FFFE_SHIFT) & 0xFFFF != _FFFE:  # not an EUI-64 IID
-            continue
-        entry[2](source)
-        entry[3](iid)
-        alloc = entry[4]
-        if alloc is None:
-            shard = entry[7]
-            row_asn = entry[8]
-            alloc = shard.alloc_spans.get(row_asn)
-            if alloc is None:
-                alloc = shard.alloc_spans[row_asn] = {}
-            entry[4] = alloc
-            pool = shard.pool_spans.get(row_asn)
-            if pool is None:
-                pool = shard.pool_spans[row_asn] = {}
-            entry[5] = pool
-        else:
-            pool = entry[5]
-        t64 = target >> IID_BITS
-        span = alloc.get((iid, day))
-        if span is None:
-            alloc[(iid, day)] = [t64, t64]
-        elif t64 < span[0]:
-            span[0] = t64
-        elif t64 > span[1]:
-            span[1] = t64
-        s64 = source >> IID_BITS
-        span = pool.get(iid)
-        if span is None:
-            pool[iid] = [s64, s64]
-        elif s64 < span[0]:
-            span[0] = s64
-        elif s64 > span[1]:
-            span[1] = s64
-        pairs = entry[6].get(day)
-        if pairs is None:
-            pairs = entry[6][day] = set()
-        pairs.add((target, source))
-
-
-def _worker_main(
-    conn, num_shards: int, asn_keyed: bool, columnar: bool | None = None
-) -> None:
-    """Worker loop: apply row chunks, answer state and pair requests.
-
-    Messages arrive in dispatch order on a dedicated pipe, so a reply to
-    ``day_pairs``/``state`` always reflects every chunk sent before the
-    request -- the ordering guarantee the dispatcher's day-close and
-    snapshot barriers rely on.
-
-    With the columnar kernel enabled (the default when numpy is
-    importable), chunks buffer as uint64 columns and fold into the
-    shard states lazily -- any state-observing message (``day_pairs``,
-    ``prune``, ``state``) materializes first, so replies always carry
-    plain, fully-applied :class:`ShardState` structures.
-    """
-    shards = [ShardState(shard_id=i) for i in range(num_shards)]
-    entries: dict[int, list] = {}
-    counts: dict[int, int] = {}
-    acc = columnar_kernel.make_accumulator(num_shards, columnar)
-    try:
-        while True:
-            message = conn.recv()
-            tag = message[0]
-            if tag == "rows":
-                if acc is not None:
-                    acc.absorb(
-                        *columnar_kernel.row_columns(
-                            message[1], asn_keyed, num_shards
-                        )
-                    )
-                else:
-                    _apply_rows(
-                        message[1], shards, entries, counts, asn_keyed, num_shards
-                    )
-            elif tag == "cols":
-                # Column hand-off: the dispatcher already split the
-                # addresses into uint64 arrays, so the columnar worker
-                # absorbs them as-is (shard placement is the vectorized
-                # scramble); a classic-kernel worker bridges back to
-                # flat rows.
-                if acc is not None:
-                    columnar_kernel.absorb_worker_columns(
-                        acc, message[1], asn_keyed, num_shards
-                    )
-                else:
-                    _apply_rows(
-                        columnar_kernel.worker_columns_to_rows(message[1]),
-                        shards,
-                        entries,
-                        counts,
-                        asn_keyed,
-                        num_shards,
-                    )
-            elif tag == "day_pairs":
-                day = message[1]
-                pairs: set[tuple[int, int]] = set()
-                for shard in shards:
-                    day_pairs = shard.pairs_by_day.get(day)
-                    if day_pairs:
-                        pairs |= day_pairs
-                if acc is not None:
-                    # Buffered pair columns convert straight to tuples;
-                    # shard sets stay unmaterialized until state is
-                    # actually requested.
-                    pairs |= acc.day_pairs_set(day)
-                conn.send(("pairs", pairs))
-            elif tag == "prune":
-                if acc is not None:
-                    # Retention runs: fold per-row aggregate buffers so
-                    # they never outlive a day, then drop pruned pair
-                    # columns -- the worker's memory stays bounded.
-                    acc.fold_aggregates(shards)
-                    acc.drop_pair_days(message[1])
-                prune_shard_days(shards, message[1])
-            elif tag == "ping":
-                conn.send(("pong",))
-            elif tag in ("state", "stop"):
-                if acc is not None:
-                    acc.materialize(shards)
-                for sid, count in counts.items():
-                    shards[sid].n_observations = count
-                conn.send(("state", shards))
-                if tag == "stop":
-                    return
-            else:
-                conn.send(("error", f"unknown message tag {tag!r}"))
-                return
-    except (EOFError, KeyboardInterrupt):
-        pass
-    except Exception as exc:  # ship the failure to the dispatcher
-        try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
-        except (OSError, BrokenPipeError):
-            pass
-    finally:
-        conn.close()
-
-
-# -- dispatcher ------------------------------------------------------------
-
-
-class ParallelStreamEngine:
-    """Drop-in multiprocess ingestion front-end for :class:`StreamEngine`.
+class ParallelStreamEngine(IngestSinkBase):
+    """Drop-in parallel ingestion front-end for :class:`StreamEngine`.
 
     Accepts the same observation stream and watchlist calls as the
     single-process engine; materialize the merged view on demand:
@@ -255,6 +87,13 @@ class ParallelStreamEngine:
     (auto) uses the numpy sort-reduce kernel when available, ``False``
     forces the classic fused loop, and a missing numpy always falls
     back silently.
+
+    *transport* selects worker placement: ``None`` forks local pipe
+    workers (:class:`~repro.stream.fabric.PipeTransport`, the
+    historical behavior); a :class:`~repro.stream.fabric.SocketTransport`
+    (or a spec string like ``"tcp://0.0.0.0:9999?workers=4"``) runs a
+    socket master instead -- a spec's ``workers=`` overrides
+    *num_workers* so one string configures the whole deployment.
     """
 
     def __init__(
@@ -268,8 +107,13 @@ class ParallelStreamEngine:
         base: StreamEngine | None = None,
         columnar: bool | None = None,
         telemetry=None,
+        transport=None,
     ) -> None:
         self.config = config or StreamConfig()
+        if isinstance(transport, str):
+            transport, spec_workers = parse_worker_spec(transport)
+            if spec_workers is not None:
+                num_workers = spec_workers
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if batch_rows <= 0:
@@ -289,8 +133,20 @@ class ParallelStreamEngine:
         self._base = base
         self._route_cache: dict[int, tuple[int, int]] = {}
         self._buffers: list[list[tuple]] = [[] for _ in range(num_workers)]
-        self._conns: list = []
-        self._procs: list = []
+        self._transport = transport if transport is not None else PipeTransport()
+        self._channels: list = []
+        # Dispatch slot -> channel index.  Starts as the identity; a
+        # requeue redirects every slot of a lost channel to its heir.
+        self._slots: list[int] = list(range(num_workers))
+        # Per-channel journals of mutating messages (rows/cols/prune),
+        # kept only under the "requeue" policy: a lost channel's journal
+        # replays onto a survivor, rebuilding its shards exactly.
+        self._journals: list[list[tuple]] | None = (
+            [[] for _ in range(num_workers)]
+            if self._transport.policy == "requeue"
+            else None
+        )
+        self._sync_token = 0
         self._merged: StreamEngine | None = None
         self._open = True
         # Workers that received rows since a binary checkpoint saver
@@ -345,7 +201,15 @@ class ParallelStreamEngine:
         if telemetry is not None:
             self.attach_telemetry(telemetry)
 
-        self._start_workers()
+        self._channels = self._transport.start(
+            num_workers,
+            num_shards=self.config.num_shards,
+            asn_keyed=self._asn_keyed,
+            columnar=columnar,
+        )
+        if self._obs is not None:
+            for index, channel in enumerate(self._channels):
+                self._obs.worker_joined(index, channel.pid)
 
     def attach_telemetry(self, telemetry) -> None:
         """Bind a :class:`repro.obs.Telemetry` to the dispatcher (and
@@ -356,67 +220,33 @@ class ParallelStreamEngine:
         self._obs = ParallelInstruments(telemetry, self.num_workers)
         if self.store is not None:
             self.store.attach_telemetry(telemetry)
+        if hasattr(self._transport, "attach_telemetry"):
+            self._transport.attach_telemetry(telemetry, self.num_workers)
 
     # -- worker lifecycle --------------------------------------------------
 
-    def _start_workers(self) -> None:
-        methods = mp.get_all_start_methods()
-        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
-        for worker in range(self.num_workers):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            process = ctx.Process(
-                target=_worker_main,
-                args=(
-                    child_conn,
-                    self.config.num_shards,
-                    self._asn_keyed,
-                    self._columnar,
-                ),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(process)
-            if self._obs is not None:
-                self._obs.worker_joined(worker, process.pid)
+    @property
+    def transport(self):
+        """The live :class:`~repro.stream.fabric` transport."""
+        return self._transport
+
+    @property
+    def _procs(self) -> list:
+        """Worker process handles (tests poke liveness through this)."""
+        return self._transport.processes
 
     def _check_open(self) -> None:
         if not self._open:
             raise RuntimeError("parallel engine is finalized/closed")
 
-    def _recv(self, conn, expect: str):
-        obs = self._obs
-        if obs is None:
-            reply = conn.recv()
-        else:
-            with obs.wait_seconds.time():
-                reply = conn.recv()
-        if reply[0] == "error":
-            self.close()
-            raise RuntimeError(f"stream worker failed: {reply[1]}")
-        if reply[0] != expect:
-            self.close()
-            raise RuntimeError(f"unexpected worker reply {reply[0]!r}")
-        return reply[1] if len(reply) > 1 else None
-
     def close(self) -> None:
         """Hard-stop the workers (no merge).  Idempotent."""
         self._open = False
         if self._obs is not None:
-            for worker in range(len(self._procs)):
+            for worker in range(len(self._channels)):
                 self._obs.worker_exited(worker)
-        for conn in self._conns:
-            try:
-                conn.close()
-            except OSError:
-                pass
-        for process in self._procs:
-            if process.is_alive():
-                process.terminate()
-            process.join(timeout=5)
-        self._conns = []
-        self._procs = []
+        self._channels = []
+        self._transport.close(graceful=False)
 
     def __enter__(self) -> "ParallelStreamEngine":
         return self
@@ -425,14 +255,156 @@ class ParallelStreamEngine:
         self.close()
 
     def __del__(self) -> None:
-        if getattr(self, "_procs", None):
+        if getattr(self, "_open", False) and getattr(self, "_channels", None):
+            try:
+                self.close()
+            except Exception:
+                pass
+
+    # -- fault handling ----------------------------------------------------
+
+    def _handle_loss(self, channel_index: int, reason: str) -> None:
+        """Resolve a lost worker channel per the transport policy.
+
+        ``requeue``: redirect the channel's dispatch slots to the
+        lowest-indexed survivor and replay its journal there -- shards
+        are disjoint across channels and every aggregate commutes, so
+        the survivor absorbs the dead worker's entire history exactly
+        once (the journal is appended *before* each original send, so a
+        send that died mid-flight is already covered, and the replay
+        itself extends the heir's journal first so cascading deaths
+        recurse safely).  ``abort``/``fail``: close everything and
+        raise -- with a socket campaign the last committed checkpoint
+        on disk stays resumable.
+        """
+        channel = self._channels[channel_index]
+        channel.mark_dead(reason)
+        if self._obs is not None:
+            self._obs.worker_exited(channel_index)
+        if self._journals is None:
+            policy = self._transport.policy
             self.close()
+            if policy == "abort":
+                raise FabricError(
+                    f"worker channel {channel_index} lost ({reason}); "
+                    "aborting -- the last committed checkpoint remains "
+                    "resumable"
+                )
+            raise FabricError(f"worker channel {channel_index} lost: {reason}")
+        survivors = [i for i, ch in enumerate(self._channels) if ch.alive]
+        if not survivors:
+            self.close()
+            raise FabricError(
+                f"all workers lost (last: channel {channel_index}: {reason})"
+            )
+        heir = survivors[0]
+        journal = self._journals[channel_index]
+        self._journals[channel_index] = []
+        # Heir inherits the journal *before* replay: if the heir dies
+        # mid-replay, its own journal already covers everything.
+        self._journals[heir].extend(journal)
+        for slot in range(self.num_workers):
+            if self._slots[slot] == channel_index:
+                self._slots[slot] = heir
+        if hasattr(self._transport, "note_requeued"):
+            self._transport.note_requeued(len(journal))
+        heir_channel = self._channels[heir]
+        for message in journal:
+            try:
+                heir_channel.send(message)
+            except WorkerLost as exc:
+                self._handle_loss(exc.channel_index, str(exc))
+                return  # the recursion replayed the heir's full journal
+
+    def _dispatch(self, slot: int, message: tuple) -> None:
+        """Send a mutating message to whichever channel owns *slot*."""
+        while True:
+            channel_index = self._slots[slot]
+            channel = self._channels[channel_index]
+            if not channel.alive:
+                self._handle_loss(channel_index, channel.dead_reason or "worker lost")
+                continue  # the slot now points at the heir
+            if self._journals is not None:
+                self._journals[channel_index].append(message)
+            try:
+                channel.send(message)
+            except WorkerLost as exc:
+                self._handle_loss(exc.channel_index, str(exc))
+                # Journaled before the send, so the replay delivered it.
+            return
+
+    def _active_channels(self) -> list[int]:
+        """Channel indices currently owning at least one slot, sorted."""
+        return sorted(set(self._slots))
+
+    def _recv_channel(self, channel_index: int, expect: str):
+        channel = self._channels[channel_index]
+        obs = self._obs
+        if obs is None:
+            reply = channel.recv()
+        else:
+            with obs.wait_seconds.time():
+                reply = channel.recv()
+        if reply[0] == "error":
+            self.close()
+            raise RuntimeError(f"stream worker failed: {reply[1]}")
+        if reply[0] != expect:
+            self.close()
+            raise RuntimeError(f"unexpected worker reply {reply[0]!r}")
+        return reply[1] if len(reply) > 1 else None
+
+    def _resync(self) -> None:
+        """Drain stale frames after an interrupted collective.
+
+        A collective that died partway left un-consumed replies in
+        flight on the survivors.  Pinging every active channel with a
+        fresh token and reading until the matching pong discards them
+        (messages are FIFO per channel), leaving every conversation
+        aligned for the retry.
+        """
+        while True:
+            self._sync_token += 1
+            token = self._sync_token
+            try:
+                active = self._active_channels()
+                for channel_index in active:
+                    self._channels[channel_index].send(("ping", token))
+                for channel_index in active:
+                    channel = self._channels[channel_index]
+                    while True:
+                        reply = channel.recv()
+                        if reply[0] == "error":
+                            self.close()
+                            raise RuntimeError(f"stream worker failed: {reply[1]}")
+                        if reply[0] == "pong" and reply[1] == token:
+                            break
+                return
+            except WorkerLost as exc:
+                self._handle_loss(exc.channel_index, str(exc))
+
+    def _collect(self, message: tuple, expect: str) -> list:
+        """Send *message* to every active channel and gather the replies.
+
+        Restarts from scratch on a worker loss: the loss handler moves
+        the dead channel's shards to a survivor, so only a fresh
+        request sees the post-requeue truth; :meth:`_resync` first
+        clears any half-collected replies.
+        """
+        while True:
+            try:
+                active = self._active_channels()
+                for channel_index in active:
+                    self._channels[channel_index].send(message)
+                return [self._recv_channel(ci, expect) for ci in active]
+            except WorkerLost as exc:
+                self._handle_loss(exc.channel_index, str(exc))
+                self._resync()
 
     # -- watchlist ---------------------------------------------------------
 
     def watch(self, iid: int, initial_address: int | None = None) -> None:
         """Same contract as :meth:`StreamEngine.watch` (dispatcher-side,
-        so sightings resolve in exact stream order at no IPC cost)."""
+        so sightings resolve in exact stream order at no transfer cost)."""
         self._watch_iids.add(iid)
         if iid not in self.watched and initial_address is not None:
             self.watched[iid] = Sighting(
@@ -444,12 +416,14 @@ class ParallelStreamEngine:
 
     # -- ingestion ---------------------------------------------------------
 
-    def ingest(self, observation: ProbeObservation) -> None:
+    def _ingest_observation(self, observation: ProbeObservation) -> None:
         """Route one observation; the per-response consumer fast path.
 
         Campaign drivers hand the dispatcher one response at a time, so
         this avoids the batch prologue: one day check, one route-cache
-        probe, one buffer append.
+        probe, one buffer append.  (The polymorphic
+        :meth:`~repro.stream.sink.IngestSinkBase.ingest` lands here for
+        single observations.)
         """
         day = observation.day
         if day != self.current_day:
@@ -467,7 +441,7 @@ class ParallelStreamEngine:
         buffer = self._buffers[route[0]]
         buffer.append((day, observation.target, source, route[1]))
         if len(buffer) >= self.batch_rows:
-            self._conns[route[0]].send(("rows", buffer))
+            self._dispatch(route[0], ("rows", buffer))
             self._buffers[route[0]] = []
             self._dirty_workers.add(route[0])
             if self._obs is not None:
@@ -482,21 +456,6 @@ class ParallelStreamEngine:
             if iid in self._watch_iids:
                 update_sighting(self.watched, iid, source, day, observation.t_seconds)
 
-    def ingest_response(self, response: ProbeResponse, day: int | None = None) -> None:
-        self.ingest_batch((ProbeObservation.from_response(response, day),))
-
-    def ingest_responses(
-        self, responses: Iterable[ProbeResponse], day: int | None = None
-    ) -> int:
-        return self.ingest_batch(
-            ProbeObservation.from_response(r, day) for r in responses
-        )
-
-    def ingest_feed(self, feed: Iterable[ProbeObservation]) -> int:
-        """Consume a day-ordered feed; same contract as
-        :meth:`StreamEngine.ingest_feed`, dispatched to the workers."""
-        return self.ingest_batch(feed)
-
     def ingest_batch(self, observations: Iterable[ProbeObservation]) -> int:
         """Flatten, route, and enqueue a batch; returns how many rows.
 
@@ -508,7 +467,7 @@ class ParallelStreamEngine:
         """
         self._check_open()
         buffers = self._buffers
-        conns = self._conns
+        dispatch = self._dispatch
         limit = self.batch_rows
         route_cache = self._route_cache
         resolve_route = self._resolve_route
@@ -555,7 +514,7 @@ class ParallelStreamEngine:
                 buffer = buffers[route[0]]
                 buffer.append((day, observation.target, source, route[1]))
                 if len(buffer) >= limit:
-                    conns[route[0]].send(("rows", buffer))
+                    dispatch(route[0], ("rows", buffer))
                     buffers[route[0]] = []
                     self._dirty_workers.add(route[0])
                     if obs_bundle is not None:
@@ -608,11 +567,11 @@ class ParallelStreamEngine:
         The zero-copy hand-off: per day segment the rows are split by
         owning worker with one vectorized scramble and shipped as flat
         uint64 arrays -- no per-row tuples are built on either side of
-        the pipe.  Day closes, watchlist sightings, store writes, and
-        mid-batch backwards-day accounting keep :meth:`ingest_batch`'s
-        exact semantics (the fuzz harness pins the merged state
-        byte-identical).  Without numpy the batch lazily degrades to
-        the flat-row path.
+        the transport.  Day closes, watchlist sightings, store writes,
+        and mid-batch backwards-day accounting keep
+        :meth:`ingest_batch`'s exact semantics (the fuzz harness pins
+        the merged state byte-identical).  Without numpy the batch
+        lazily degrades to the flat-row path.
         """
         self._check_open()
         if not len(batch):
@@ -658,7 +617,8 @@ class ParallelStreamEngine:
                     mask = seg_worker == w
                     if not mask.any():
                         continue
-                    self._conns[w].send(
+                    self._dispatch(
+                        w,
                         (
                             "cols",
                             (
@@ -669,7 +629,7 @@ class ParallelStreamEngine:
                                 tgt_hi[segment][mask],
                                 tgt_lo[segment][mask],
                             ),
-                        )
+                        ),
                     )
                     self._dirty_workers.add(w)
                     if self._obs is not None:
@@ -705,7 +665,7 @@ class ParallelStreamEngine:
             if obs is not None:
                 obs.queue_depth[worker].value = len(buffer)
             if buffer:
-                self._conns[worker].send(("rows", buffer))
+                self._dispatch(worker, ("rows", buffer))
                 self._buffers[worker] = []
                 self._dirty_workers.add(worker)
                 if obs is not None:
@@ -715,10 +675,12 @@ class ParallelStreamEngine:
         """Shard ids possibly mutated since the last call; clears the set.
 
         Worker placement is ``shard_index(key) % num_workers`` over the
-        same key the worker's shard placement uses, so worker *w* owns
-        exactly the shards with ``sid % num_workers == w`` -- a dirty
-        worker over-approximates to all its shards, which is safe for
-        delta checkpoints (extra shards re-emit, never go missing).
+        same key the worker's shard placement uses, so dispatch slot
+        *w* owns exactly the shards with ``sid % num_workers == w`` --
+        a dirty slot over-approximates to all its shards, which is safe
+        for delta checkpoints (extra shards re-emit, never go missing).
+        Requeue redirections don't change slot-to-shard ownership, only
+        which channel services the slot.
         """
         dirty = self._dirty_workers
         self._dirty_workers = set()
@@ -733,20 +695,20 @@ class ParallelStreamEngine:
         """Block until every worker has applied everything sent so far."""
         self._check_open()
         self._flush_buffers()
-        for conn in self._conns:
-            conn.send(("ping",))
-        for conn in self._conns:
-            self._recv(conn, "pong")
+        self._resync()
 
     # -- live rotation detection (dispatcher-side day closes) --------------
 
     def _merged_day_pairs(self, day: int) -> set[tuple[int, int]]:
-        """Pairs of *day* across all workers plus any resumed base state."""
-        for conn in self._conns:
-            conn.send(("day_pairs", day))
+        """Pairs of *day* across all workers plus any resumed base state.
+
+        Workers reply with flat pair *columns* (four parallel uint64
+        lists) -- nothing object-shaped crosses the transport -- and
+        the dispatcher rebuilds the set to diff.
+        """
         pairs: set[tuple[int, int]] = set()
-        for conn in self._conns:
-            pairs |= self._recv(conn, "pairs")
+        for columns in self._collect(("day_pairs", day), "pairs"):
+            pairs |= pairs_from_columns(columns)
         if self._base is not None:
             pairs |= self._base._pairs_on(day)
         return pairs
@@ -755,7 +717,7 @@ class ParallelStreamEngine:
         """The dispatcher's replica of ``StreamEngine._close_days_through``.
 
         Identical day-pairing rules and the same :func:`diff_pairs`, but
-        over pair sets collected from the workers; caching the last
+        over pair columns collected from the workers; caching the last
         closed day's merged pairs keeps it to one collection per close.
         """
         start = (
@@ -789,8 +751,14 @@ class ParallelStreamEngine:
             self._closed_through = closed
         retain = self.config.retain_days
         if retain is not None and self._closed_through is not None:
-            for conn in self._conns:
-                conn.send(("prune", self._closed_through - retain + 2))
+            floor = self._closed_through - retain + 2
+            sent: set[int] = set()
+            for slot in range(self.num_workers):
+                channel_index = self._slots[slot]
+                if channel_index in sent:
+                    continue
+                sent.add(channel_index)
+                self._dispatch(slot, ("prune", floor))
 
     def flush(self) -> RotationDetection:
         """Close the in-progress day; the parallel ``StreamEngine.flush``."""
@@ -866,34 +834,32 @@ class ParallelStreamEngine:
         """
         self._check_open()
         self._flush_buffers()
-        for conn in self._conns:
-            conn.send(("state",))
-        states = [self._recv(conn, "state") for conn in self._conns]
-        return self._fold(states)
+        return self._fold(self._collect(("state",), "state"))
 
     def finalize(self) -> StreamEngine:
         """Close the final day, merge, and shut down.  Idempotent.
 
         Equivalent to ``engine.ingest_batch(...); engine.flush()`` on a
-        single-process engine.
+        single-process engine.  Worker states are collected while every
+        worker is still alive; ``stop`` is fire-and-forget afterwards,
+        so an exit can never masquerade as a mid-collection death.
         """
         if self._merged is not None:
             return self._merged
         self._check_open()
         self.flush()
-        for conn in self._conns:
-            conn.send(("stop",))
-        states = [self._recv(conn, "state") for conn in self._conns]
+        states = self._collect(("state",), "state")
+        for channel_index in self._active_channels():
+            try:
+                self._channels[channel_index].send(("stop",))
+            except WorkerLost:
+                pass
         merged = self._fold(states)
         self._open = False
         if self._obs is not None:
-            for worker in range(len(self._procs)):
+            for worker in range(len(self._channels)):
                 self._obs.worker_exited(worker)
-        for conn in self._conns:
-            conn.close()
-        for process in self._procs:
-            process.join(timeout=10)
-        self._conns = []
-        self._procs = []
+        self._channels = []
+        self._transport.close(graceful=True)
         self._merged = merged
         return merged

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import json
 import logging
-import os
 import sys
 from typing import IO
 
@@ -111,14 +110,14 @@ def get_logger(
     overridden = level is not None or json_output is not None or stream is not None
     if configured and not overridden:
         return logger
-    if json_output is None:
-        json_output = os.environ.get("REPRO_LOG_JSON", "").lower() in (
-            "1",
-            "true",
-            "yes",
-        )
-    if level is None:
-        level = os.environ.get("REPRO_LOG_LEVEL", "INFO")
+    if json_output is None or level is None:
+        from repro.config import current
+
+        settings = current()
+        if json_output is None:
+            json_output = settings.log_json
+        if level is None:
+            level = settings.log_level or "INFO"
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
     handler.setFormatter(
         JsonLogFormatter()

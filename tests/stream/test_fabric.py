@@ -1,0 +1,453 @@
+"""Distributed fabric tests: framing, socket equivalence, and faults.
+
+The socket transport must be invisible to the checkpoint oracle --
+``engine_state`` bytes identical to the serial engine at any worker
+count, through mid-stream snapshots and resume -- and *visible* only
+when something breaks: a worker killed mid-chunk requeues onto a
+survivor (same bytes) or aborts with a committed checkpoint, a
+connection that never says hello times the master out, and a corrupted
+frame poisons exactly one channel, never the stream's integrity.
+"""
+
+import json
+import os
+import signal
+import socket
+import struct
+import threading
+import time
+import zlib
+
+import pytest
+
+from _worlds import build_campaign, build_rotating_internet
+
+from repro import config
+from repro.stream.campaign import StreamingCampaign
+from repro.stream.checkpoint import engine_state
+from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.fabric import (
+    PROTO_VERSION,
+    FabricError,
+    SocketTransport,
+    WorkerCore,
+    parse_worker_spec,
+)
+from repro.stream.fabric import framing
+from repro.stream.fabric.transport import PipeTransport
+from repro.stream.parallel import ParallelStreamEngine
+
+
+@pytest.fixture(scope="module")
+def world():
+    internet = build_rotating_internet()
+    store = build_campaign(internet).run().store
+    return internet, list(store)
+
+
+def reference_state(internet, corpus, config_):
+    engine = StreamEngine(config_, origin_of=internet.rib.origin_of)
+    engine.ingest_batch(corpus)
+    engine.flush()
+    return json.dumps(engine_state(engine))
+
+
+def socket_transport(**kwargs):
+    kwargs.setdefault("spawn", "thread")
+    kwargs.setdefault("heartbeat", 0.2)
+    kwargs.setdefault("connect_timeout", 15.0)
+    return SocketTransport(**kwargs)
+
+
+class TestFraming:
+    def roundtrip(self, payload, max_bytes=1 << 20):
+        a, b = socket.socketpair()
+        try:
+            framing.send_frame(a, payload)
+            return framing.recv_frame(b, max_bytes)
+        finally:
+            a.close()
+            b.close()
+
+    def test_roundtrip(self):
+        message = ("rows", [1, 2, 3], {"k": (4, 5)})
+        assert framing.decode(self.roundtrip(framing.encode(message))) == message
+
+    def test_clean_close_is_eof(self):
+        a, b = socket.socketpair()
+        a.close()
+        with pytest.raises(EOFError):
+            framing.recv_frame(b, 1 << 20)
+        b.close()
+
+    def test_truncated_payload(self):
+        a, b = socket.socketpair()
+        payload = framing.encode(("rows", list(range(50))))
+        header = struct.pack("<4sII", framing.MAGIC, len(payload), zlib.crc32(payload))
+        a.sendall(header + payload[: len(payload) // 2])
+        a.close()
+        with pytest.raises(framing.FrameError, match="truncated frame payload"):
+            framing.recv_frame(b, 1 << 20)
+        b.close()
+
+    def test_bad_magic(self):
+        a, b = socket.socketpair()
+        a.sendall(struct.pack("<4sII", b"HTTP", 4, 0) + b"gotc")
+        with pytest.raises(framing.FrameError, match="bad frame magic"):
+            framing.recv_frame(b, 1 << 20)
+        a.close()
+        b.close()
+
+    def test_oversize_rejected_before_allocation(self):
+        a, b = socket.socketpair()
+        a.sendall(struct.pack("<4sII", framing.MAGIC, 1 << 31, 0))
+        with pytest.raises(framing.FrameError, match="exceeds limit"):
+            framing.recv_frame(b, 1 << 20)
+        a.close()
+        b.close()
+
+    def test_crc_mismatch(self):
+        payload = framing.encode(("rows", [7, 8, 9]))
+        corrupted = bytearray(payload)
+        corrupted[-1] ^= 0xFF
+        a, b = socket.socketpair()
+        header = struct.pack(
+            "<4sII", framing.MAGIC, len(corrupted), zlib.crc32(payload)
+        )
+        a.sendall(header + bytes(corrupted))
+        with pytest.raises(framing.FrameError, match="CRC mismatch"):
+            framing.recv_frame(b, 1 << 20)
+        a.close()
+        b.close()
+
+
+class TestWorkerSpec:
+    def test_bare_integer_is_pipes(self):
+        transport, workers = parse_worker_spec("3")
+        assert isinstance(transport, PipeTransport)
+        assert workers == 3
+
+    def test_local_scheme(self):
+        transport, workers = parse_worker_spec("local://2")
+        assert isinstance(transport, PipeTransport)
+        assert workers == 2
+
+    def test_tcp_with_knobs(self):
+        transport, workers = parse_worker_spec(
+            "tcp://127.0.0.1:0?workers=4&policy=abort&spawn=thread"
+            "&heartbeat=0.5&heartbeat_timeout=3&connect_timeout=6"
+        )
+        try:
+            assert workers == 4
+            assert transport.policy == "abort"
+            assert transport.spawn == "thread"
+            assert transport.heartbeat == 0.5
+            assert transport.heartbeat_timeout == 3.0
+            assert transport.connect_timeout == 6.0
+            assert transport.address.startswith("tcp://127.0.0.1:")
+        finally:
+            transport.close()
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(FabricError, match="unsupported worker spec"):
+            parse_worker_spec("udp://127.0.0.1:9")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown fabric policy"):
+            SocketTransport(policy="retry")
+
+
+class TestSocketEquivalence:
+    @pytest.mark.parametrize("num_workers", [1, 2, 4])
+    def test_byte_identical_checkpoints(self, world, num_workers):
+        internet, corpus = world
+        config_ = StreamConfig(num_shards=8, keep_observations=True)
+        expected = reference_state(internet, corpus, config_)
+        parallel = ParallelStreamEngine(
+            config_,
+            origin_of=internet.rib.origin_of,
+            num_workers=num_workers,
+            batch_rows=64,
+            transport=socket_transport(),
+        )
+        parallel.ingest_batch(corpus)
+        merged = parallel.finalize()
+        assert json.dumps(engine_state(merged)) == expected
+
+    def test_mid_stream_snapshot_then_resume(self, world):
+        internet, corpus = world
+        config_ = StreamConfig(num_shards=5, keep_observations=False)
+        half = len(corpus) // 2
+
+        reference = StreamEngine(config_, origin_of=internet.rib.origin_of)
+        reference.ingest_batch(corpus[:half])
+        parallel = ParallelStreamEngine(
+            config_,
+            origin_of=internet.rib.origin_of,
+            num_workers=2,
+            batch_rows=32,
+            transport=socket_transport(),
+        )
+        parallel.ingest_batch(corpus[:half])
+        # The snapshot leaves the in-progress day open, like the live
+        # engine, and never perturbs the stream that continues past it.
+        assert engine_state(parallel.snapshot_engine()) == engine_state(reference)
+
+        reference.ingest_batch(corpus[half:])
+        reference.flush()
+        parallel.ingest_batch(corpus[half:])
+        merged = parallel.finalize()
+        assert engine_state(merged) == engine_state(reference)
+
+    def test_columnar_worker_kernel(self, world):
+        internet, corpus = world
+        config_ = StreamConfig(num_shards=4, keep_observations=False)
+        expected = reference_state(internet, corpus, config_)
+        parallel = ParallelStreamEngine(
+            config_,
+            origin_of=internet.rib.origin_of,
+            num_workers=2,
+            columnar=True,
+            transport=socket_transport(),
+        )
+        parallel.ingest_batch(corpus)
+        assert json.dumps(engine_state(parallel.finalize())) == expected
+
+    def test_campaign_accepts_worker_spec_string(self, world):
+        internet, _corpus = world
+        serial = StreamingCampaign(build_campaign(internet))
+        serial.run()
+        fabric = StreamingCampaign(
+            build_campaign(internet),
+            workers="tcp://127.0.0.1:0?workers=2&spawn=thread",
+        )
+        fabric.run()
+        assert json.dumps(engine_state(fabric.engine)) == json.dumps(
+            engine_state(serial.engine)
+        )
+
+
+class TestFaults:
+    def test_killed_worker_requeues_onto_survivor(self, world):
+        internet, corpus = world
+        config_ = StreamConfig(num_shards=6, keep_observations=False)
+        expected = reference_state(internet, corpus, config_)
+        transport = socket_transport(
+            spawn="process", heartbeat=0.2, heartbeat_timeout=1.5
+        )
+        parallel = ParallelStreamEngine(
+            config_,
+            origin_of=internet.rib.origin_of,
+            num_workers=2,
+            batch_rows=32,
+            transport=transport,
+        )
+        half = len(corpus) // 2
+        parallel.ingest_batch(corpus[:half])
+        parallel.barrier()  # everything so far is applied, journaled
+        os.kill(transport.channels[1].pid, signal.SIGKILL)
+        parallel.ingest_batch(corpus[half:])
+        merged = parallel.finalize()
+        assert json.dumps(engine_state(merged)) == expected
+
+    def test_abort_policy_raises_with_checkpoint_hint(self, world):
+        internet, corpus = world
+        config_ = StreamConfig(num_shards=4, keep_observations=False)
+        transport = socket_transport(
+            spawn="process",
+            policy="abort",
+            heartbeat=0.2,
+            heartbeat_timeout=1.5,
+        )
+        parallel = ParallelStreamEngine(
+            config_,
+            origin_of=internet.rib.origin_of,
+            num_workers=2,
+            batch_rows=32,
+            transport=transport,
+        )
+        half = len(corpus) // 2
+        parallel.ingest_batch(corpus[:half])
+        parallel.barrier()
+        os.kill(transport.channels[0].pid, signal.SIGKILL)
+        # No hang, no silent loss: the dispatcher surfaces the dead
+        # worker as an abort pointing at the last committed checkpoint.
+        with pytest.raises(FabricError, match="checkpoint"):
+            parallel.ingest_batch(corpus[half:])
+            parallel.barrier()
+        parallel.close()
+
+    def test_connect_timeout_when_worker_never_says_hello(self):
+        transport = SocketTransport(connect_timeout=1.0)
+        # A connection that never completes the handshake must not
+        # satisfy the accept loop -- the master waits out the deadline.
+        lurker = socket.create_connection(
+            ("127.0.0.1", int(transport.address.rsplit(":", 1)[1]))
+        )
+        try:
+            started = time.monotonic()
+            with pytest.raises(FabricError, match="waiting for worker 0"):
+                transport.start(1, num_shards=4, asn_keyed=False, columnar=False)
+            assert time.monotonic() - started >= 0.9
+        finally:
+            lurker.close()
+            transport.close()
+
+    def test_garbage_connection_is_dropped_not_fatal(self, world):
+        internet, corpus = world
+        config_ = StreamConfig(num_shards=4, keep_observations=False)
+        expected = reference_state(internet, corpus, config_)
+        transport = socket_transport(spawn=None, connect_timeout=15.0)
+        port = int(transport.address.rsplit(":", 1)[1])
+
+        def noise_then_worker():
+            noise = socket.create_connection(("127.0.0.1", port))
+            noise.sendall(b"GET / HTTP/1.1\r\n\r\n")
+            noise.close()
+            from repro.stream.fabric.worker import run_worker
+
+            run_worker(transport.connect_address)
+
+        thread = threading.Thread(target=noise_then_worker, daemon=True)
+        thread.start()
+        parallel = ParallelStreamEngine(
+            config_,
+            origin_of=internet.rib.origin_of,
+            num_workers=1,
+            transport=transport,
+        )
+        parallel.ingest_batch(corpus)
+        assert json.dumps(engine_state(parallel.finalize())) == expected
+        thread.join(timeout=5)
+
+    def test_protocol_version_mismatch_is_fatal(self):
+        transport = SocketTransport(connect_timeout=5.0)
+        port = int(transport.address.rsplit(":", 1)[1])
+
+        def imposter():
+            sock = socket.create_connection(("127.0.0.1", port))
+            framing.send_frame(sock, framing.encode(("hello", PROTO_VERSION + 1, 123)))
+            time.sleep(1.0)
+            sock.close()
+
+        thread = threading.Thread(target=imposter, daemon=True)
+        thread.start()
+        with pytest.raises(FabricError, match="protocol"):
+            transport.start(1, num_shards=2, asn_keyed=False, columnar=False)
+        thread.join(timeout=5)
+        transport.close()
+
+
+class TestWorkerCore:
+    def test_day_pair_columns_are_flat_ints(self, world):
+        internet, corpus = world
+        core = WorkerCore(4, False, False)
+        rows = [(o.day, o.target, o.source, 0) for o in corpus]
+        core.apply_rows(rows)
+        day = corpus[0].day
+        t_hi, t_lo, s_hi, s_lo = core.day_pair_columns(day)
+        assert len(t_hi) == len(t_lo) == len(s_hi) == len(s_lo)
+        assert t_hi, "expected pairs on a scanned day"
+        for column in (t_hi, t_lo, s_hi, s_lo):
+            assert all(type(value) is int for value in column)
+        # The flat columns reassemble into exactly the engine's pair set.
+        from repro.stream.fabric import pairs_from_columns
+
+        reference = StreamEngine(
+            StreamConfig(num_shards=4), origin_of=internet.rib.origin_of
+        )
+        for observation in corpus:
+            reference.ingest(observation)
+        expected = {
+            (t, s)
+            for t, s in pairs_from_columns((t_hi, t_lo, s_hi, s_lo))
+        }
+        assert expected == reference._pairs_on(day)
+
+
+class TestSettings:
+    def test_explicit_overrides_beat_environment(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_FABRIC_HEARTBEAT, "7.5")
+        assert config.current().fabric_heartbeat_seconds == 7.5
+        assert (
+            config.current(fabric_heartbeat_seconds=0.25).fabric_heartbeat_seconds
+            == 0.25
+        )
+
+    def test_empty_string_counts_as_unset(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_CHECKPOINT_FORMAT, "")
+        assert config.current().checkpoint_format is None
+
+    def test_none_override_falls_through(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_FABRIC_CONNECT_TIMEOUT, "3")
+        assert config.current(fabric_connect_timeout=None).fabric_connect_timeout == 3.0
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError, match="unknown setting"):
+            config.current(heartbeat=1.0)
+
+    def test_bad_number_is_loud(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_FABRIC_MAX_FRAME, "huge")
+        with pytest.raises(ValueError, match="expected an integer"):
+            config.current()
+
+    def test_transport_resolves_env_knobs(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_FABRIC_HEARTBEAT, "0.7")
+        monkeypatch.setenv(config.ENV_FABRIC_HEARTBEAT_TIMEOUT, "4.2")
+        transport = SocketTransport()
+        try:
+            assert transport.heartbeat == 0.7
+            assert transport.heartbeat_timeout == 4.2
+        finally:
+            transport.close()
+
+
+class TestIngestSink:
+    def test_polymorphic_ingest_matches_primitives(self, world):
+        internet, corpus = world
+        config_ = StreamConfig(num_shards=4, keep_observations=False)
+        expected = reference_state(internet, corpus, config_)
+
+        poly = StreamEngine(config_, origin_of=internet.rib.origin_of)
+        assert poly.ingest(corpus) == len(corpus)  # iterable dispatch
+        poly.flush()
+        assert json.dumps(engine_state(poly)) == expected
+
+        single = StreamEngine(config_, origin_of=internet.rib.origin_of)
+        for observation in corpus:
+            assert single.ingest(observation) == 1  # observation dispatch
+        single.flush()
+        assert json.dumps(engine_state(single)) == expected
+
+    def test_legacy_names_still_work(self, world):
+        from repro.net.icmpv6 import IcmpType, ProbeResponse
+
+        internet, corpus = world
+        config_ = StreamConfig(num_shards=4, keep_observations=False)
+        expected = reference_state(internet, corpus, config_)
+        responses = [
+            ProbeResponse(
+                target=o.target,
+                source=o.source,
+                icmp_type=IcmpType.ECHO_REPLY,
+                code=0,
+                time=o.t_seconds,
+            )
+            for o in corpus
+        ]
+
+        batch = StreamEngine(config_, origin_of=internet.rib.origin_of)
+        assert batch.ingest_responses(responses) == len(corpus)
+        batch.flush()
+        assert json.dumps(engine_state(batch)) == expected
+
+        single = StreamEngine(config_, origin_of=internet.rib.origin_of)
+        for response, observation in zip(responses, corpus):
+            single.ingest_response(response, day=observation.day)
+        single.flush()
+        assert json.dumps(engine_state(single)) == expected
+
+        feed = StreamEngine(config_, origin_of=internet.rib.origin_of)
+        assert feed.ingest_feed(iter(corpus)) == len(corpus)
+        feed.flush()
+        assert json.dumps(engine_state(feed)) == expected

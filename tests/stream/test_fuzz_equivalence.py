@@ -2,8 +2,9 @@
 
 Every ingestion path -- per-observation, the classic fused
 ``ingest_batch`` loop, the columnar (numpy sort-reduce) batch kernel,
-and the multiprocess dispatcher at any worker count with either worker
-kernel -- must leave the engine in the *same* state for any valid
+and the parallel dispatcher at any worker count with either worker
+kernel over either fabric transport (local pipes or TCP socket
+workers) -- must leave the engine in the *same* state for any valid
 stream.  The unit and world tests pin that on curated scenarios; this
 harness pins it on ~20 randomized ones: random rotation cadences, scan
 gaps, shard modes and counts, retention windows, worker counts, chunk
@@ -190,7 +191,21 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed, tmp_path):
         store=backend_store(("object", "columnar")[seed % 2]),
         telemetry=Telemetry(),
     )
-    engines = (reference, batched, columnar, parallel)
+    # The fifth engine rides the socket fabric: same dispatcher, but
+    # every chunk crosses a real TCP frame boundary -- serial == pipes
+    # == sockets is the fabric's headline contract.
+    from repro.stream.fabric import SocketTransport
+
+    fabric = ParallelStreamEngine(
+        config,
+        origin_of=origin_of,
+        num_workers=num_workers,
+        batch_rows=batch_rows,
+        columnar=worker_kernel,
+        store=backend_store(("columnar", "object")[seed % 2]),
+        transport=SocketTransport(spawn="thread"),
+    )
+    engines = (reference, batched, columnar, parallel, fabric)
     for iid in watch:
         for engine in engines:
             engine.watch(iid)
@@ -206,7 +221,7 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed, tmp_path):
 
     def feed(engine, chunk):
         """Columns for the column-capable engines on odd seeds."""
-        if columns and engine in (columnar, parallel):
+        if columns and engine in (columnar, parallel, fabric):
             engine.ingest_columns(ColumnBatch.from_observations(chunk))
         else:
             engine.ingest_batch(chunk)
@@ -216,7 +231,7 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed, tmp_path):
     # Phase 1: up to the snapshot point.
     for observation in corpus[:split]:
         reference.ingest(observation)
-    for engine in (batched, columnar, parallel):
+    for engine in (batched, columnar, parallel, fabric):
         for chunk in chunks(rng, corpus[:split]):
             feed(engine, chunk)
 
@@ -228,23 +243,26 @@ def test_checkpoint_bytes_identical_across_ingest_paths(seed, tmp_path):
     assert json.dumps(engine_state(batched)) == mid
     assert json.dumps(engine_state(columnar)) == mid
     assert json.dumps(engine_state(parallel.snapshot_engine())) == mid
+    assert json.dumps(engine_state(fabric.snapshot_engine())) == mid
 
     # Phase 2: the rest of the stream, then flush everything.
     for observation in corpus[split:]:
         reference.ingest(observation)
-    for engine in (batched, columnar, parallel):
+    for engine in (batched, columnar, parallel, fabric):
         for chunk in chunks(rng, corpus[split:]):
             feed(engine, chunk)
     reference.flush()
     batched.flush()
     columnar.flush()
     merged = parallel.finalize()
+    fabric_merged = fabric.finalize()
 
     versions.append(publisher.refresh(force=True).version)
     final = json.dumps(engine_state(reference))
     assert json.dumps(engine_state(batched)) == final
     assert json.dumps(engine_state(columnar)) == final
     assert json.dumps(engine_state(merged)) == final
+    assert json.dumps(engine_state(fabric_merged)) == final
     # Serving the columnar engine never moved a version backwards.
     assert versions == sorted(versions)
     assert versions[-1] >= 2
