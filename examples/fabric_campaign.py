@@ -77,9 +77,11 @@ def main() -> None:
     log.info("corpus: %d responses", len(corpus))
 
     # 1-2. Socket-transport ingestion.  The master binds an ephemeral
-    #      localhost port and spawns its own worker subprocesses; a
+    #      localhost port and spawns its own worker subprocesses (the
+    #      handshake authkey travels to them automatically); a
     #      multi-host deployment passes spawn=None, advertises
-    #      transport.address, and runs
+    #      transport.address, exports the same REPRO_FABRIC_AUTHKEY on
+    #      every box, and runs
     #      ``python -m repro.stream.fabric.worker tcp://master:port``
     #      once per box.
     single = StreamEngine(config, origin_of=origin_of)

@@ -40,6 +40,19 @@ Variable                         Meaning
 ``REPRO_FABRIC_MAX_FRAME``       Largest accepted fabric frame payload,
                                  bytes (default 256 MiB); oversized frames
                                  are rejected before allocation.
+``REPRO_FABRIC_AUTHKEY``         Shared secret for the fabric's mutual
+                                 HMAC challenge-response handshake.  Must
+                                 match on the master and every worker box;
+                                 unset, the master generates a random key
+                                 (exposed as ``SocketTransport.authkey``)
+                                 and hands it to the workers it spawns
+                                 itself.
+``REPRO_FABRIC_JOURNAL_LIMIT``   Requeue-journal bound, in journaled rows
+                                 across all workers (default 4,000,000;
+                                 ``0`` = unbounded).  Past the bound the
+                                 dispatcher drops the journals and a later
+                                 worker loss aborts to the last committed
+                                 checkpoint instead of requeueing.
 ===============================  ==========================================
 
 Empty-string values count as *unset* (the CI matrix exports ``""`` for
@@ -63,6 +76,8 @@ ENV_FABRIC_HEARTBEAT = "REPRO_FABRIC_HEARTBEAT"
 ENV_FABRIC_HEARTBEAT_TIMEOUT = "REPRO_FABRIC_HEARTBEAT_TIMEOUT"
 ENV_FABRIC_CONNECT_TIMEOUT = "REPRO_FABRIC_CONNECT_TIMEOUT"
 ENV_FABRIC_MAX_FRAME = "REPRO_FABRIC_MAX_FRAME"
+ENV_FABRIC_AUTHKEY = "REPRO_FABRIC_AUTHKEY"
+ENV_FABRIC_JOURNAL_LIMIT = "REPRO_FABRIC_JOURNAL_LIMIT"
 
 
 @dataclass(frozen=True)
@@ -78,6 +93,8 @@ class Settings:
     fabric_heartbeat_timeout: float = 10.0
     fabric_connect_timeout: float = 10.0
     fabric_max_frame_bytes: int = 256 * 1024 * 1024
+    fabric_authkey: str | None = None
+    fabric_journal_limit_rows: int = 4_000_000
 
 
 _FIELD_NAMES = {f.name for f in fields(Settings)}
@@ -136,6 +153,10 @@ def current(**overrides) -> Settings:
         "fabric_max_frame_bytes": _env_int(
             ENV_FABRIC_MAX_FRAME, Settings.fabric_max_frame_bytes
         ),
+        "fabric_authkey": _env_str(ENV_FABRIC_AUTHKEY),
+        "fabric_journal_limit_rows": _env_int(
+            ENV_FABRIC_JOURNAL_LIMIT, Settings.fabric_journal_limit_rows
+        ),
     }
     for key, value in overrides.items():
         if key not in _FIELD_NAMES:
@@ -147,9 +168,11 @@ def current(**overrides) -> Settings:
 
 __all__ = [
     "ENV_CHECKPOINT_FORMAT",
+    "ENV_FABRIC_AUTHKEY",
     "ENV_FABRIC_CONNECT_TIMEOUT",
     "ENV_FABRIC_HEARTBEAT",
     "ENV_FABRIC_HEARTBEAT_TIMEOUT",
+    "ENV_FABRIC_JOURNAL_LIMIT",
     "ENV_FABRIC_MAX_FRAME",
     "ENV_FORCE_FALLBACK",
     "ENV_LOG_JSON",

@@ -2,26 +2,35 @@
 
 One frame = a 12-byte header (4-byte magic, little-endian uint32
 payload length, little-endian CRC-32 of the payload) followed by the
-pickled payload.  The magic catches cross-protocol connections (a
-browser, a stray health checker) before any payload is read; the
-length bound rejects absurd allocations before they happen; the CRC
-catches truncated or corrupted frames -- any of the three raises
+payload.  The magic catches cross-protocol connections (a browser, a
+stray health checker) before any payload is read; the length bound
+rejects absurd allocations before they happen; the CRC catches
+truncated or corrupted frames -- any of the three raises
 :class:`FrameError`, and a connection that produced one is unusable
 (framing offers no resynchronization point mid-stream, by design: the
 master treats the worker as lost and requeues).
 
-Payloads are pickled: every fabric message is flat Python scalars,
-lists of ints, or numpy uint64 arrays, all of which pickle compactly
-and survive a numpy/no-numpy boundary when the sender converts arrays
-to lists first (see ``protocol.day_pair_columns``).  The fabric only
-ever connects trusted cooperating processes (the master spawns or
-invites its workers), matching ``multiprocessing``'s own pickle-over-
-pipe trust model that the pipe transport already relies on.
+Message payloads are pickled: every fabric message is flat Python
+scalars, lists of ints, or numpy uint64 arrays, all of which pickle
+compactly and survive a numpy/no-numpy boundary when the sender
+converts arrays to lists first (see ``protocol.day_pair_columns``).
+Unpickling attacker-controlled bytes is arbitrary code execution, and
+-- unlike ``multiprocessing`` pipes, which are fd-inherited and never
+network-reachable -- a TCP listener is dialable by anything that can
+route to it.  So no fabric frame is ever *unpickled* before the peer
+proves knowledge of the shared authkey: every connection starts with a
+mutual HMAC-SHA256 challenge-response handshake
+(:func:`authenticate_master` / :func:`authenticate_worker`, the same
+scheme as ``multiprocessing.connection``) whose frames are raw bytes,
+never pickled, and are capped at :data:`AUTH_FRAME_MAX` so an
+unauthenticated peer cannot force a large allocation either.
 """
 
 from __future__ import annotations
 
+import hmac
 import pickle
+import secrets
 import struct
 import zlib
 
@@ -30,10 +39,76 @@ MAGIC = b"RFB1"
 _HEADER = struct.Struct("<4sII")
 HEADER_BYTES = _HEADER.size
 
+# Auth preamble: raw (never pickled) payloads, tiny on purpose.
+_CHALLENGE_PREFIX = b"#RFB-CHALLENGE#"
+_DIGEST_PREFIX = b"#RFB-DIGEST#"
+_NONCE_BYTES = 32
+AUTH_FRAME_MAX = 256
+
 
 class FrameError(RuntimeError):
     """A malformed frame: bad magic, oversize length, truncation, or
     CRC mismatch.  The connection cannot be trusted past this point."""
+
+
+class AuthenticationError(FrameError):
+    """The peer failed the authkey challenge (or spoke out of turn).
+
+    A :class:`FrameError` subclass on purpose: every accept/handshake
+    path that drops malformed connections drops imposters the same way.
+    """
+
+
+def _digest(authkey: str, nonce: bytes) -> bytes:
+    return hmac.new(authkey.encode(), nonce, "sha256").digest()
+
+
+def deliver_challenge(sock, authkey: str) -> None:
+    """Challenge the peer to prove it holds *authkey*.
+
+    Sends a fresh random nonce and verifies the returned HMAC-SHA256
+    digest in constant time; a wrong or malformed answer raises
+    :class:`AuthenticationError`.
+    """
+    nonce = secrets.token_bytes(_NONCE_BYTES)
+    send_frame(sock, _CHALLENGE_PREFIX + nonce)
+    reply = recv_frame(sock, AUTH_FRAME_MAX)
+    if not reply.startswith(_DIGEST_PREFIX) or not hmac.compare_digest(
+        reply[len(_DIGEST_PREFIX) :], _digest(authkey, nonce)
+    ):
+        raise AuthenticationError("fabric authentication failed: digest mismatch")
+
+
+def answer_challenge(sock, authkey: str) -> None:
+    """Answer the peer's challenge with our *authkey* digest."""
+    frame = recv_frame(sock, AUTH_FRAME_MAX)
+    if not frame.startswith(_CHALLENGE_PREFIX):
+        raise AuthenticationError("expected an authentication challenge")
+    send_frame(
+        sock, _DIGEST_PREFIX + _digest(authkey, frame[len(_CHALLENGE_PREFIX) :])
+    )
+
+
+def authenticate_master(sock, authkey: str) -> None:
+    """Master side of the mutual handshake: challenge, then answer.
+
+    Runs on every accepted connection *before* any pickled frame is
+    decoded; an imposter is rejected while the conversation is still
+    raw bytes.
+    """
+    deliver_challenge(sock, authkey)
+    answer_challenge(sock, authkey)
+
+
+def authenticate_worker(sock, authkey: str) -> None:
+    """Worker side of the mutual handshake: answer, then challenge.
+
+    The return leg is what stops a worker from trusting a pickled
+    ``welcome`` off an unauthenticated listener: the master must prove
+    the authkey too before the worker decodes anything.
+    """
+    answer_challenge(sock, authkey)
+    deliver_challenge(sock, authkey)
 
 
 def encode(message) -> bytes:
@@ -90,10 +165,16 @@ def recv_frame(sock, max_bytes: int) -> bytes:
 
 
 __all__ = [
+    "AUTH_FRAME_MAX",
+    "AuthenticationError",
     "FrameError",
     "HEADER_BYTES",
     "MAGIC",
+    "answer_challenge",
+    "authenticate_master",
+    "authenticate_worker",
     "decode",
+    "deliver_challenge",
     "encode",
     "recv_frame",
     "send_frame",

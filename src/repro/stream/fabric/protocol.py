@@ -7,7 +7,7 @@ connections, now transport-agnostic:
 ==============  =======================================  ==================
 Request         Payload                                  Reply
 ==============  =======================================  ==================
-``hello``       ``(proto, nonce)``                       ``welcome`` +
+``hello``       ``(proto, pid)``                         ``welcome`` +
                                                          worker config
                                                          (socket only)
 ``rows``        flat ``(day, target, source, asn)``      *(none)*
@@ -17,10 +17,19 @@ Request         Payload                                  Reply
 ``prune``       ``keep_floor`` day                       *(none)*
 ``ping``        sync token                               ``pong`` + token
 ``hb``          sender timestamp                         ``hb_pong`` + it
+``hb_push``     *(none; worker-initiated liveness        *(none)*
+                beat, sent from a thread decoupled
+                from the serve loop)*
 ``state``       --                                       ``state`` + shards
 ``stop``        --                                       *(none; worker
                                                          exits)*
 ==============  =======================================  ==================
+
+On the socket transport every connection starts with a mutual
+HMAC-SHA256 challenge-response over the shared authkey
+(:mod:`~repro.stream.fabric.framing`) *before* ``hello``; replay and
+impersonation protection live there, in raw-bytes frames, not in the
+pickled conversation above.
 
 Anything that goes wrong worker-side is reported as an ``("error",
 message)`` frame, which the dispatcher re-raises as

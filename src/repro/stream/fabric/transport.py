@@ -22,16 +22,22 @@ Two implementations:
   workers, forked locally.  Default, zero behavior change.
 * :class:`SocketTransport` (alias :data:`FabricServer`) -- a TCP
   master.  Workers connect from anywhere (same box, other hosts),
-  complete a hello/welcome handshake that carries the engine
-  configuration, and speak length-prefixed CRC-checked frames
+  prove the shared authkey through a mutual HMAC challenge-response
+  (:func:`~repro.stream.fabric.framing.authenticate_master`; nothing
+  is ever unpickled from an unauthenticated connection), complete a
+  hello/welcome handshake that carries the engine configuration, and
+  speak length-prefixed CRC-checked frames
   (:mod:`~repro.stream.fabric.framing`).  Each channel runs a writer
   thread (dispatch is asynchronous: the ingest loop never blocks on
   socket writes or pickling, so scan I/O and worker round-trips
   overlap) and a reader thread (replies and heartbeats drain
-  continuously; a monitor thread pings idle channels and declares a
-  silent worker dead after the configured timeout, which closes the
+  continuously).  Liveness is worker-push: every worker beats from a
+  dedicated thread, decoupled from its serve loop, so a worker deep in
+  apply backlog still reads as alive; the master's monitor thread only
+  *measures* (RTT pings) and declares a worker dead once no frame of
+  any kind has arrived for the configured timeout, which closes the
   socket and wakes any blocked dispatcher read -- the no-hang
-  guarantee).
+  guarantee.
 
 Spawn modes for the socket master: ``None`` waits for externally
 launched workers (``python -m repro.stream.fabric.worker
@@ -46,6 +52,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue
+import secrets
 import socket
 import subprocess
 import sys
@@ -247,12 +254,20 @@ class SocketChannel:
             except OSError as exc:
                 self.mark_dead(f"send failed: {exc}")
                 return
+            except Exception as exc:
+                # e.g. an unpicklable object in a message: the writer
+                # must not die silently with ``alive`` still True, or
+                # send() would spin forever once the outbox fills.
+                self.mark_dead(f"writer failed: {type(exc).__name__}: {exc}")
+                return
 
     def _read_loop(self) -> None:
         try:
             while True:
                 frame = framing.decode(framing.recv_frame(self.sock, self._max_frame))
                 self.last_heard = time.monotonic()
+                if frame[0] == "hb_push":
+                    continue  # unsolicited worker beat: liveness only
                 if frame[0] == "hb_pong":
                     if self.on_beat is not None:
                         self.on_beat(self.index, time.monotonic() - frame[1])
@@ -288,7 +303,17 @@ class SocketChannel:
             return frame
 
     def service(self, now: float, interval: float, timeout: float) -> None:
-        """One monitor tick: heartbeat if idle, declare dead if silent."""
+        """One monitor tick: RTT ping if idle, declare dead if silent.
+
+        Silence means *no frame of any kind* for *timeout* seconds.
+        Workers push unsolicited beats from a thread decoupled from
+        their serve loop, so a healthy worker chewing through a deep
+        apply backlog keeps ``last_heard`` fresh -- only a worker whose
+        beat thread stopped (process gone, host gone) goes silent.  The
+        master->worker ``hb`` ping exists purely to measure round-trip
+        time; skipping it on a full outbox costs an RTT sample, never
+        liveness.
+        """
         if not self.alive:
             return
         if now - self.last_heard > timeout:
@@ -299,7 +324,7 @@ class SocketChannel:
             try:
                 self._outbox.put_nowait(("hb", time.monotonic()))
             except queue.Full:
-                pass  # a full outbox means traffic is flowing anyway
+                pass  # RTT sample skipped; liveness rides worker beats
 
     def mark_dead(self, reason: str) -> None:
         with self._lock:
@@ -346,11 +371,20 @@ class SocketTransport:
     Binds its listener at construction, so :attr:`address` is known --
     and advertisable to remote workers -- before the engine starts.
     ``start()`` launches workers per *spawn*, accepts until every
-    worker has completed the hello/welcome handshake (or the connect
-    timeout lapses), then runs a monitor thread that heartbeats every
-    channel; a worker silent past the heartbeat timeout is declared
-    dead, which the dispatcher observes as :class:`WorkerLost` and
-    resolves per *policy* (``"requeue"`` default, or ``"abort"``).
+    worker has authenticated against :attr:`authkey` and completed the
+    hello/welcome handshake (or the connect timeout lapses), then runs
+    a monitor thread; a worker silent past the heartbeat timeout
+    (workers push beats from a dedicated thread, so silence means
+    gone, not busy) is declared dead, which the dispatcher observes as
+    :class:`WorkerLost` and resolves per *policy* (``"requeue"``
+    default, or ``"abort"``).
+
+    *authkey* is the shared handshake secret (``REPRO_FABRIC_AUTHKEY``
+    when omitted).  If neither is set the master generates a random
+    key: self-spawned workers (``spawn="thread"``/``"process"``)
+    receive it automatically, while externally launched workers must
+    be given :attr:`authkey` (via the env var on their box) to be
+    admitted.
     """
 
     def __init__(
@@ -363,6 +397,8 @@ class SocketTransport:
         heartbeat_timeout: float | None = None,
         connect_timeout: float | None = None,
         max_frame: int | None = None,
+        authkey: str | None = None,
+        journal_limit: int | None = None,
     ) -> None:
         if policy not in ("requeue", "abort"):
             raise ValueError(f"unknown fabric policy {policy!r}")
@@ -371,6 +407,8 @@ class SocketTransport:
             fabric_heartbeat_timeout=heartbeat_timeout,
             fabric_connect_timeout=connect_timeout,
             fabric_max_frame_bytes=max_frame,
+            fabric_authkey=authkey,
+            fabric_journal_limit_rows=journal_limit,
         )
         self.policy = policy
         self.spawn = spawn
@@ -378,6 +416,8 @@ class SocketTransport:
         self.heartbeat_timeout = settings.fabric_heartbeat_timeout
         self.connect_timeout = settings.fabric_connect_timeout
         self.max_frame = settings.fabric_max_frame_bytes
+        self.authkey = settings.fabric_authkey or secrets.token_hex(16)
+        self.journal_limit = settings.fabric_journal_limit_rows
         host, port = _parse_address(address)
         family = socket.AF_INET6 if ":" in host else socket.AF_INET
         self._listener = socket.create_server((host, port), family=family, backlog=16)
@@ -428,6 +468,7 @@ class SocketTransport:
                 thread = threading.Thread(
                     target=run_worker,
                     args=(address,),
+                    kwargs={"authkey": self.authkey},
                     name=f"fabric-worker-{index}",
                     daemon=True,
                 )
@@ -442,6 +483,7 @@ class SocketTransport:
                 env["PYTHONPATH"] = (
                     src_root + os.pathsep + existing if existing else src_root
                 )
+                env[config.ENV_FABRIC_AUTHKEY] = self.authkey
                 self.processes.append(
                     subprocess.Popen(
                         [
@@ -468,6 +510,10 @@ class SocketTransport:
             "asn_keyed": asn_keyed,
             "columnar": columnar,
             "max_frame": self.max_frame,
+            # Workers push unsolicited beats at this cadence from a
+            # thread decoupled from their serve loop (liveness must
+            # not queue behind the apply backlog).
+            "heartbeat": self.heartbeat,
         }
         on_beat = self._obs.heartbeat if self._obs is not None else None
         for index in range(num_workers):
@@ -500,10 +546,16 @@ class SocketTransport:
             _set_nodelay(sock)
             sock.settimeout(max(deadline - time.monotonic(), 0.001))
             try:
+                # Mutual authkey proof first -- nothing off this
+                # connection is unpickled until it succeeds
+                # (AuthenticationError is a FrameError: imposters drop
+                # exactly like garbage connections).
+                framing.authenticate_master(sock, self.authkey)
                 hello = framing.decode(framing.recv_frame(sock, self.max_frame))
             except (socket.timeout, framing.FrameError, EOFError, OSError):
-                # Not a worker (or a worker that never said hello):
-                # drop the connection and keep waiting out the deadline.
+                # Not a worker (wrong key, garbage, or a worker that
+                # never said hello): drop the connection and keep
+                # waiting out the deadline.
                 sock.close()
                 continue
             if hello[0] != "hello":
@@ -579,12 +631,16 @@ def parse_worker_spec(spec: str):
     """Build a transport from a worker spec string.
 
     ``tcp://host:port[?workers=N&policy=requeue|abort&spawn=thread|
-    process]`` returns ``(SocketTransport, N or None)``: bind the
-    master at ``host:port`` and (by default) wait for externally
-    launched socket workers.  ``local[://N]`` or a bare integer string
-    returns ``(PipeTransport, N or None)`` -- the classic local forks.
-    The worker count rides in the spec so one string can configure a
-    whole deployment (`StreamingCampaign(workers=spec)`).
+    process&journal_limit=ROWS]`` returns ``(SocketTransport, N or
+    None)``: bind the master at ``host:port`` and (by default) wait
+    for externally launched socket workers.  ``local[://N]`` or a bare
+    integer string returns ``(PipeTransport, N or None)`` -- the
+    classic local forks.  The worker count rides in the spec so one
+    string can configure a whole deployment
+    (`StreamingCampaign(workers=spec)`).  The authkey deliberately
+    does *not* ride in the spec (specs land in config files and logs);
+    it comes from ``REPRO_FABRIC_AUTHKEY`` or the ``SocketTransport``
+    constructor.
     """
     spec = spec.strip()
     if spec.isdigit():
@@ -606,6 +662,7 @@ def parse_worker_spec(spec: str):
     heartbeat = _one("heartbeat")
     heartbeat_timeout = _one("heartbeat_timeout")
     connect_timeout = _one("connect_timeout")
+    journal_limit = _one("journal_limit")
     transport = SocketTransport(
         f"tcp://{parts.hostname}:{parts.port or 0}",
         policy=_one("policy") or "requeue",
@@ -613,6 +670,7 @@ def parse_worker_spec(spec: str):
         heartbeat=float(heartbeat) if heartbeat else None,
         heartbeat_timeout=float(heartbeat_timeout) if heartbeat_timeout else None,
         connect_timeout=float(connect_timeout) if connect_timeout else None,
+        journal_limit=int(journal_limit) if journal_limit is not None else None,
     )
     return transport, int(workers) if workers else None
 

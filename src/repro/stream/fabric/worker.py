@@ -1,16 +1,25 @@
 """The fabric worker entrypoint: ``python -m repro.stream.fabric.worker``.
 
-A worker is stateless at launch: it dials the master, says hello, and
-the welcome frame tells it everything else -- its worker index, the
-shard count, the sharding mode, and the kernel selection.  That is
-what makes multi-host deployment one command per box::
+A worker is stateless at launch: it dials the master, proves the
+shared authkey (``REPRO_FABRIC_AUTHKEY`` -- set it to the same value
+on the master box; the handshake is mutual, so the worker also
+verifies the master before decoding anything), says hello, and the
+welcome frame tells it everything else -- its worker index, the shard
+count, the sharding mode, the kernel selection, and the heartbeat
+cadence.  That is what makes multi-host deployment one command per
+box::
 
-    python -m repro.stream.fabric.worker tcp://master-host:9999
+    REPRO_FABRIC_AUTHKEY=... python -m repro.stream.fabric.worker tcp://master-host:9999
 
 Launch as many as the master expects (``SocketTransport`` /
 ``workers=N`` in the spec); order of arrival assigns indices.  The
 worker exits 0 on an orderly ``stop`` or master disconnect, 1 on a
 handshake failure.
+
+While serving, a dedicated thread pushes unsolicited heartbeat frames
+at the welcome-configured cadence.  Liveness deliberately does not
+ride the serve loop: a worker busy applying a deep row backlog must
+keep beating, or the master would mistake busy for dead.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ import argparse
 import os
 import socket
 import sys
+import threading
 
 from repro import config
 from repro.stream.fabric import framing
@@ -36,17 +46,26 @@ def run_worker(
     *,
     connect_timeout: float | None = None,
     max_frame: int | None = None,
+    authkey: str | None = None,
 ) -> None:
     """Connect to the master at *address*, handshake, and serve.
 
     Blocks until the master sends ``stop`` or the connection closes.
-    Raises :class:`FabricError` if the master is unreachable or the
-    handshake fails within the connect timeout.
+    Raises :class:`FabricError` if no authkey is configured, the
+    master is unreachable, or the handshake (authentication included)
+    fails within the connect timeout.
     """
     settings = config.current(
         fabric_connect_timeout=connect_timeout,
         fabric_max_frame_bytes=max_frame,
+        fabric_authkey=authkey,
     )
+    if not settings.fabric_authkey:
+        raise FabricError(
+            "no fabric authkey configured: set "
+            f"{config.ENV_FABRIC_AUTHKEY} to the master's key "
+            "(or pass authkey=)"
+        )
     host, port = _parse_address(address)
     try:
         sock = socket.create_connection(
@@ -56,8 +75,11 @@ def run_worker(
         raise FabricError(f"cannot reach fabric master at {address}: {exc}") from exc
     _set_nodelay(sock)
     try:
-        framing.send_frame(sock, framing.encode(("hello", PROTO_VERSION, os.getpid())))
         try:
+            framing.authenticate_worker(sock, settings.fabric_authkey)
+            framing.send_frame(
+                sock, framing.encode(("hello", PROTO_VERSION, os.getpid()))
+            )
             welcome = framing.decode(
                 framing.recv_frame(sock, settings.fabric_max_frame_bytes)
             )
@@ -73,11 +95,38 @@ def run_worker(
             worker_config["asn_keyed"],
             worker_config["columnar"],
         )
-        serve(
-            core,
-            lambda: framing.decode(framing.recv_frame(sock, frame_limit)),
-            lambda message: framing.send_frame(sock, framing.encode(message)),
-        )
+        # The serve loop and the heartbeat thread share the socket for
+        # writes; the lock keeps their frames from interleaving.
+        send_lock = threading.Lock()
+
+        def send(message) -> None:
+            with send_lock:
+                framing.send_frame(sock, framing.encode(message))
+
+        stop_beats = threading.Event()
+        interval = worker_config.get("heartbeat")
+        if interval:
+            # Unsolicited liveness beats, decoupled from the serve
+            # loop: a worker deep in apply backlog keeps beating, so
+            # the master never mistakes busy for dead.
+            def beat() -> None:
+                while not stop_beats.wait(interval):
+                    try:
+                        send(("hb_push",))
+                    except Exception:
+                        return  # connection gone; the serve loop exits too
+
+            threading.Thread(
+                target=beat, name="fabric-heartbeat", daemon=True
+            ).start()
+        try:
+            serve(
+                core,
+                lambda: framing.decode(framing.recv_frame(sock, frame_limit)),
+                send,
+            )
+        finally:
+            stop_beats.set()
     finally:
         try:
             sock.close()
@@ -97,9 +146,18 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="seconds to wait for the master (default: REPRO_FABRIC_CONNECT_TIMEOUT)",
     )
+    parser.add_argument(
+        "--authkey",
+        default=None,
+        help="shared handshake secret (default: REPRO_FABRIC_AUTHKEY)",
+    )
     args = parser.parse_args(argv)
     try:
-        run_worker(args.address, connect_timeout=args.connect_timeout)
+        run_worker(
+            args.address,
+            connect_timeout=args.connect_timeout,
+            authkey=args.authkey,
+        )
     except FabricError as exc:
         print(f"fabric worker: {exc}", file=sys.stderr)
         return 1

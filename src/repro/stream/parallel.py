@@ -45,8 +45,14 @@ mutating message per channel (journal-append *before* send, so a
 failed send is already covered); when a worker dies mid-campaign its
 journal replays onto the lowest-indexed survivor -- any worker can
 absorb any shard's rows -- and the campaign completes with the same
-bytes.  Under ``"abort"`` the engine closes and raises
-:class:`~repro.stream.fabric.FabricError`; the last committed
+bytes.  The journal costs dispatcher memory proportional to the
+stream shipped so far, so it is *bounded*: past
+``REPRO_FABRIC_JOURNAL_LIMIT`` journaled rows (default 4M;
+``journal_limit=`` on the transport or spec string; ``0`` = keep
+everything) the journals are dropped and a later worker loss degrades
+to the ``"abort"`` behavior -- safe precisely because long campaigns
+checkpoint periodically.  Under ``"abort"`` the engine closes and
+raises :class:`~repro.stream.fabric.FabricError`; the last committed
 checkpoint on disk stays resumable.  Either way: never a hang, never
 silent loss.
 """
@@ -55,6 +61,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from repro import config as repro_config
 from repro.core.records import ObservationStore, ProbeObservation
 from repro.core.rotation_detect import RotationDetection, diff_pairs, target_prefix48
 from repro.net.addr import IID_MASK
@@ -65,6 +72,20 @@ from repro.stream.fabric.transport import PipeTransport, parse_worker_spec
 from repro.stream.shard import ShardKey, shard_index
 from repro.stream.sink import IngestSinkBase
 from repro.stream.state import ShardState, merge_shard_state
+from repro.util import get_logger
+
+log = get_logger("repro.stream.parallel")
+
+
+def _journal_weight(message: tuple) -> int:
+    """Rows a journaled message holds -- the unit the journal bound
+    counts (a row, not a message, is what costs memory)."""
+    tag = message[0]
+    if tag == "rows":
+        return len(message[1])
+    if tag == "cols":
+        return len(message[1][0])
+    return 1
 
 
 class ParallelStreamEngine(IngestSinkBase):
@@ -140,12 +161,22 @@ class ParallelStreamEngine(IngestSinkBase):
         self._slots: list[int] = list(range(num_workers))
         # Per-channel journals of mutating messages (rows/cols/prune),
         # kept only under the "requeue" policy: a lost channel's journal
-        # replays onto a survivor, rebuilding its shards exactly.
+        # replays onto a survivor, rebuilding its shards exactly.  The
+        # journals retain every row shipped so far, so they are bounded:
+        # past _journal_limit total rows they are dropped and a later
+        # worker loss degrades to the abort behavior (the last committed
+        # checkpoint stays resumable) instead of growing without bound.
         self._journals: list[list[tuple]] | None = (
             [[] for _ in range(num_workers)]
             if self._transport.policy == "requeue"
             else None
         )
+        journal_limit = getattr(self._transport, "journal_limit", None)
+        if journal_limit is None:
+            journal_limit = repro_config.current().fabric_journal_limit_rows
+        self._journal_limit = journal_limit
+        self._journal_rows = 0
+        self._journal_degraded = False
         self._sync_token = 0
         self._merged: StreamEngine | None = None
         self._open = True
@@ -283,7 +314,15 @@ class ParallelStreamEngine(IngestSinkBase):
             self._obs.worker_exited(channel_index)
         if self._journals is None:
             policy = self._transport.policy
+            degraded = self._journal_degraded
             self.close()
+            if degraded:
+                raise FabricError(
+                    f"worker channel {channel_index} lost ({reason}) after "
+                    "the requeue journal exceeded its row bound "
+                    f"({self._journal_limit}); aborting -- the last "
+                    "committed checkpoint remains resumable"
+                )
             if policy == "abort":
                 raise FabricError(
                     f"worker channel {channel_index} lost ({reason}); "
@@ -316,6 +355,25 @@ class ParallelStreamEngine(IngestSinkBase):
                 self._handle_loss(exc.channel_index, str(exc))
                 return  # the recursion replayed the heir's full journal
 
+    def _degrade_journal(self) -> None:
+        """Drop the requeue journals once they exceed the row bound.
+
+        Dispatcher memory stops growing; from here a worker loss
+        aborts to the last committed checkpoint (the degraded message
+        in :meth:`_handle_loss`) instead of replaying.  Raise
+        ``REPRO_FABRIC_JOURNAL_LIMIT`` (or set it to 0) to keep
+        requeue coverage across a longer stream.
+        """
+        self._journals = None
+        self._journal_degraded = True
+        log.warning(
+            "fabric requeue journal exceeded %d rows; dropping journals "
+            "-- a worker loss from here aborts to the last committed "
+            "checkpoint (raise REPRO_FABRIC_JOURNAL_LIMIT to extend "
+            "requeue coverage)",
+            self._journal_limit,
+        )
+
     def _dispatch(self, slot: int, message: tuple) -> None:
         """Send a mutating message to whichever channel owns *slot*."""
         while True:
@@ -326,6 +384,9 @@ class ParallelStreamEngine(IngestSinkBase):
                 continue  # the slot now points at the heir
             if self._journals is not None:
                 self._journals[channel_index].append(message)
+                self._journal_rows += _journal_weight(message)
+                if self._journal_limit and self._journal_rows > self._journal_limit:
+                    self._degrade_journal()
             try:
                 channel.send(message)
             except WorkerLost as exc:

@@ -31,6 +31,7 @@ from repro.stream.fabric import (
     FabricError,
     SocketTransport,
     WorkerCore,
+    WorkerLost,
     parse_worker_spec,
 )
 from repro.stream.fabric import framing
@@ -119,6 +120,101 @@ class TestFraming:
             framing.recv_frame(b, 1 << 20)
         a.close()
         b.close()
+
+
+class TestAuthentication:
+    """The mutual HMAC handshake: nothing is unpickled pre-auth."""
+
+    def test_mutual_handshake_roundtrip(self):
+        a, b = socket.socketpair()
+        errors = []
+
+        def master():
+            try:
+                framing.authenticate_master(a, "s3kr1t")
+            except Exception as exc:  # surfaces in the main thread
+                errors.append(exc)
+
+        thread = threading.Thread(target=master)
+        thread.start()
+        try:
+            framing.authenticate_worker(b, "s3kr1t")
+        finally:
+            thread.join(timeout=5)
+            a.close()
+            b.close()
+        assert not errors
+
+    def test_wrong_key_rejected_by_master(self):
+        a, b = socket.socketpair()
+        rejections = []
+
+        def master():
+            try:
+                framing.authenticate_master(a, "right")
+            except framing.AuthenticationError as exc:
+                rejections.append(exc)
+            finally:
+                a.close()  # what the accept loop does on any failure
+
+        thread = threading.Thread(target=master)
+        thread.start()
+        with pytest.raises((framing.FrameError, EOFError, OSError)):
+            framing.authenticate_worker(b, "wrong")
+        thread.join(timeout=5)
+        b.close()
+        assert rejections, "master must reject the wrong digest"
+
+    def test_wrong_key_worker_never_occupies_slot(self):
+        transport = SocketTransport(authkey="s3kr1t", connect_timeout=1.0)
+        address = transport.connect_address
+
+        def imposter():
+            from repro.stream.fabric.worker import run_worker
+
+            with pytest.raises(FabricError, match="handshake"):
+                run_worker(address, authkey="wrong")
+
+        thread = threading.Thread(target=imposter, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(FabricError, match="waiting for worker 0"):
+                transport.start(1, num_shards=2, asn_keyed=False, columnar=False)
+        finally:
+            thread.join(timeout=5)
+            transport.close()
+
+    def test_unauthenticated_pickle_is_never_decoded(self):
+        # A pre-auth pickled hello (the pre-authkey wire format, or an
+        # attacker's payload) must be dropped without ever reaching
+        # pickle.loads: it arrives where the master expects a raw
+        # digest frame, fails the prefix check, and the connection is
+        # closed -- the worker slot stays empty.
+        transport = SocketTransport(connect_timeout=1.0)
+        port = int(transport.address.rsplit(":", 1)[1])
+        sock = socket.create_connection(("127.0.0.1", port))
+        framing.send_frame(sock, framing.encode(("hello", PROTO_VERSION, 1)))
+        try:
+            with pytest.raises(FabricError, match="waiting for worker 0"):
+                transport.start(1, num_shards=2, asn_keyed=False, columnar=False)
+        finally:
+            sock.close()
+            transport.close()
+
+    def test_worker_requires_an_authkey(self, monkeypatch):
+        monkeypatch.delenv(config.ENV_FABRIC_AUTHKEY, raising=False)
+        from repro.stream.fabric.worker import run_worker
+
+        with pytest.raises(FabricError, match="authkey"):
+            run_worker("tcp://127.0.0.1:1")
+
+    def test_master_resolves_env_authkey(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_FABRIC_AUTHKEY, "from-env")
+        transport = SocketTransport()
+        try:
+            assert transport.authkey == "from-env"
+        finally:
+            transport.close()
 
 
 class TestWorkerSpec:
@@ -277,6 +373,36 @@ class TestFaults:
             parallel.barrier()
         parallel.close()
 
+    def test_journal_bound_degrades_to_abort(self, world):
+        # Past the journal row bound the dispatcher stops retaining
+        # replay state (memory stays bounded); a worker lost after
+        # that aborts to the last committed checkpoint instead of
+        # requeueing -- loudly, never a hang or silent loss.
+        internet, corpus = world
+        config_ = StreamConfig(num_shards=4, keep_observations=False)
+        transport = socket_transport(
+            spawn="process",
+            heartbeat=0.2,
+            heartbeat_timeout=1.5,
+            journal_limit=64,
+        )
+        parallel = ParallelStreamEngine(
+            config_,
+            origin_of=internet.rib.origin_of,
+            num_workers=2,
+            batch_rows=32,
+            transport=transport,
+        )
+        half = len(corpus) // 2
+        parallel.ingest_batch(corpus[:half])
+        parallel.barrier()
+        assert parallel._journals is None, "journal bound should have tripped"
+        os.kill(transport.channels[1].pid, signal.SIGKILL)
+        with pytest.raises(FabricError, match="journal"):
+            parallel.ingest_batch(corpus[half:])
+            parallel.barrier()
+        parallel.close()
+
     def test_connect_timeout_when_worker_never_says_hello(self):
         transport = SocketTransport(connect_timeout=1.0)
         # A connection that never completes the handshake must not
@@ -306,7 +432,7 @@ class TestFaults:
             noise.close()
             from repro.stream.fabric.worker import run_worker
 
-            run_worker(transport.connect_address)
+            run_worker(transport.connect_address, authkey=transport.authkey)
 
         thread = threading.Thread(target=noise_then_worker, daemon=True)
         thread.start()
@@ -325,7 +451,10 @@ class TestFaults:
         port = int(transport.address.rsplit(":", 1)[1])
 
         def imposter():
+            # Holds the right key (version skew is an ops mistake, not
+            # an attack) but speaks a different protocol revision.
             sock = socket.create_connection(("127.0.0.1", port))
+            framing.authenticate_worker(sock, transport.authkey)
             framing.send_frame(sock, framing.encode(("hello", PROTO_VERSION + 1, 123)))
             time.sleep(1.0)
             sock.close()
@@ -336,6 +465,96 @@ class TestFaults:
             transport.start(1, num_shards=2, asn_keyed=False, columnar=False)
         thread.join(timeout=5)
         transport.close()
+
+
+class TestLiveness:
+    """Dead means gone, not busy: liveness rides worker-push beats."""
+
+    def _fake_worker_socket(self, transport):
+        """Complete auth + hello by hand; returns the worker-side sock."""
+        port = int(transport.address.rsplit(":", 1)[1])
+        sock = socket.create_connection(("127.0.0.1", port))
+        framing.authenticate_worker(sock, transport.authkey)
+        framing.send_frame(sock, framing.encode(("hello", PROTO_VERSION, 0)))
+        welcome = framing.decode(framing.recv_frame(sock, 1 << 20))
+        assert welcome[0] == "welcome"
+        return sock
+
+    def test_pushed_beats_keep_a_busy_worker_alive(self):
+        # A worker too busy applying backlog to answer master pings
+        # (it never reads its socket at all here) must NOT be declared
+        # dead as long as its beat thread keeps pushing.
+        transport = SocketTransport(
+            heartbeat=0.1, heartbeat_timeout=0.8, connect_timeout=10.0
+        )
+        stop = threading.Event()
+
+        def busy_worker():
+            sock = self._fake_worker_socket(transport)
+            while not stop.wait(0.1):
+                framing.send_frame(sock, framing.encode(("hb_push",)))
+            sock.close()
+
+        thread = threading.Thread(target=busy_worker, daemon=True)
+        thread.start()
+        try:
+            channel = transport.start(
+                1, num_shards=2, asn_keyed=False, columnar=False
+            )[0]
+            time.sleep(2.0)  # well past heartbeat_timeout
+            assert channel.alive, channel.dead_reason
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+            transport.close()
+
+    def test_silent_worker_is_declared_dead(self):
+        # The converse: a worker whose beats stop (process wedged,
+        # host gone -- the socket may stay open) is declared dead
+        # after the timeout, and a blocked recv() wakes as WorkerLost.
+        transport = SocketTransport(
+            heartbeat=0.1, heartbeat_timeout=0.5, connect_timeout=10.0
+        )
+        done = threading.Event()
+
+        def wedged_worker():
+            sock = self._fake_worker_socket(transport)
+            done.wait(5.0)  # never beats, never replies
+            sock.close()
+
+        thread = threading.Thread(target=wedged_worker, daemon=True)
+        thread.start()
+        try:
+            channel = transport.start(
+                1, num_shards=2, asn_keyed=False, columnar=False
+            )[0]
+            deadline = time.monotonic() + 5.0
+            while channel.alive and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert not channel.alive
+            assert "no heartbeat" in channel.dead_reason
+            with pytest.raises(WorkerLost):
+                channel.recv()
+        finally:
+            done.set()
+            thread.join(timeout=5)
+            transport.close()
+
+    def test_writer_failure_surfaces_as_worker_lost(self):
+        # An unpicklable message kills the writer thread; the channel
+        # must go dead (and wake recv) instead of hanging send().
+        transport = socket_transport(connect_timeout=10.0)
+        try:
+            channel = transport.start(
+                1, num_shards=2, asn_keyed=False, columnar=False
+            )[0]
+            channel.send(("rows", lambda row: row))  # lambdas don't pickle
+            with pytest.raises(WorkerLost):
+                channel.recv()
+            assert not channel.alive
+            assert "writer failed" in channel.dead_reason
+        finally:
+            transport.close()
 
 
 class TestWorkerCore:
@@ -390,6 +609,12 @@ class TestSettings:
         monkeypatch.setenv(config.ENV_FABRIC_MAX_FRAME, "huge")
         with pytest.raises(ValueError, match="expected an integer"):
             config.current()
+
+    def test_journal_limit_resolves_from_env(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_FABRIC_JOURNAL_LIMIT, "123")
+        assert config.current().fabric_journal_limit_rows == 123
+        unbounded = config.current(fabric_journal_limit_rows=0)
+        assert unbounded.fabric_journal_limit_rows == 0
 
     def test_transport_resolves_env_knobs(self, monkeypatch):
         monkeypatch.setenv(config.ENV_FABRIC_HEARTBEAT, "0.7")
