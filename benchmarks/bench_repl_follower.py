@@ -1,0 +1,77 @@
+"""The warm standby for ``test_replication_overhead``, as a process.
+
+The replication bench measures what shipping costs the *primary*; the
+follower's segment parsing must therefore run outside the primary's
+GIL, exactly as a real standby does.  This helper subscribes to the
+shipper address given on argv and then speaks a line protocol on
+stdio with the bench:
+
+* ``["EXPECT", base_id, seq]`` -- block until the applied position
+  reaches ``(base_id, seq)``, then answer ``CONVERGED <sha256> <lag>``
+  where the digest is over the assembled state's sorted JSON;
+* ``["QUIT"]`` -- answer ``STATS <json>`` (the follower's
+  ``repro_repl_apply_seconds`` histogram) and exit.
+"""
+
+import hashlib
+import json
+import os
+import sys
+import time
+
+from repro.obs import Telemetry
+from repro.replicate import ReplicaFollower
+
+
+def main(argv: list[str]) -> int:
+    address, authkey = argv
+    # A warm standby is a background process by design: it must never
+    # compete with the primary for CPU.  Dropping to the lowest
+    # priority makes a single-core CI host model the production
+    # topology (standby on its own machine) instead of measuring CPU
+    # contention that topology never has; on multi-core hosts this is
+    # a no-op (the standby gets an idle core either way).
+    try:
+        os.nice(19)
+    except OSError:
+        pass
+    telemetry = Telemetry()
+    follower = ReplicaFollower(address, authkey=authkey, telemetry=telemetry)
+    follower.start()
+    try:
+        for line in sys.stdin:
+            command = json.loads(line)
+            if command[0] == "QUIT":
+                break
+            _, base_id, seq = command
+            deadline = time.monotonic() + 60
+            while (follower.applied_base_id, follower.applied_seq) != (
+                base_id,
+                seq,
+            ):
+                if time.monotonic() > deadline:
+                    print("TIMEOUT", flush=True)
+                    return 1
+                time.sleep(0.01)
+            digest = hashlib.sha256(
+                json.dumps(follower.state, sort_keys=True).encode()
+            ).hexdigest()
+            print("CONVERGED", digest, follower.lag_seconds, flush=True)
+    finally:
+        follower.stop()
+    applied = telemetry.snapshot()["histograms"].get(
+        "repro_repl_apply_seconds", {"count": 0, "sum": 0.0}
+    )
+    print(
+        "STATS",
+        json.dumps(
+            {"count": applied["count"], "sum": applied["sum"]},
+            separators=(",", ":"),
+        ),
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -15,6 +15,9 @@ The package layers, bottom-up:
 * :mod:`repro.stream` -- the online adversary: single-pass sharded
   ingestion, incrementally updated inferences, live rotation tracking,
   checkpoint/resume;
+* :mod:`repro.replicate` -- checkpoint-delta replication: segment
+  shipping to warm standbys that can serve read-only and promote into
+  the primary;
 * :mod:`repro.experiments` -- one driver per table/figure plus
   ablations;
 * :mod:`repro.viz` -- CDFs and ASCII rendering.
@@ -38,6 +41,7 @@ from repro.net.addr import Prefix, format_addr, parse_addr
 from repro.net.eui64 import eui64_iid_to_mac, is_eui64_iid, mac_to_eui64_iid
 from repro.net.mac import format_mac, parse_mac
 from repro.net.oui import OuiRegistry
+from repro.replicate import SegmentShipper
 from repro.scan.zmap import ScanConfig, ScanStream, Zmap6
 from repro.serve import SnapshotPublisher, TrackerDaemon, TrackerServer, TrackerSnapshot
 from repro.simnet.builder import (
@@ -75,6 +79,17 @@ from repro.stream.tracker import LivePursuit
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name):
+    # Lazy, like repro.replicate itself: an eager import here would
+    # pre-load the follower module and trip runpy's double-import
+    # warning under ``python -m repro.replicate.follower``.
+    if name == "ReplicaFollower":
+        from repro.replicate import ReplicaFollower
+
+        return ReplicaFollower
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "AllocationInference",
     "AsProfile",
@@ -98,10 +113,12 @@ __all__ = [
     "Prefix",
     "ProbeObservation",
     "ProviderSpec",
+    "ReplicaFollower",
     "RotationPoolInference",
     "ScanConfig",
     "ScanStream",
     "SearchSpaceBound",
+    "SegmentShipper",
     "SightingRecord",
     "SimInternet",
     "SnapshotPublisher",

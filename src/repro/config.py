@@ -53,6 +53,24 @@ Variable                         Meaning
                                  dispatcher drops the journals and a later
                                  worker loss aborts to the last committed
                                  checkpoint instead of requeueing.
+``REPRO_REPLICATE_BIND``         Endpoint a binary-checkpoint campaign's
+                                 segment shipper listens on for followers
+                                 (``tcp://host:port``).  Unset: replication
+                                 off, zero cost.
+``REPRO_REPLICATE_AUTHKEY``      Shared secret for the replication
+                                 handshake (same mutual HMAC scheme as the
+                                 fabric).  Unset, the shipper falls back to
+                                 ``REPRO_FABRIC_AUTHKEY``, then generates a
+                                 random key (``SegmentShipper.authkey``).
+``REPRO_REPLICATE_OUTBOX``       Per-follower outbox bound, in queued
+                                 segments (default 64).  A follower that
+                                 falls further behind is degraded to a
+                                 full-chain resync instead of unbounded
+                                 buffering.
+``REPRO_REPLICATE_CONNECT_TIMEOUT``  Seconds a follower waits for the
+                                 primary (per attempt), and the shipper
+                                 waits for a subscriber's handshake
+                                 (default 10).
 ===============================  ==========================================
 
 Empty-string values count as *unset* (the CI matrix exports ``""`` for
@@ -78,6 +96,10 @@ ENV_FABRIC_CONNECT_TIMEOUT = "REPRO_FABRIC_CONNECT_TIMEOUT"
 ENV_FABRIC_MAX_FRAME = "REPRO_FABRIC_MAX_FRAME"
 ENV_FABRIC_AUTHKEY = "REPRO_FABRIC_AUTHKEY"
 ENV_FABRIC_JOURNAL_LIMIT = "REPRO_FABRIC_JOURNAL_LIMIT"
+ENV_REPLICATE_BIND = "REPRO_REPLICATE_BIND"
+ENV_REPLICATE_AUTHKEY = "REPRO_REPLICATE_AUTHKEY"
+ENV_REPLICATE_OUTBOX = "REPRO_REPLICATE_OUTBOX"
+ENV_REPLICATE_CONNECT_TIMEOUT = "REPRO_REPLICATE_CONNECT_TIMEOUT"
 
 
 @dataclass(frozen=True)
@@ -95,6 +117,10 @@ class Settings:
     fabric_max_frame_bytes: int = 256 * 1024 * 1024
     fabric_authkey: str | None = None
     fabric_journal_limit_rows: int = 4_000_000
+    replicate_bind: str | None = None
+    replicate_authkey: str | None = None
+    replicate_outbox_frames: int = 64
+    replicate_connect_timeout: float = 10.0
 
 
 _FIELD_NAMES = {f.name for f in fields(Settings)}
@@ -157,6 +183,14 @@ def current(**overrides) -> Settings:
         "fabric_journal_limit_rows": _env_int(
             ENV_FABRIC_JOURNAL_LIMIT, Settings.fabric_journal_limit_rows
         ),
+        "replicate_bind": _env_str(ENV_REPLICATE_BIND),
+        "replicate_authkey": _env_str(ENV_REPLICATE_AUTHKEY),
+        "replicate_outbox_frames": _env_int(
+            ENV_REPLICATE_OUTBOX, Settings.replicate_outbox_frames
+        ),
+        "replicate_connect_timeout": _env_float(
+            ENV_REPLICATE_CONNECT_TIMEOUT, Settings.replicate_connect_timeout
+        ),
     }
     for key, value in overrides.items():
         if key not in _FIELD_NAMES:
@@ -177,6 +211,10 @@ __all__ = [
     "ENV_FORCE_FALLBACK",
     "ENV_LOG_JSON",
     "ENV_LOG_LEVEL",
+    "ENV_REPLICATE_AUTHKEY",
+    "ENV_REPLICATE_BIND",
+    "ENV_REPLICATE_CONNECT_TIMEOUT",
+    "ENV_REPLICATE_OUTBOX",
     "ENV_STORE_BACKEND",
     "Settings",
     "current",

@@ -135,6 +135,17 @@ class Dashboard:
                 f"| serve     {_fmt_count(serve_requests):>8} req"
                 f"   snapshot v{snapshot_version or 0:<8.0f}       |"
             )
+        # Replication: shipped on the primary, applied + lag on a
+        # standby -- whichever side this registry observes.
+        shipped = counters.get("repro_repl_segments_shipped_total", 0)
+        applied = counters.get("repro_repl_segments_applied_total", 0)
+        lag = gauges.get("repro_repl_lag_seconds")
+        if shipped or applied or lag is not None:
+            lines.append(
+                f"| replicate {_fmt_count(shipped):>6} out"
+                f"   {_fmt_count(applied):>6} in"
+                f"   lag {lag if lag is not None else 0:>7.3f}s    |"
+            )
         lines.append("+" + "-" * 60 + "+")
         return "\n".join(lines)
 

@@ -37,6 +37,9 @@ KNOWN_EVENTS = (
     "fabric_requeue",
     "serve_start",
     "serve_stop",
+    "segment_shipped",
+    "follower_lag",
+    "promoted",
 )
 
 

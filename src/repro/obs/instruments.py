@@ -26,6 +26,8 @@ Metric name scheme (documented in ``benchmarks/README.md``):
 * ``repro_checkpoint_*`` -- serialize/restore/write latency and size
 * ``repro_serve_*``    -- the query daemon (``endpoint`` label) and
   snapshot publication
+* ``repro_repl_*``     -- checkpoint replication: segments shipped and
+  applied, follower lag, resyncs
 """
 
 from __future__ import annotations
@@ -438,12 +440,17 @@ class CheckpointInstruments:
         seconds: float,
         kind: str = "full",
         delta_bytes: int | None = None,
+        base_id: str | None = None,
+        seq: int | None = None,
     ) -> None:
         """Record one checkpoint write.
 
         *size* is the checkpoint's full size (file bytes for binary,
         payload bytes for JSON); *delta_bytes* is the appended segment
-        size when *kind* is ``"delta"``.
+        size when *kind* is ``"delta"``.  Binary writes carry the chain
+        identity (*base_id*, *seq*) into the event payload, so a
+        replication follower can spot a rebase from the event log
+        alone.
         """
         self.checkpoints.value += 1
         self.checkpoint_bytes.value = size
@@ -454,11 +461,132 @@ class CheckpointInstruments:
                 self.checkpoint_delta_bytes.value = delta_bytes
         else:
             self.checkpoints_full.value += 1
+        payload = {
+            "path": str(path),
+            "bytes": size,
+            "day": day,
+            "seconds": round(seconds, 6),
+            "kind": kind,
+        }
+        if base_id is not None:
+            payload["base_id"] = base_id
+            payload["seq"] = seq
+        self.telemetry.emit("checkpoint_written", **payload)
+
+
+class ReplicationInstruments:
+    """Checkpoint-replication metrics, shipper and follower sides.
+
+    One vocabulary for both roles: a shipper bumps the shipped/
+    subscriber/resync series, a follower the applied/lag/rejected
+    series -- a box running both (a standby that is also relaying)
+    shares one registry without name collisions.  Updates arrive from
+    checkpoint-cadence and socket threads, so they take a small lock;
+    nothing here is anywhere near a per-row path.
+    """
+
+    __slots__ = (
+        "telemetry",
+        "segments_shipped",
+        "bytes_shipped",
+        "subscribers",
+        "resyncs",
+        "segments_applied",
+        "apply_seconds",
+        "lag_seconds",
+        "rejected",
+        "reconnects",
+        "_lock",
+    )
+
+    def __init__(self, telemetry) -> None:
+        registry = telemetry.registry
+        self.telemetry = telemetry
+        self.segments_shipped = registry.counter(
+            "repro_repl_segments_shipped_total",
+            "Checkpoint segments streamed to followers",
+        )
+        self.bytes_shipped = registry.counter(
+            "repro_repl_bytes_shipped_total",
+            "Raw segment bytes streamed to followers",
+        )
+        self.subscribers = registry.gauge(
+            "repro_repl_subscribers", "Followers currently subscribed"
+        )
+        self.resyncs = registry.counter(
+            "repro_repl_resyncs_total",
+            "Full-chain resyncs forced by outbox overflow",
+        )
+        self.segments_applied = registry.counter(
+            "repro_repl_segments_applied_total",
+            "Segments validated and applied by the follower",
+        )
+        self.apply_seconds = registry.histogram(
+            "repro_repl_apply_seconds",
+            "Segment validate-and-merge latency",
+            LATENCY_BUCKETS,
+        )
+        self.lag_seconds = registry.gauge(
+            "repro_repl_lag_seconds",
+            "Primary-write to follower-apply delay of the newest segment",
+        )
+        self.rejected = registry.counter(
+            "repro_repl_rejected_total",
+            "Segments rejected by validation (state left untouched)",
+        )
+        self.reconnects = registry.counter(
+            "repro_repl_reconnects_total", "Follower reconnect attempts"
+        )
+        self._lock = threading.Lock()
+
+    def shipped(
+        self, base_id: str, seq: int, kind: str, nbytes: int, subscribers: int
+    ) -> None:
+        with self._lock:
+            self.segments_shipped.value += 1
+            self.bytes_shipped.value += nbytes
+            self.subscribers.value = subscribers
         self.telemetry.emit(
-            "checkpoint_written",
-            path=str(path),
-            bytes=size,
-            day=day,
-            seconds=round(seconds, 6),
+            "segment_shipped",
+            base_id=base_id,
+            seq=seq,
             kind=kind,
+            bytes=nbytes,
+            subscribers=subscribers,
+        )
+
+    def subscribers_now(self, count: int) -> None:
+        with self._lock:
+            self.subscribers.value = count
+
+    def resynced(self) -> None:
+        with self._lock:
+            self.resyncs.value += 1
+
+    def applied(
+        self, base_id: str, seq: int, kind: str, seconds: float, lag: float
+    ) -> None:
+        with self._lock:
+            self.segments_applied.value += 1
+            self.apply_seconds.observe(seconds)
+            self.lag_seconds.value = lag
+        self.telemetry.emit(
+            "follower_lag",
+            base_id=base_id,
+            seq=seq,
+            kind=kind,
+            lag_seconds=round(lag, 6),
+        )
+
+    def rejected_segment(self) -> None:
+        with self._lock:
+            self.rejected.value += 1
+
+    def reconnected(self) -> None:
+        with self._lock:
+            self.reconnects.value += 1
+
+    def promoted(self, base_id: str | None, seq: int | None, path) -> None:
+        self.telemetry.emit(
+            "promoted", base_id=base_id, seq=seq, path=str(path)
         )

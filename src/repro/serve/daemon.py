@@ -111,6 +111,9 @@ class TrackerDaemon:
                 if campaign.checkpoint_path is not None:
                     campaign.checkpoint()
             finally:
+                # Followers of a campaign-owned shipper get an orderly
+                # stop (the final checkpoint above already shipped).
+                campaign.close_shipper()
                 self.server.stop()
                 self._emit(
                     "serve_stop",

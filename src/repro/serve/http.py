@@ -21,7 +21,11 @@ Endpoints (all GET unless noted):
                      that means; see :class:`TrackerDaemon`)
 
 Every JSON body carries ``snapshot_version``; versions across any
-sequence of responses are monotonically non-decreasing.
+sequence of responses are monotonically non-decreasing.  ``/stats``
+and ``/healthz`` additionally carry a ``role`` field: ``primary`` by
+default, or ``standby`` -- plus the applied ``(base_id, seq)`` and
+replication lag -- when the server fronts a
+:class:`~repro.replicate.ReplicaFollower`.
 """
 
 from __future__ import annotations
@@ -102,12 +106,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._get_stats()
             elif path == "/healthz":
                 endpoint = "healthz"
-                self._send_json(
-                    {
-                        "status": "ok",
-                        "snapshot_version": self.server.publisher.current.version,
-                    }
-                )
+                payload = {
+                    "status": "ok",
+                    "snapshot_version": self.server.publisher.current.version,
+                }
+                payload.update(self.server.role_payload())
+                self._send_json(payload)
             elif path == "/metrics":
                 endpoint = "metrics"
                 self._get_metrics()
@@ -161,6 +165,7 @@ class _Handler(BaseHTTPRequestHandler):
         payload["uptime_seconds"] = round(
             time.monotonic() - self.server.started_at, 3
         )
+        payload.update(self.server.role_payload())
         self._send_json(payload)
 
     def _get_metrics(self) -> None:
@@ -180,6 +185,18 @@ class _Server(ThreadingHTTPServer):
     # Restarting a just-stopped daemon on the same port must not fail
     # with EADDRINUSE on lingering TIME_WAIT sockets.
     allow_reuse_address = True
+    role_info: Callable[[], dict] | None = None
+
+    def role_payload(self) -> dict:
+        """Replication role fields merged into /healthz and /stats.
+
+        A standby's owner (``ReplicaFollower.serve``) injects a
+        ``role_info`` callable reporting ``standby`` plus its applied
+        chain position and lag; everything else is the primary.
+        """
+        if self.role_info is None:
+            return {"role": "primary"}
+        return self.role_info()
 
 
 class TrackerServer:
@@ -200,6 +217,7 @@ class TrackerServer:
         host: str = "127.0.0.1",
         port: int = 0,
         on_shutdown: Callable[[], None] | None = None,
+        role_info: Callable[[], dict] | None = None,
     ) -> None:
         self.publisher = publisher
         self.telemetry = telemetry
@@ -213,6 +231,7 @@ class TrackerServer:
         self._httpd.telemetry = telemetry
         self._httpd.serve_obs = self._obs
         self._httpd.on_shutdown = on_shutdown
+        self._httpd.role_info = role_info
         self._httpd.started_at = time.monotonic()
         self._httpd.requests_served = self.requests_served
         self._thread = None

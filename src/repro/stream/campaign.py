@@ -22,6 +22,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Callable, Iterable
 
+from repro import config
 from repro.core.campaign import Campaign, CampaignResult
 from repro.core.records import ObservationStore, ProbeObservation
 from repro.stream.checkpoint import (
@@ -80,6 +81,7 @@ class StreamingCampaign:
         telemetry=None,
         checkpoint_format: str | None = None,
         on_day_complete: "Callable[[int], None] | None" = None,
+        shipper=None,
     ) -> None:
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
@@ -150,6 +152,29 @@ class StreamingCampaign:
         # construction, not at the first mid-campaign checkpoint.
         self.checkpoint_format = resolve_checkpoint_format(checkpoint_format)
         self._ckpt_saver = None  # lazily built BinaryCheckpointer
+        # Checkpoint replication (repro.replicate): a SegmentShipper
+        # instance, a bind address string, or None -- in which case
+        # REPRO_REPLICATE_BIND can switch it on without touching the
+        # call site.  Disabled, the cost is one None check per binary
+        # checkpoint.
+        self.shipper = None
+        self._owns_shipper = False
+        if shipper is None:
+            bind = config.current().replicate_bind
+            if bind and self.checkpoint_format == "binary" and checkpoint_path:
+                from repro.replicate import SegmentShipper
+
+                self.shipper = SegmentShipper(bind, telemetry=telemetry)
+                self._owns_shipper = True
+        elif isinstance(shipper, str):
+            from repro.replicate import SegmentShipper
+
+            self._require_replicable(checkpoint_path)
+            self.shipper = SegmentShipper(shipper, telemetry=telemetry)
+            self._owns_shipper = True
+        else:
+            self._require_replicable(checkpoint_path)
+            self.shipper = shipper
         # Checkpoint accounting surfaced by stats(): how many were
         # written this session, the file size after the last one, and
         # the full-vs-delta split (JSON writes count as full).
@@ -181,6 +206,23 @@ class StreamingCampaign:
                 # base engine never ingests directly.
                 engine.attach_telemetry(telemetry)
             self.result.store.attach_telemetry(telemetry)
+
+    def _require_replicable(self, checkpoint_path) -> None:
+        """An explicitly requested shipper must be able to ship."""
+        if checkpoint_path is None:
+            raise ValueError("replication requires a checkpoint_path")
+        if self.checkpoint_format != "binary":
+            raise ValueError(
+                "replication requires checkpoint_format='binary' "
+                "(segments are what ships)"
+            )
+
+    def close_shipper(self) -> None:
+        """Close a campaign-owned shipper (one built from an address or
+        ``REPRO_REPLICATE_BIND``); caller-provided shippers are the
+        caller's to close.  Idempotent."""
+        if self.shipper is not None and self._owns_shipper:
+            self.shipper.close()
 
     @property
     def live_engine(self) -> "StreamEngine | ParallelStreamEngine":
@@ -222,6 +264,7 @@ class StreamingCampaign:
         store: "ObservationStore | None" = None,
         telemetry=None,
         checkpoint_format: str | None = None,
+        shipper=None,
     ) -> "StreamingCampaign":
         """Rebuild a streaming campaign from a checkpoint file.
 
@@ -268,6 +311,7 @@ class StreamingCampaign:
             passive_feeds=passive_feeds,
             telemetry=telemetry,
             checkpoint_format=checkpoint_format,
+            shipper=shipper,
         )
         if store is not None:
             # Release the default store the constructor built (under a
@@ -368,6 +412,11 @@ class StreamingCampaign:
         else:
             self.checkpoints_full += 1
         self.last_checkpoint_bytes = result.file_bytes
+        if self.shipper is not None:
+            # Synchronous on the checkpoint thread: the file is
+            # quiescent here, and ship() only reads the new byte
+            # ranges + enqueues (slow followers never block it).
+            self.shipper.ship(saver)
 
     def _refresh_engine(self) -> None:
         """In parallel mode, re-materialize ``self.engine`` as the

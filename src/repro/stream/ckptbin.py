@@ -156,46 +156,113 @@ def _write_segment(fh, header_bytes: bytes, blobs: list[bytes]) -> int:
     return size
 
 
-def _read_segments(path) -> list[tuple[dict, bytes]]:
-    """Every ``(header, payload)`` in the file, fully validated.
+def _parse_segment(data: bytes, offset: int, label) -> tuple[dict, bytes, int]:
+    """Validate one segment at *offset*; returns (header, payload, end).
 
-    Magic, header JSON, payload bounds, and CRC are checked per
-    segment; any mismatch raises :class:`CheckpointError` -- a
-    truncated or corrupted file must never restore partial state.
+    Magic, header JSON, payload bounds, and CRC are all checked before
+    anything is returned; any mismatch raises :class:`CheckpointError`
+    -- a truncated or corrupted segment must never restore partial
+    state.
     """
-    data = Path(path).read_bytes()
     total = len(data)
+    if total - offset < 8 or data[offset : offset + 4] != MAGIC:
+        raise CheckpointError(f"{label}: bad segment magic at byte {offset}")
+    header_len = int.from_bytes(data[offset + 4 : offset + 8], "little")
+    header_end = offset + 8 + header_len
+    if header_end > total:
+        raise CheckpointError(f"{label}: truncated segment header")
+    header_bytes = data[offset + 8 : header_end]
+    try:
+        header = json.loads(header_bytes)
+        payload_len = sum(8 * count for _, _, count in header["blocks"])
+    except (ValueError, KeyError, TypeError) as exc:
+        raise CheckpointError(f"{label}: corrupt segment header") from exc
+    payload_end = header_end + payload_len
+    if payload_end + 4 > total:
+        raise CheckpointError(f"{label}: truncated segment payload")
+    payload = data[header_end:payload_end]
+    stored_crc = int.from_bytes(data[payload_end : payload_end + 4], "little")
+    if stored_crc != zlib.crc32(payload, zlib.crc32(header_bytes)):
+        raise CheckpointError(f"{label}: segment CRC mismatch at byte {offset}")
+    return header, payload, payload_end + 4
+
+
+def _read_segments(path) -> list[tuple[dict, bytes]]:
+    """Every ``(header, payload)`` in the file, fully validated."""
+    data = Path(path).read_bytes()
     segments: list[tuple[dict, bytes]] = []
     offset = 0
-    while offset < total:
-        if total - offset < 8 or data[offset : offset + 4] != MAGIC:
-            raise CheckpointError(
-                f"{path}: bad segment magic at byte {offset}"
-            )
-        header_len = int.from_bytes(data[offset + 4 : offset + 8], "little")
-        header_end = offset + 8 + header_len
-        if header_end > total:
-            raise CheckpointError(f"{path}: truncated segment header")
-        header_bytes = data[offset + 8 : header_end]
-        try:
-            header = json.loads(header_bytes)
-            payload_len = sum(8 * count for _, _, count in header["blocks"])
-        except (ValueError, KeyError, TypeError) as exc:
-            raise CheckpointError(f"{path}: corrupt segment header") from exc
-        payload_end = header_end + payload_len
-        if payload_end + 4 > total:
-            raise CheckpointError(f"{path}: truncated segment payload")
-        payload = data[header_end:payload_end]
-        stored_crc = int.from_bytes(data[payload_end : payload_end + 4], "little")
-        if stored_crc != zlib.crc32(payload, zlib.crc32(header_bytes)):
-            raise CheckpointError(
-                f"{path}: segment CRC mismatch at byte {offset}"
-            )
+    while offset < len(data):
+        header, payload, offset = _parse_segment(data, offset, path)
         segments.append((header, payload))
-        offset = payload_end + 4
     if not segments:
         raise CheckpointError(f"{path}: empty binary checkpoint")
     return segments
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One segment's identity and byte range within a chain file."""
+
+    kind: str  # "full" or "delta"
+    base_id: str
+    seq: int
+    offset: int  # byte offset of the segment's magic in the file
+    size: int  # segment size in bytes (magic through trailing CRC)
+
+
+def chain_info(path) -> list[SegmentInfo]:
+    """Per-segment chain introspection for one checkpoint file.
+
+    Walks and fully validates the chain (per-segment framing and CRC
+    plus base/seq continuity) and returns one :class:`SegmentInfo` per
+    segment in file order -- the byte ranges a replication shipper
+    reads raw segments from.  Raises :class:`CheckpointError` on any
+    corruption or a broken chain, exactly like :func:`read_state`.
+    """
+    data = Path(path).read_bytes()
+    infos: list[SegmentInfo] = []
+    offset = 0
+    base_id = None
+    while offset < len(data):
+        header, _payload, end = _parse_segment(data, offset, path)
+        if base_id is None:
+            if header["kind"] != "full" or header["seq"] != 0:
+                raise CheckpointError(
+                    f"{path}: chain does not start with a full segment"
+                )
+            base_id = header["base_id"]
+        elif header["base_id"] != base_id or header["seq"] != len(infos):
+            raise CheckpointError(
+                f"{path}: broken segment chain at seq {header['seq']}"
+                f" (expected {len(infos)} of base {base_id})"
+            )
+        infos.append(
+            SegmentInfo(
+                kind=header["kind"],
+                base_id=header["base_id"],
+                seq=header["seq"],
+                offset=offset,
+                size=end - offset,
+            )
+        )
+        offset = end
+    if not infos:
+        raise CheckpointError(f"{path}: empty binary checkpoint")
+    return infos
+
+
+def segment_bytes(path, info: SegmentInfo) -> bytes:
+    """The raw bytes of one segment, read by its chain-info byte range."""
+    with open(path, "rb") as fh:
+        fh.seek(info.offset)
+        data = fh.read(info.size)
+    if len(data) != info.size:
+        raise CheckpointError(
+            f"{path}: segment at byte {info.offset} truncated to"
+            f" {len(data)} of {info.size} bytes"
+        )
+    return data
 
 
 def _block_table(header: dict, payload: bytes) -> dict[str, list]:
@@ -480,6 +547,17 @@ class BinaryCheckpointer:
         self._had_store = False
         self._store_rows = 0
         self._expected_size: int | None = None
+        self._segments: list[SegmentInfo] = []
+
+    @property
+    def chain(self) -> tuple[SegmentInfo, ...]:
+        """The segments this saver's current chain holds, in order.
+
+        Maintained incrementally across saves (a full rewrite resets
+        it), so a replication shipper reads the newest segment's byte
+        range without re-scanning the file.
+        """
+        return tuple(self._segments)
 
     def _chain_ok(self, engine, store, dirty_sids) -> bool:
         path = self.path
@@ -594,21 +672,27 @@ class BinaryCheckpointer:
             tmp = path.with_name(path.name + ".tmp")
             try:
                 with open(tmp, "wb") as fh:
-                    segment_bytes = _write_segment(fh, header_bytes, blobs)
+                    segment_size = _write_segment(fh, header_bytes, blobs)
                 os.replace(tmp, path)
             finally:
                 tmp.unlink(missing_ok=True)
+            self._segments = [
+                SegmentInfo(kind, base_id, seq, 0, segment_size)
+            ]
         else:
             old_size = path.stat().st_size
             try:
                 with open(path, "ab") as fh:
-                    segment_bytes = _write_segment(fh, header_bytes, blobs)
+                    segment_size = _write_segment(fh, header_bytes, blobs)
             except BaseException:
                 # A torn append would corrupt the chain; roll the file
                 # back to the last good segment boundary.
                 with open(path, "rb+") as fh:
                     fh.truncate(old_size)
                 raise
+            self._segments.append(
+                SegmentInfo(kind, base_id, seq, old_size, segment_size)
+            )
 
         self._base_id = base_id
         self._seq = seq
@@ -629,12 +713,14 @@ class BinaryCheckpointer:
                 engine.current_day,
                 perf_counter() - t0,
                 kind=kind,
-                delta_bytes=segment_bytes if kind == "delta" else None,
+                delta_bytes=segment_size if kind == "delta" else None,
+                base_id=base_id,
+                seq=seq,
             )
         return SaveResult(
             kind=kind,
             file_bytes=file_bytes,
-            segment_bytes=segment_bytes,
+            segment_bytes=segment_size,
             dirty_shards=len(sids),
         )
 
@@ -662,6 +748,13 @@ def _apply_store_segment(header: dict, table: dict, rows: list) -> None:
             f" {record['start']}, chain holds {len(rows)}"
         )
     days = table["store.day"]
+    # Both chain checks run before any row lands, so a bad segment
+    # never leaves partially appended store state behind.
+    if record["rows"] != record["start"] + len(days):
+        raise CheckpointError(
+            f"store row count mismatch: header says {record['rows']},"
+            f" decoded {record['start'] + len(days)}"
+        )
     t_col = table["store.t"]
     t_int = set(table["store.tint"])
     tgt_hi = table["store.thi"]
@@ -680,57 +773,85 @@ def _apply_store_segment(header: dict, table: dict, rows: list) -> None:
                 (src_hi[index] << 64) | src_lo[index],
             ]
         )
-    if record["rows"] != len(rows):
-        raise CheckpointError(
-            f"store row count mismatch: header says {record['rows']},"
-            f" decoded {len(rows)}"
-        )
 
 
-def read_state(path) -> dict:
-    """Read a binary checkpoint chain back into checkpoint-state form.
+class ChainAssembler:
+    """Incrementally merges a stream of chain segments into state.
 
-    Returns the same dict shape :func:`~repro.stream.checkpoint.engine_state`
-    emits (or, when the chain carries campaign progress, the campaign
-    checkpoint shape), ready for
-    :func:`~repro.stream.checkpoint.restore_engine` /
-    ``StreamingCampaign.resume``.  List ordering inside the dict is not
-    normative -- restore builds sets and dicts from it -- so no sorting
-    happens here.
+    The consumer side of the segment stream: feed it each raw segment
+    (or each pre-parsed ``(header, payload)``) in chain order and it
+    maintains the same merged view :func:`read_state` builds from a
+    file -- which is how a replication follower applies deltas without
+    re-reading the whole chain per segment.  :meth:`state` materializes
+    the checkpoint-state dict on demand.
+
+    Validation happens strictly before mutation: framing, CRC, format,
+    chain continuity, and store chaining are all checked first, so a
+    rejected segment (:class:`CheckpointError`) never poisons the
+    already-applied state.  With *allow_rebase* (the wire default) a
+    fresh full segment -- ``seq`` 0, new ``base_id`` -- resets the
+    assembler, mirroring a shipper-side rebase; file readers pass
+    ``False`` so a file holding two chains fails loudly.
     """
-    segments = _read_segments(path)
-    engine_header: dict | None = None
-    detection_table: dict | None = None
-    shard_records: dict[int, dict] = {}
-    rows: list | None = None
-    progress: dict | None = None
-    base_id = None
-    expected_seq = 0
 
-    for header, payload in segments:
+    def __init__(
+        self, *, label: str = "<segment stream>", allow_rebase: bool = True
+    ) -> None:
+        self._label = label
+        self._allow_rebase = allow_rebase
+        self.base_id: str | None = None
+        self.seq: int | None = None
+        self.segments_applied = 0
+        self._engine_header: dict | None = None
+        self._detection_table: dict | None = None
+        self._shard_records: dict[int, dict] = {}
+        self._rows: list | None = None
+        self._progress: dict | None = None
+
+    def apply(self, segment: bytes) -> dict:
+        """Validate and merge one raw segment; returns its header."""
+        header, payload, end = _parse_segment(segment, 0, self._label)
+        if end != len(segment):
+            raise CheckpointError(
+                f"{self._label}: {len(segment) - end} trailing bytes"
+                " after segment"
+            )
+        self.apply_parsed(header, payload)
+        return header
+
+    def apply_parsed(self, header: dict, payload: bytes) -> None:
+        """Merge one already-framed segment (CRC checked by the caller)."""
+        label = self._label
         if header.get("format") != BINARY_FORMAT:
             raise CheckpointError(
                 f"unsupported binary checkpoint format: {header.get('format')!r}"
             )
-        if base_id is None:
-            if header["kind"] != "full" or header["seq"] != 0:
+        is_base = header["kind"] == "full" and header["seq"] == 0
+        rebase = is_base and self.base_id is not None and self._allow_rebase
+        if self.base_id is None:
+            if not is_base:
                 raise CheckpointError(
-                    f"{path}: chain does not start with a full segment"
+                    f"{label}: chain does not start with a full segment"
                 )
-            base_id = header["base_id"]
-        elif header["base_id"] != base_id or header["seq"] != expected_seq:
+        elif not rebase and (
+            header["base_id"] != self.base_id or header["seq"] != self.seq + 1
+        ):
             raise CheckpointError(
-                f"{path}: broken segment chain at seq {header['seq']}"
-                f" (expected {expected_seq} of base {base_id})"
+                f"{label}: broken segment chain at seq {header['seq']}"
+                f" (expected {self.seq + 1} of base {self.base_id})"
             )
-        expected_seq = header["seq"] + 1
         table = _block_table(header, payload)
-        engine_header = header["engine"]
-        progress = header["progress"]
-        detection_table = {name: table[name] for name in _DETECTION_BLOCKS}
-        if header["kind"] == "full":
-            shard_records = {}
-            rows = [] if header["store"] is not None else None
+        if header["store"] is not None and not is_base:
+            if self._rows is None:
+                raise CheckpointError(
+                    f"{label}: delta carries store rows but the chain has no store"
+                )
+
+        # -- commit point: everything below mutates merged state -------
+        if is_base:
+            self._shard_records = {}
+            self._rows = [] if header["store"] is not None else None
+        shard_records = self._shard_records
         day_floor = header["day_floor"]
         for record in header["shards"]:
             sid = record["sid"]
@@ -773,84 +894,121 @@ def read_state(path) -> dict:
                     if day >= threshold
                 }
         if header["store"] is not None:
-            if rows is None:
+            _apply_store_segment(header, table, self._rows)
+        self._engine_header = header["engine"]
+        self._progress = header["progress"]
+        self._detection_table = {name: table[name] for name in _DETECTION_BLOCKS}
+        self.base_id = header["base_id"]
+        self.seq = header["seq"]
+        self.segments_applied += 1
+
+    def state(self) -> dict:
+        """The merged checkpoint-state dict (see :func:`read_state`).
+
+        Builds fresh lists every call; the assembler itself is not
+        consumed, so a follower can materialize after every applied
+        segment.
+        """
+        engine_header = self._engine_header
+        if engine_header is None:
+            raise CheckpointError(f"{self._label}: no segments applied")
+        detection_table = self._detection_table
+        rows = self._rows
+
+        shards = []
+        for sid in range(engine_header["config"]["num_shards"]):
+            record = self._shard_records.get(sid)
+            if record is None:  # full segments emit every shard
                 raise CheckpointError(
-                    f"{path}: delta carries store rows but the chain has no store"
+                    f"{self._label}: shard {sid} missing from chain"
                 )
-            _apply_store_segment(header, table, rows)
-
-    shards = []
-    for sid in range(engine_header["config"]["num_shards"]):
-        record = shard_records.get(sid)
-        if record is None:  # full segments emit every shard
-            raise CheckpointError(f"{path}: shard {sid} missing from chain")
-        src_hi, src_lo = record["src"]
-        esrc_hi, esrc_lo = record["esrc"]
-        shards.append(
-            {
-                "shard_id": sid,
-                "n_observations": record["n"],
-                "sources": [
-                    (hi << 64) | lo for hi, lo in zip(src_hi, src_lo)
-                ],
-                "eui_sources": [
-                    (hi << 64) | lo for hi, lo in zip(esrc_hi, esrc_lo)
-                ],
-                "eui_iids": record["iid"],
-                "alloc": [list(row) for row in zip(*record["alloc"])],
-                "pool": [list(row) for row in zip(*record["pool"])],
-                "pairs": [
-                    [
-                        day,
+            src_hi, src_lo = record["src"]
+            esrc_hi, esrc_lo = record["esrc"]
+            shards.append(
+                {
+                    "shard_id": sid,
+                    "n_observations": record["n"],
+                    "sources": [
+                        (hi << 64) | lo for hi, lo in zip(src_hi, src_lo)
+                    ],
+                    "eui_sources": [
+                        (hi << 64) | lo for hi, lo in zip(esrc_hi, esrc_lo)
+                    ],
+                    "eui_iids": record["iid"],
+                    "alloc": [list(row) for row in zip(*record["alloc"])],
+                    "pool": [list(row) for row in zip(*record["pool"])],
+                    "pairs": [
                         [
-                            [(thi << 64) | tlo, (shi << 64) | slo]
-                            for thi, tlo, shi, slo in zip(*cols)
-                        ],
-                    ]
-                    for day, cols in record["pairs"].items()
-                ],
-            }
-        )
-
-    detection = {
-        "changed_pairs": [
-            [(thi << 64) | tlo, (shi << 64) | slo]
-            for thi, tlo, shi, slo in zip(
-                *(detection_table[f"det.cp.{c}"] for c in ("thi", "tlo", "shi", "slo"))
+                            day,
+                            [
+                                [(thi << 64) | tlo, (shi << 64) | slo]
+                                for thi, tlo, shi, slo in zip(*cols)
+                            ],
+                        ]
+                        for day, cols in record["pairs"].items()
+                    ],
+                }
             )
-        ],
-        "stable_pairs": engine_header["stable_pairs"],
-        "rotating_prefixes": [
-            [(hi << 64) | lo, plen]
-            for hi, lo, plen in zip(
-                detection_table["det.rp.net_hi"],
-                detection_table["det.rp.net_lo"],
-                detection_table["det.rp.plen"],
-            )
-        ],
-    }
 
-    engine_state = {
-        "version": FORMAT_VERSION,
-        "config": dict(engine_header["config"]),
-        "current_day": engine_header["current_day"],
-        "closed_through": engine_header["closed_through"],
-        "days_seen": engine_header["days_seen"],
-        "responses_ingested": engine_header["responses_ingested"],
-        "watch_iids": engine_header["watch_iids"],
-        "watched": engine_header["watched"],
-        "detection": detection,
-        "shards": shards,
-        "store": rows,
-    }
-    if progress is not None:
-        return {
-            "version": FORMAT_VERSION,
-            "progress": progress,
-            "engine": {**engine_state, "store": None},
-            "store": rows if rows is not None else [],
+        detection = {
+            "changed_pairs": [
+                [(thi << 64) | tlo, (shi << 64) | slo]
+                for thi, tlo, shi, slo in zip(
+                    *(
+                        detection_table[f"det.cp.{c}"]
+                        for c in ("thi", "tlo", "shi", "slo")
+                    )
+                )
+            ],
+            "stable_pairs": engine_header["stable_pairs"],
+            "rotating_prefixes": [
+                [(hi << 64) | lo, plen]
+                for hi, lo, plen in zip(
+                    detection_table["det.rp.net_hi"],
+                    detection_table["det.rp.net_lo"],
+                    detection_table["det.rp.plen"],
+                )
+            ],
         }
-    return engine_state
+
+        engine_state = {
+            "version": FORMAT_VERSION,
+            "config": dict(engine_header["config"]),
+            "current_day": engine_header["current_day"],
+            "closed_through": engine_header["closed_through"],
+            "days_seen": engine_header["days_seen"],
+            "responses_ingested": engine_header["responses_ingested"],
+            "watch_iids": engine_header["watch_iids"],
+            "watched": engine_header["watched"],
+            "detection": detection,
+            "shards": shards,
+            "store": rows,
+        }
+        if self._progress is not None:
+            return {
+                "version": FORMAT_VERSION,
+                "progress": self._progress,
+                "engine": {**engine_state, "store": None},
+                "store": rows if rows is not None else [],
+            }
+        return engine_state
+
+
+def read_state(path) -> dict:
+    """Read a binary checkpoint chain back into checkpoint-state form.
+
+    Returns the same dict shape :func:`~repro.stream.checkpoint.engine_state`
+    emits (or, when the chain carries campaign progress, the campaign
+    checkpoint shape), ready for
+    :func:`~repro.stream.checkpoint.restore_engine` /
+    ``StreamingCampaign.resume``.  List ordering inside the dict is not
+    normative -- restore builds sets and dicts from it -- so no sorting
+    happens here.
+    """
+    assembler = ChainAssembler(label=str(path), allow_rebase=False)
+    for header, payload in _read_segments(path):
+        assembler.apply_parsed(header, payload)
+    return assembler.state()
 
 
 _DETECTION_BLOCKS = (

@@ -122,9 +122,14 @@ def decode(payload: bytes):
 
 
 def send_frame(sock, payload: bytes) -> None:
-    """Write one frame (header + payload) to a connected socket."""
-    header = _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload))
-    sock.sendall(header + payload)
+    """Write one frame (header + payload) to a connected socket.
+
+    Two ``sendall`` calls, not one concatenation: checkpoint segments
+    run to megabytes, and ``header + payload`` would copy the whole
+    payload just to prepend 12 bytes.
+    """
+    sock.sendall(_HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)))
+    sock.sendall(payload)
 
 
 def _recv_exact(sock, n: int, what: str, *, eof_ok: bool = False) -> bytes:

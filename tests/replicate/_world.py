@@ -1,0 +1,53 @@
+"""Deterministic small world + wait helper for replication tests.
+
+Builders are functions, not fixtures: the failover tests need *two
+independent but identical* campaigns -- one killed and promoted, one
+run uninterrupted as the byte-identity reference -- and the SIGKILL
+subprocess drill imports the same builders so the killed primary and
+the in-process reference see identical responses.
+"""
+
+import time
+
+from repro import Campaign, CampaignConfig, InternetSpec, PoolSpec, ProviderSpec
+from repro.simnet.builder import build_internet
+from repro.simnet.rotation import IncrementRotation
+
+DAYS = 6
+
+
+def build_world(seed: int = 7):
+    spec = InternetSpec(
+        providers=(
+            ProviderSpec(
+                asn=65001,
+                name="Replica DSL",
+                country="DE",
+                pools=(PoolSpec(46, 56, 0.60, IncrementRotation(24.0)),),
+                vendor_mix=(("AVM", 0.9), ("ZTE", 0.1)),
+                eui64_fraction=0.9,
+            ),
+        ),
+        seed=seed,
+    )
+    return build_internet(spec)
+
+
+def build_campaign(days: int = DAYS) -> Campaign:
+    internet = build_world()
+    pool = internet.providers[0].pools[0]
+    prefixes48 = sorted(pool.prefix.subnets(48), key=lambda p: p.network)
+    return Campaign(
+        internet, prefixes48, CampaignConfig(days=days, start_day=2, seed=7)
+    )
+
+
+def wait_for(predicate, timeout: float = 10.0) -> bool:
+    """Poll *predicate* until true or *timeout*; replication is
+    asynchronous, assertions on follower state must wait for it."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()

@@ -380,3 +380,86 @@ def test_sqlite_incremental_resume_mid_stream(seed, tmp_path):
         resumed.ingest_columns(ColumnBatch.from_observations(chunk))
     resumed.flush()
     assert json.dumps(engine_state(resumed)) == final
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_delta_replication_matches_full_restore(seed, tmp_path):
+    """Randomized replication-consumer equivalence: a follower applying
+    each shipped segment incrementally through a ``ChainAssembler`` --
+    including one that goes offline mid-chain and catches up from its
+    ``(base_id, seq)`` high-water mark, across a forced rebase -- must
+    land on byte-identical ``engine_state`` JSON to a direct full
+    restore of the primary's checkpoint file, at every save point."""
+    from repro.stream.checkpoint import restore_engine
+    from repro.stream.ckptbin import (
+        BinaryCheckpointer,
+        ChainAssembler,
+        chain_info,
+        read_state,
+        segment_bytes,
+    )
+
+    rng = random.Random(seed ^ 0x5E61)
+    corpus = random_corpus(rng)
+    if not corpus:
+        return
+    config = random_config(rng)
+    save_points = rng.randint(3, 6)
+    path = tmp_path / "replicated.bin"
+    # A tight max_chain makes organic rebases likely; one save is also
+    # forced full so every seed crosses at least one base change.
+    saver = BinaryCheckpointer(path, max_chain=rng.choice([2, 3, 16]))
+    forced_full_at = rng.randrange(1, save_points)
+    engine = StreamEngine(config, origin_of=origin_of)
+
+    follower = ChainAssembler(label="<follower>")
+    applied = 0  # segments of the current chain the follower has applied
+    # The laggard drops offline for a stretch of saves, then reconnects
+    # and catches up exactly the way the wire protocol does: replay
+    # everything past its (base_id, seq), or the whole chain on a base
+    # change.
+    laggard = ChainAssembler(label="<laggard>")
+    lag_applied = 0
+    offline = (rng.randrange(1, save_points), rng.randrange(1, save_points))
+    offline = (min(offline), max(offline))
+
+    def apply_tail(assembler, have, infos):
+        """The follower-side contract: reset on a new base, then apply
+        the missing tail; returns the new applied count."""
+        if have and assembler.base_id != infos[0].base_id:
+            assembler.__init__(label=assembler._label)
+            have = 0
+        for info in infos[have:]:
+            assembler.apply(segment_bytes(path, info))
+        return len(infos)
+
+    step = max(1, len(corpus) // save_points)
+    for point in range(save_points):
+        chunk = corpus[point * step :] if point == save_points - 1 else (
+            corpus[point * step : (point + 1) * step]
+        )
+        engine.ingest_batch(chunk)
+        engine.flush()
+        saver.save(engine, mode="full" if point == forced_full_at else "auto")
+        infos = chain_info(path)
+        applied = apply_tail(follower, applied, infos)
+        if not (offline[0] <= point < offline[1]):
+            lag_applied = apply_tail(laggard, lag_applied, infos)
+        # The live follower tracks the file exactly at every save.
+        direct = json.dumps(
+            engine_state(restore_engine(read_state(path), origin_of=origin_of))
+        )
+        assert (
+            json.dumps(
+                engine_state(restore_engine(follower.state(), origin_of=origin_of))
+            )
+            == direct
+        )
+    # The laggard's final catch-up converges on the same bytes.
+    lag_applied = apply_tail(laggard, lag_applied, chain_info(path))
+    assert json.dumps(laggard.state(), sort_keys=True) == json.dumps(
+        follower.state(), sort_keys=True
+    )
+    assert json.dumps(
+        engine_state(restore_engine(follower.state(), origin_of=origin_of))
+    ) == json.dumps(engine_state(engine))

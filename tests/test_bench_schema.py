@@ -35,6 +35,7 @@ REQUIRED_SECTIONS = {
     "telemetry_overhead",
     "checkpoint",
     "serve_queries",
+    "replication",
 }
 
 # Enabled-telemetry cost cap on the columnar ingest path: the recorded
@@ -54,6 +55,18 @@ CHECKPOINT_DELTA_CAP_PCT = 25.0
 # than this -- reads come off published snapshots, never engine locks.
 SERVE_INGEST_OVERHEAD_CAP_PCT = 15.0
 
+# Replication cost cap: shipping every checkpoint segment to one live
+# warm standby may not cost the primary process more than this much of
+# its own CPU time on the ingest-and-checkpoint path -- a ship is a
+# byte-range read plus a bounded async enqueue, never a
+# re-serialization (and with no shipper attached the cost is
+# structurally zero, not merely small).  CPU time, not wall-clock: the
+# bench records wall figures too, but on a single-core runner the
+# standby's recv is forced into the primary's wall-clock by sendall
+# backpressure, a cost the primary never bears once the standby has
+# its own core or machine.
+REPLICATION_OVERHEAD_CAP_PCT = 10.0
+
 # Throughput figures the regression gate tracks (dotted paths), and how
 # much of a drop versus the baseline is tolerated before CI fails.  The
 # speedup entry is a within-run ratio, so it stays meaningful even when
@@ -70,6 +83,7 @@ GATED_METRICS = (
     "store_backends.columnar.scan_rows_per_s",
     "store_backends.sqlite.append_rows_per_s",
     "serve_queries.sustained_queries_per_s",
+    "replication.replicated_responses_per_s",
 )
 REGRESSION_TOLERANCE = 0.30
 
@@ -270,4 +284,34 @@ def test_serve_queries_gates():
     )
     assert isinstance(sustained, numbers.Real) and sustained > 0, (
         "serve_queries.sustained_queries_per_s must be a positive rate"
+    )
+
+
+def test_replication_gates():
+    """The committed replication figures must honour the failover bars.
+
+    Absolute, like the serve cap: a segment ship is a byte-range read
+    off the checkpoint file plus an async enqueue to the subscriber's
+    bounded outbox, so one warm standby costing the primary more than
+    10% -- or a standby whose assembled state ever diverged from the
+    primary's file -- is a design regression, not host noise.
+    """
+    assert BENCH_JSON.exists(), "BENCH_stream.json must be committed at repo root"
+    current = json.loads(BENCH_JSON.read_text())
+    overhead = _dig(current, "replication.shipping_overhead_pct")
+    identical = _dig(current, "replication.standby_state_identical")
+    applied = _dig(current, "replication.follower.segments_applied")
+    assert isinstance(overhead, numbers.Real), (
+        "replication.shipping_overhead_pct missing from BENCH_stream.json"
+    )
+    assert overhead <= REPLICATION_OVERHEAD_CAP_PCT, (
+        f"one warm standby costs the primary {overhead:.2f}% of its own "
+        f"CPU on ingest-and-checkpoint "
+        f"(cap {REPLICATION_OVERHEAD_CAP_PCT:.0f}%)"
+    )
+    assert identical is True, (
+        "replication.standby_state_identical must be recorded True"
+    )
+    assert isinstance(applied, int) and applied > 0, (
+        "replication.follower.segments_applied must be a positive count"
     )
